@@ -1,0 +1,63 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each bench binary reproduces one table or figure of the paper: it runs
+// workloads under the three schemes over several seeds (the paper uses 10
+// iterative runs), summarizes with the paper's statistics (10% trimmed
+// mean, median, interquartile range) and prints a table shaped like the
+// figure. Environment variables tune effort:
+//   GS_RUNS   — runs per configuration (default 10, like the paper)
+//   GS_SCALE  — input/rate scale divisor (default 100)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "engine/cluster.h"
+#include "workloads/hibench.h"
+
+namespace gs::bench {
+
+struct HarnessConfig {
+  int runs = 10;
+  double scale = 100.0;
+  SimTime jitter_interval = Seconds(5);
+  double jitter_momentum = 0.5;
+
+  static HarnessConfig FromEnv();
+};
+
+// One measured execution.
+struct RunOutcome {
+  double jct_seconds = 0;
+  Bytes cross_dc_bytes = 0;
+  JobMetrics metrics;
+};
+
+// Builds the paper's cluster and run configuration for a scheme and seed.
+RunConfig MakeRunConfig(const HarnessConfig& h, Scheme scheme,
+                        std::uint64_t seed);
+Topology MakeTopology(const HarnessConfig& h);
+
+// Runs `workload` once under `scheme` with the given seed (used for both
+// the environment jitter and the data generation).
+RunOutcome RunOnce(const HarnessConfig& h, const std::string& workload,
+                   const WorkloadParams& params, Scheme scheme,
+                   std::uint64_t seed);
+
+// Runs `h.runs` seeds and summarizes JCTs (seconds).
+struct SchemeSummary {
+  Summary jct;
+  Summary cross_dc_mib;
+  std::vector<RunOutcome> runs;
+};
+SchemeSummary RunMany(const HarnessConfig& h, const std::string& workload,
+                      const WorkloadParams& params, Scheme scheme);
+
+// Prints the Fig. 6 cluster header once per bench.
+void PrintClusterHeader(const HarnessConfig& h);
+
+// All three schemes, in the paper's order.
+const std::vector<Scheme>& AllSchemes();
+
+}  // namespace gs::bench

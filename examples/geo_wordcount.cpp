@@ -1,0 +1,95 @@
+// geo_wordcount: explicit vs automatic transferTo() on a wide-area
+// word-count, the paper's running example (Sec. IV).
+//
+// Demonstrates:
+//  * spark.shuffle.aggregation-style automatic insertion (AggShuffle);
+//  * explicit developer-placed transferTo() with a chosen datacenter;
+//  * reading the traffic decomposition (fetch vs push) from the metrics.
+//
+//   $ ./geo_wordcount
+#include <iostream>
+#include <unordered_map>
+
+#include "common/table.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "workloads/input_gen.h"
+
+namespace {
+
+std::vector<gs::Record> TokenizeCount(const gs::Record& line) {
+  std::unordered_map<std::string, std::int64_t> local;
+  const auto& s = std::get<std::string>(line.value);
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t j = s.find(' ', i);
+    if (j == std::string::npos) j = s.size();
+    if (j > i) ++local[s.substr(i, j - i)];
+    i = j + 1;
+  }
+  std::vector<gs::Record> out;
+  out.reserve(local.size());
+  for (auto& [w, c] : local) out.push_back(gs::Record{w, c});
+  return out;
+}
+
+std::vector<gs::SourceRdd::Partition> MakeInput(const gs::Topology& topo) {
+  gs::Rng rng(21);
+  auto vocab = gs::MakeVocabulary(3000, rng);
+  gs::ZipfSampler zipf(vocab.size(), 1.1);
+  std::vector<std::vector<gs::Record>> parts;
+  for (int p = 0; p < 24; ++p) {
+    parts.push_back(
+        gs::MakeTextLines(gs::MiB(16) / 24, 20, vocab, zipf, rng));
+  }
+  return gs::PlacePartitions(topo, std::move(parts),
+                             gs::DefaultDcWeights(6));
+}
+
+}  // namespace
+
+int main() {
+  using namespace gs;
+  const double scale = 100.0;
+
+  struct Variant {
+    const char* label;
+    Scheme scheme;
+    DcIndex explicit_dc;  // kNoDc = rely on the scheme
+  };
+  const Variant variants[] = {
+      {"stock Spark (fetch-based shuffle)", Scheme::kSpark, kNoDc},
+      {"automatic aggregation (spark.shuffle.aggregation)",
+       Scheme::kAggShuffle, kNoDc},
+      {"explicit .TransferTo(Frankfurt)", Scheme::kSpark, 3},
+  };
+
+  TextTable table({"Variant", "JCT", "cross-DC", "fetch", "push",
+                   "distinct words"});
+  for (const Variant& v : variants) {
+    RunConfig cfg;
+    cfg.scheme = v.scheme;
+    cfg.seed = 9;
+    cfg.scale = scale;
+    cfg.cost = CostModel{}.Scaled(scale);
+    GeoCluster cluster(Ec2SixRegionTopology(scale), cfg);
+
+    Dataset text = cluster.CreateSource("pages", MakeInput(cluster.topology()));
+    Dataset tokens = text.FlatMap("tokenize", TokenizeCount);
+    if (v.explicit_dc != kNoDc) tokens = tokens.TransferTo(v.explicit_dc);
+    Dataset counts = tokens.ReduceByKey(SumInt64(), 8);
+    std::vector<Record> result = counts.Collect();
+
+    const JobMetrics& m = cluster.last_job_metrics();
+    table.AddRow({v.label, FmtDouble(m.jct(), 2) + "s",
+                  FmtMiB(m.cross_dc_bytes), FmtMiB(m.cross_dc_fetch_bytes),
+                  FmtMiB(m.cross_dc_push_bytes),
+                  std::to_string(result.size())});
+  }
+  std::cout << "Wide-area word count over six EC2 regions (16 MiB of text, "
+               "scaled 1/100):\n"
+            << table.Render()
+            << "\nBoth transferTo variants replace cross-datacenter fetches "
+               "with proactive pushes of combined (smaller) data.\n";
+  return 0;
+}

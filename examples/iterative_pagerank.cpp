@@ -1,0 +1,128 @@
+// iterative_pagerank: why Push/Aggregate shines on iterative jobs.
+//
+// Builds PageRank directly on the public Dataset API with a configurable
+// iteration count. Under AggShuffle only the first shuffle (partitioning
+// the adjacency lists) crosses datacenters; every later iteration is
+// datacenter-local, so cross-DC traffic stays flat while stock Spark's
+// grows with the iteration count (the paper reports a 91.3% traffic
+// reduction for PageRank, its best case).
+//
+//   $ ./iterative_pagerank
+#include <iostream>
+
+#include "common/table.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "workloads/input_gen.h"
+
+namespace {
+
+using gs::Record;
+using gs::TermWeight;
+
+// One PageRank run; returns (cross-DC MiB, jct seconds).
+std::pair<double, double> RunPageRank(gs::Scheme scheme, int iterations) {
+  const double scale = 100.0;
+  gs::RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 17;
+  cfg.scale = scale;
+  cfg.cost = gs::CostModel{}.Scaled(scale);
+  gs::GeoCluster cluster(gs::Ec2SixRegionTopology(scale), cfg);
+
+  gs::Rng rng(31);
+  std::vector<Record> graph = gs::MakeWebGraph(5000, 12.0, rng);
+  std::vector<std::vector<Record>> parts(24);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    parts[i % 24].push_back(std::move(graph[i]));
+  }
+  gs::Dataset input = cluster.CreateSource(
+      "crawl", gs::PlacePartitions(cluster.topology(), std::move(parts),
+                                   gs::DefaultDcWeights(6)));
+
+  // Partition adjacency by page and attach the initial rank ("#r").
+  gs::Dataset state =
+      input
+          .Map("adjacency",
+               [](const Record& r) {
+                 const auto& links =
+                     std::get<std::vector<std::string>>(r.value);
+                 std::vector<TermWeight> v;
+                 v.reserve(links.size());
+                 for (const auto& l : links) v.emplace_back(l, 0.0);
+                 return Record{r.key, std::move(v)};
+               })
+          .ReduceByKey(gs::MergeTermWeights(), 8)
+          .Map("init-rank", [](const Record& r) {
+            auto v = std::get<std::vector<TermWeight>>(r.value);
+            v.emplace_back("#r", 1.0);
+            return Record{r.key, std::move(v)};
+          });
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    gs::Dataset contribs = state.FlatMap(
+        "contribs-" + std::to_string(iter), [](const Record& r) {
+          const auto& v = std::get<std::vector<TermWeight>>(r.value);
+          double rank = 1.0;
+          int degree = 0;
+          for (const auto& [term, w] : v) {
+            if (term == "#r") rank = w;
+            else if (term[0] != '#') ++degree;
+          }
+          std::vector<Record> out;
+          if (degree > 0) {
+            const double share = 0.85 * rank / degree;
+            for (const auto& [term, w] : v) {
+              if (term[0] != '#') {
+                out.push_back(
+                    Record{term, std::vector<TermWeight>{{"#c", share}}});
+              }
+            }
+          }
+          return out;
+        });
+    state = state.Union(contribs)
+                .ReduceByKey(gs::MergeTermWeights(), 8)
+                .Map("apply-rank-" + std::to_string(iter),
+                     [](const Record& r) {
+                       const auto& v =
+                           std::get<std::vector<TermWeight>>(r.value);
+                       double contrib = 0;
+                       std::vector<TermWeight> next;
+                       for (const auto& [term, w] : v) {
+                         if (term == "#c") contrib += w;
+                         else if (term[0] != '#') next.emplace_back(term, w);
+                       }
+                       next.emplace_back("#r", 0.15 + contrib);
+                       return Record{r.key, std::move(next)};
+                     });
+  }
+  state.Save();
+  const gs::JobMetrics& m = cluster.last_job_metrics();
+  return {gs::ToMiB(m.cross_dc_bytes), m.jct()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace gs;
+  std::cout << "PageRank over six EC2 regions (5,000 pages, 1/100 scale), "
+               "growing iteration count.\n\n";
+
+  TextTable table({"Iterations", "Spark cross-DC", "AggShuffle cross-DC",
+                   "reduction", "Spark JCT", "AggShuffle JCT"});
+  for (int iters = 1; iters <= 4; ++iters) {
+    auto [spark_mib, spark_jct] = RunPageRank(Scheme::kSpark, iters);
+    auto [agg_mib, agg_jct] = RunPageRank(Scheme::kAggShuffle, iters);
+    table.AddRow({std::to_string(iters), FmtDouble(spark_mib, 2) + " MiB",
+                  FmtDouble(agg_mib, 2) + " MiB",
+                  FmtPercent(agg_mib / spark_mib - 1.0),
+                  FmtDouble(spark_jct, 1) + "s",
+                  FmtDouble(agg_jct, 1) + "s"});
+  }
+  std::cout << table.Render()
+            << "\nAggShuffle's traffic stays flat as iterations grow: after "
+               "the first aggregated shuffle, every later shuffle is "
+               "datacenter-local.\n";
+  return 0;
+}

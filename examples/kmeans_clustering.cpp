@@ -1,0 +1,146 @@
+// kmeans_clustering: an iterative ML job beyond the paper's workload set,
+// showing how cached datasets interact with Push/Aggregate across *many
+// actions* (one job per iteration, unlike PageRank's single-job loop).
+//
+// Points are born geo-distributed and cached in place; every iteration
+// ships only (centroid, partial-sum) records through the shuffle — a few
+// hundred bytes — and collects K centroids at the driver. The paper's
+// Sec. IV-E advice applies: cache after aggregation to avoid repeated
+// WAN transfers of the big dataset.
+//
+//   $ ./kmeans_clustering
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "common/table.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "workloads/input_gen.h"
+
+namespace {
+
+constexpr int kClusters = 8;
+constexpr int kIterations = 5;
+constexpr int kPoints = 6000;
+
+// A 2-D point record: key = point id, value = TermWeight pairs
+// {("x", x), ("y", y)}.
+gs::Record MakePoint(int id, double x, double y) {
+  return gs::Record{"pt" + std::to_string(id),
+                    std::vector<gs::TermWeight>{{"x", x}, {"y", y}}};
+}
+
+struct Centroid {
+  double x = 0, y = 0;
+};
+
+double Get(const std::vector<gs::TermWeight>& v, const char* key) {
+  for (const auto& [k, val] : v) {
+    if (k == key) return val;
+  }
+  return 0;
+}
+
+void Run(gs::Scheme scheme, gs::TextTable& table) {
+  const double scale = 100.0;
+  gs::RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 29;
+  cfg.scale = scale;
+  cfg.cost = gs::CostModel{}.Scaled(scale);
+  gs::GeoCluster cluster(gs::Ec2SixRegionTopology(scale), cfg);
+
+  // Generate points in `kClusters` blobs, spread across regions.
+  gs::Rng rng(61);
+  std::vector<Centroid> truth(kClusters);
+  for (auto& c : truth) {
+    c.x = rng.Uniform(-100, 100);
+    c.y = rng.Uniform(-100, 100);
+  }
+  std::vector<gs::Record> points;
+  points.reserve(kPoints);
+  for (int i = 0; i < kPoints; ++i) {
+    const Centroid& c = truth[i % kClusters];
+    points.push_back(MakePoint(i, c.x + rng.Normal(0, 4.0),
+                               c.y + rng.Normal(0, 4.0)));
+  }
+  gs::Dataset data =
+      cluster.Parallelize("points", points, 2).Cache();  // cache in place
+
+  // Initial centroids: the first K points.
+  std::vector<Centroid> centroids(kClusters);
+  for (int k = 0; k < kClusters; ++k) {
+    const auto& v = std::get<std::vector<gs::TermWeight>>(points[k].value);
+    centroids[k] = {Get(v, "x"), Get(v, "y")};
+  }
+
+  double total_jct = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    auto assigned = data.Map(
+        "assign-" + std::to_string(iter), [centroids](const gs::Record& p) {
+          const auto& v = std::get<std::vector<gs::TermWeight>>(p.value);
+          const double x = Get(v, "x"), y = Get(v, "y");
+          int best = 0;
+          double best_d = 1e300;
+          for (int k = 0; k < kClusters; ++k) {
+            double dx = x - centroids[k].x, dy = y - centroids[k].y;
+            double d = dx * dx + dy * dy;
+            if (d < best_d) {
+              best_d = d;
+              best = k;
+            }
+          }
+          return gs::Record{
+              "c" + std::to_string(best),
+              std::vector<gs::TermWeight>{{"sx", x}, {"sy", y}, {"n", 1}}};
+        });
+    auto sums =
+        assigned.ReduceByKey(gs::MergeTermWeights(), kClusters).Collect();
+    total_jct += cluster.last_job_metrics().jct();
+    for (const gs::Record& s : sums) {
+      int k = std::stoi(s.key.substr(1));
+      const auto& v = std::get<std::vector<gs::TermWeight>>(s.value);
+      double n = Get(v, "n");
+      if (n > 0) centroids[k] = {Get(v, "sx") / n, Get(v, "sy") / n};
+    }
+  }
+
+  // Quality: mean distance between found and true centroids (greedy match).
+  double err = 0;
+  for (const Centroid& t : truth) {
+    double best = 1e300;
+    for (const Centroid& c : centroids) {
+      double dx = t.x - c.x, dy = t.y - c.y;
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+    err += best;
+  }
+  err /= kClusters;
+
+  const gs::TrafficMeter& meter = cluster.network().meter();
+  std::ostringstream jct;
+  jct << gs::FmtDouble(total_jct, 1) << "s";
+  table.AddRow({gs::SchemeName(scheme), jct.str(),
+                gs::FmtMiB(meter.cross_dc_total() -
+                           meter.cross_dc_of_kind(gs::FlowKind::kCollect)),
+                gs::FmtDouble(err, 2)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace gs;
+  std::cout << "K-Means over six regions: " << kPoints << " points, "
+            << kClusters << " clusters, " << kIterations
+            << " iterations (one job each, points cached in place).\n\n";
+  TextTable table({"Scheme", "total JCT (5 iters)", "cross-DC (all jobs)",
+                   "centroid error"});
+  Run(Scheme::kSpark, table);
+  Run(Scheme::kAggShuffle, table);
+  std::cout << table.Render()
+            << "\nBoth schemes converge to the same centroids; the shuffled "
+               "partial sums are tiny, so the gap comes from barrier "
+               "fetches vs pipelined pushes across the iterations.\n";
+  return 0;
+}

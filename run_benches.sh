@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper (bench_output.txt).
+# Paper figures use 10 runs (like the paper); ablations use 5.
+cd "$(dirname "$0")"
+out=bench_output.txt
+: > "$out"
+for b in build/bench/*; do
+  case "$b" in
+    */bench_fig*|*/bench_table1*) runs=10 ;;
+    */bench_*) runs=5 ;;
+    *) continue ;;
+  esac
+  echo "### $b (GS_RUNS=$runs)" >> "$out"
+  GS_RUNS=$runs "$b" >> "$out" 2>&1
+  echo "### exit=$? $b" >> "$out"
+  echo >> "$out"
+done
+echo "ALL-BENCHES-DONE" >> "$out"

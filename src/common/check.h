@@ -1,0 +1,46 @@
+// Internal invariant checking.
+//
+// GS_CHECK throws on violation so that tests can observe misuse, and so a
+// failed invariant never silently corrupts a simulation run.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gs {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace internal
+}  // namespace gs
+
+#define GS_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::gs::internal::CheckFailed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                 \
+  } while (false)
+
+#define GS_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream gs_check_os_;                                \
+      gs_check_os_ << msg;                                            \
+      ::gs::internal::CheckFailed(#expr, __FILE__, __LINE__,          \
+                                  gs_check_os_.str());                \
+    }                                                                 \
+  } while (false)

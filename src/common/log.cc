@@ -1,0 +1,18 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace gs {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace gs

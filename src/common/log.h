@@ -1,0 +1,45 @@
+// Minimal leveled logging.
+//
+// Logging defaults to Warn so tests and benches stay quiet; examples raise
+// the level to show the engine's decisions.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    os_ << "[" << tag << "] ";
+  }
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) std::cerr << os_.str() << std::endl;
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace gs
+
+#define GS_LOG_DEBUG ::gs::internal::LogLine(::gs::LogLevel::kDebug, "debug")
+#define GS_LOG_INFO ::gs::internal::LogLine(::gs::LogLevel::kInfo, "info")
+#define GS_LOG_WARN ::gs::internal::LogLine(::gs::LogLevel::kWarn, "warn")
+#define GS_LOG_ERROR ::gs::internal::LogLine(::gs::LogLevel::kError, "error")

@@ -1,0 +1,57 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  GS_CHECK(!sorted.empty());
+  GS_CHECK(q >= 0 && q <= 100);
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(pos));
+  auto hi = static_cast<std::size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary Summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = std::accumulate(samples.begin(), samples.end(), 0.0);
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 2) {
+    double trimmed = sum - s.min - s.max;
+    s.trimmed_mean = trimmed / static_cast<double>(s.count - 2);
+  } else {
+    s.trimmed_mean = s.mean;
+  }
+  s.median = SortedPercentile(samples, 50);
+  s.p25 = SortedPercentile(samples, 25);
+  s.p75 = SortedPercentile(samples, 75);
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(var / static_cast<double>(s.count - 1))
+                 : 0.0;
+  return s;
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  GS_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  return SortedPercentile(samples, q);
+}
+
+}  // namespace gs

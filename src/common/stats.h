@@ -1,0 +1,33 @@
+// Summary statistics used for reporting experimental results.
+//
+// The paper reports 10% trimmed means (drop min and max over 10 runs),
+// medians, and interquartile ranges; Summary computes all of these.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gs {
+
+// Summary statistics over a sample of measurements.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double trimmed_mean = 0;  // mean after dropping the min and the max
+  double median = 0;
+  double p25 = 0;
+  double p75 = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+
+  double iqr() const { return p75 - p25; }
+};
+
+// Computes summary statistics. An empty sample yields an all-zero Summary.
+Summary Summarize(std::vector<double> samples);
+
+// Linear-interpolated percentile of a sample; q in [0, 100].
+double Percentile(std::vector<double> samples, double q);
+
+}  // namespace gs

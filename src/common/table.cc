@@ -1,0 +1,77 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace gs {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GS_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  GS_CHECK_MSG(row.size() == header_.size(),
+               "row has " << row.size() << " cells, header has "
+                          << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string FmtDouble(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string FmtMiB(std::int64_t bytes) {
+  return FmtDouble(ToMiB(bytes), 1) + " MiB";
+}
+
+std::string FmtPercent(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::showpos << std::fixed << std::setprecision(decimals)
+     << fraction * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace gs

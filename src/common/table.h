@@ -1,0 +1,37 @@
+// Plain-text table rendering for benchmark reports.
+//
+// Benches print paper-style tables (one per figure); this keeps the layout
+// code out of the harnesses themselves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Adds a horizontal separator after the last added row.
+  void AddSeparator();
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+// Formats a double with the given number of decimals.
+std::string FmtDouble(double v, int decimals = 1);
+
+// Formats a byte volume as MiB with one decimal.
+std::string FmtMiB(std::int64_t bytes);
+
+// Formats a percentage such as "-73.2%".
+std::string FmtPercent(double fraction, int decimals = 1);
+
+}  // namespace gs

@@ -1,0 +1,38 @@
+// Byte and time units used throughout the simulator.
+//
+// Simulated time is a double counting seconds since the start of the
+// simulation. Byte volumes are signed 64-bit so that subtraction is safe.
+#pragma once
+
+#include <cstdint>
+
+namespace gs {
+
+// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+// Data volume in bytes.
+using Bytes = std::int64_t;
+
+// Data rate in bytes per second.
+using Rate = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes KiB(double v) { return static_cast<Bytes>(v * kKiB); }
+constexpr Bytes MiB(double v) { return static_cast<Bytes>(v * kMiB); }
+constexpr Bytes GiB(double v) { return static_cast<Bytes>(v * kGiB); }
+
+// Link capacities are conventionally quoted in megabits per second.
+constexpr Rate Mbps(double v) { return v * 1e6 / 8.0; }
+constexpr Rate Gbps(double v) { return v * 1e9 / 8.0; }
+
+constexpr SimTime Seconds(double v) { return v; }
+constexpr SimTime Millis(double v) { return v / 1e3; }
+
+// Converts a byte count to MiB as a double, for reporting.
+constexpr double ToMiB(Bytes b) { return static_cast<double>(b) / kMiB; }
+
+}  // namespace gs

@@ -1,0 +1,54 @@
+// DAG analysis: stage splitting and automatic transferTo insertion.
+//
+// Mirrors Spark's DAGScheduler (Sec. IV-D): decomposes the lineage graph
+// into shuffle-separated stages, and — when spark.shuffle.aggregation is
+// enabled — rewrites the graph to embed a transferTo() immediately before
+// every shuffle, so shuffle input is proactively aggregated without any
+// change to application code.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/stage.h"
+#include "rdd/rdd.h"
+
+namespace gs {
+
+// Allocates RDD ids for graph rewrites; supplied by the engine context.
+using RddIdAlloc = std::function<RddId()>;
+
+// Returns an equivalent graph in which every ShuffledRdd whose parent is not
+// already a TransferredRdd gets a transferTo(kNoDc) inserted below it
+// (kNoDc = choose the aggregator datacenter automatically at run time).
+// Shared subgraphs are rewritten once; untouched subgraphs are shared with
+// the input graph. Shuffle ids and cached flags are preserved.
+RddPtr InsertTransfersBeforeShuffles(const RddPtr& rdd, const RddIdAlloc& alloc);
+
+// A task's data boundary: the leaf RDD (source / shuffled / transferred)
+// reached by resolving partition indices through the stage's narrow chain.
+struct LeafRef {
+  const Rdd* leaf = nullptr;
+  int partition = -1;
+};
+
+// Resolves which leaf partition feeds partition `partition` of `output`,
+// stopping at stage boundaries (source, shuffled, transferred).
+LeafRef ResolveLeaf(const Rdd& output, int partition);
+
+// All boundary leaves reachable from `output` through narrow dependencies
+// (deduplicated, in first-visit order).
+std::vector<const Rdd*> CollectLeaves(const Rdd& output);
+
+// Splits the graph rooted at `final_rdd` into stages. The result stage is
+// always stages.back(). Stage ids equal indices into the returned vector
+// and parent stages precede children (topological order).
+//
+// Limitations (documented): a stage may contain at most one TransferredRdd
+// leaf, and a receiver stage's task count must match its producer's (both
+// hold for every graph the Dataset facade can build, since transferTo is
+// one-to-one).
+std::vector<Stage> BuildStages(const RddPtr& final_rdd);
+
+}  // namespace gs

@@ -1,0 +1,65 @@
+#include "data/combiner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gs {
+
+std::vector<Record> CombineByKey(const std::vector<Record>& records,
+                                 const CombineFn& fn) {
+  GS_CHECK(fn != nullptr);
+  std::vector<Record> out;
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(records.size());
+  for (const Record& r : records) {
+    auto [it, inserted] = index.try_emplace(r.key, out.size());
+    if (inserted) {
+      out.push_back(r);
+    } else {
+      Record& existing = out[it->second];
+      existing.value = fn(existing.value, r.value);
+    }
+  }
+  return out;
+}
+
+CombineFn SumInt64() {
+  return [](const Value& a, const Value& b) -> Value {
+    return std::get<std::int64_t>(a) + std::get<std::int64_t>(b);
+  };
+}
+
+CombineFn SumDouble() {
+  return [](const Value& a, const Value& b) -> Value {
+    return std::get<double>(a) + std::get<double>(b);
+  };
+}
+
+CombineFn MergeTermWeights() {
+  return [](const Value& a, const Value& b) -> Value {
+    const auto& va = std::get<std::vector<TermWeight>>(a);
+    const auto& vb = std::get<std::vector<TermWeight>>(b);
+    // Merge by term; keep deterministic (sorted) order.
+    std::map<std::string, double> merged;
+    for (const auto& [t, w] : va) merged[t] += w;
+    for (const auto& [t, w] : vb) merged[t] += w;
+    std::vector<TermWeight> out;
+    out.reserve(merged.size());
+    for (auto& [t, w] : merged) out.emplace_back(t, w);
+    return out;
+  };
+}
+
+CombineFn ConcatStrings(char separator) {
+  return [separator](const Value& a, const Value& b) -> Value {
+    std::string out = std::get<std::string>(a);
+    if (separator != '\0') out.push_back(separator);
+    out += std::get<std::string>(b);
+    return out;
+  };
+}
+
+}  // namespace gs

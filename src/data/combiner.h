@@ -1,0 +1,31 @@
+// Key-wise combining (reduce functions and map-side combine).
+//
+// reduceByKey-style transformations merge values of equal keys with an
+// associative, commutative CombineFn. Map-side combine runs the same merge
+// on each map partition before the shuffle, shrinking shuffle input — the
+// paper pipelines this with the map and performs it *before* the
+// transferTo() push (Sec. IV-C3) so combined, smaller data crosses the WAN.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/record.h"
+
+namespace gs {
+
+// Merges two values for the same key. Must be associative and commutative.
+using CombineFn = std::function<Value(const Value&, const Value&)>;
+
+// Combines records key-wise. Output order is the first-appearance order of
+// each key, which keeps runs deterministic.
+std::vector<Record> CombineByKey(const std::vector<Record>& records,
+                                 const CombineFn& fn);
+
+// Common combine functions.
+CombineFn SumInt64();
+CombineFn SumDouble();
+CombineFn MergeTermWeights();  // element-wise sum of sparse vectors
+CombineFn ConcatStrings(char separator = '\0');
+
+}  // namespace gs

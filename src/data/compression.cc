@@ -1,0 +1,84 @@
+#include "data/compression.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <cmath>
+#include <string>
+
+namespace gs {
+namespace {
+
+// Upper bound on bytes fed to the estimator per batch.
+constexpr std::size_t kSampleBytes = 8192;
+
+// Appends a textual projection of a value's payload bytes.
+void AppendPayload(const Value& value, std::string& out) {
+  struct Visitor {
+    std::string& out;
+    void operator()(std::monostate) const {}
+    void operator()(std::int64_t v) const { out += std::to_string(v); }
+    void operator()(double v) const { out += std::to_string(v); }
+    void operator()(const std::string& s) const { out += s; }
+    void operator()(const std::vector<std::string>& v) const {
+      for (const auto& s : v) out += s;
+    }
+    void operator()(const std::vector<TermWeight>& v) const {
+      for (const auto& [t, w] : v) {
+        out += t;
+        out += std::to_string(w);
+      }
+    }
+  };
+  std::visit(Visitor{out}, value);
+}
+
+}  // namespace
+
+double EstimateCompressionRatio(const std::vector<Record>& records) {
+  if (records.empty()) return 1.0;
+  std::string sample;
+  sample.reserve(kSampleBytes);
+  // Deterministic spread over the batch.
+  const std::size_t step = std::max<std::size_t>(1, records.size() / 64);
+  for (std::size_t i = 0; i < records.size() && sample.size() < kSampleBytes;
+       i += step) {
+    sample += records[i].key;
+    AppendPayload(records[i].value, sample);
+  }
+  if (sample.size() < 32) return 1.0;
+
+  // LZ-family codecs replace repeated substrings with back-references, so
+  // the fraction of 8-byte windows that recur in the sample approximates
+  // the matchable fraction of the stream: random keys/values produce no
+  // repeats (ratio ~1), word-based text repeats heavily (ratio ~0.4),
+  // constant filler collapses (ratio ~0.15).
+  std::unordered_set<std::uint64_t> windows;
+  windows.reserve(sample.size());
+  std::size_t repeats = 0;
+  std::size_t total = sample.size() - 7;
+  std::uint64_t rolling = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    rolling = (rolling << 8) | static_cast<unsigned char>(sample[i]);
+    if (i >= 7) {
+      // FNV-mix the window to avoid pathological collisions.
+      std::uint64_t h = rolling * 1099511628211ull;
+      if (!windows.insert(h).second) ++repeats;
+    }
+  }
+  const double matchable = static_cast<double>(repeats) /
+                           static_cast<double>(total);
+  // Matched bytes shrink to back-reference tokens (~15% of their length);
+  // unmatched bytes pass through with small literal overhead.
+  const double ratio = (1.0 - matchable) + matchable * 0.15;
+  return std::clamp(ratio, 0.10, 1.0);
+}
+
+Bytes CompressedSize(const std::vector<Record>& records) {
+  const Bytes raw = SerializedSize(records);
+  if (raw == 0) return 0;
+  const double ratio = EstimateCompressionRatio(records);
+  return std::max<Bytes>(1, static_cast<Bytes>(raw * ratio));
+}
+
+}  // namespace gs

@@ -1,0 +1,30 @@
+// Shuffle compression model.
+//
+// Spark compresses shuffle output by default (spark.shuffle.compress, LZ4),
+// so bytes crossing the network during a shuffle — fetched or pushed — are
+// the *compressed* size, while raw input moved by the Centralized baseline
+// is not. This asymmetry is why HiBench TeraSort is the paper's outlier:
+// its random records barely compress and its pre-shuffle map bloats them,
+// making the shuffle input larger than the raw input (Sec. V-B), whereas
+// text-derived shuffle data compresses several-fold.
+//
+// The estimator is deterministic and cheap: it samples records and scores
+// byte-bigram diversity, mapping low-redundancy data (random keys) near
+// ratio 1.0 and repetitive text-derived data toward ~0.3.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "data/record.h"
+
+namespace gs {
+
+// Estimated compression ratio in (0, 1]: compressed_size / serialized_size.
+double EstimateCompressionRatio(const std::vector<Record>& records);
+
+// Serialized-then-compressed size of a record batch, as written to shuffle
+// files and sent over push/fetch flows.
+Bytes CompressedSize(const std::vector<Record>& records);
+
+}  // namespace gs

@@ -1,0 +1,58 @@
+#include "data/partitioner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "common/check.h"
+
+namespace gs {
+
+HashPartitioner::HashPartitioner(int num_shards, std::uint64_t salt)
+    : num_shards_(num_shards), salt_(salt) {
+  GS_CHECK(num_shards > 0);
+}
+
+int HashPartitioner::ShardOf(const std::string& key) const {
+  // FNV-1a with a salt; std::hash is not guaranteed stable across
+  // implementations and runs must be reproducible.
+  std::uint64_t h = 1469598103934665603ull ^ salt_;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_shards_));
+}
+
+RangePartitioner::RangePartitioner(std::vector<std::string> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  GS_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
+RangePartitioner RangePartitioner::FromSample(
+    std::vector<std::string> sample_keys, int num_shards) {
+  GS_CHECK(num_shards > 0);
+  std::sort(sample_keys.begin(), sample_keys.end());
+  std::vector<std::string> boundaries;
+  if (!sample_keys.empty()) {
+    for (int i = 1; i < num_shards; ++i) {
+      std::size_t idx = sample_keys.size() * static_cast<std::size_t>(i) /
+                        static_cast<std::size_t>(num_shards);
+      boundaries.push_back(sample_keys[std::min(idx, sample_keys.size() - 1)]);
+    }
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+  }
+  return RangePartitioner(std::move(boundaries));
+}
+
+int RangePartitioner::num_shards() const {
+  return static_cast<int>(boundaries_.size()) + 1;
+}
+
+int RangePartitioner::ShardOf(const std::string& key) const {
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), key);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+}  // namespace gs

@@ -1,0 +1,57 @@
+// Partitioners: map record keys to shuffle shards.
+//
+// Shuffle output of every map partition is split into num_shards() shards,
+// one per reducer — the all-to-all pattern of Fig. 3. HashPartitioner is the
+// default; RangePartitioner (built from sampled keys) backs sortByKey.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gs {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual int num_shards() const = 0;
+
+  // Shard index in [0, num_shards()) for a key. Must be deterministic.
+  virtual int ShardOf(const std::string& key) const = 0;
+};
+
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(int num_shards, std::uint64_t salt = 0);
+
+  int num_shards() const override { return num_shards_; }
+  int ShardOf(const std::string& key) const override;
+
+ private:
+  int num_shards_;
+  std::uint64_t salt_;
+};
+
+// Splits the key space at sorted boundary keys: shard i receives keys in
+// (boundary[i-1], boundary[i]]. With B boundaries there are B+1 shards.
+// Ordering shards by index yields globally sorted output, as TeraSort needs.
+class RangePartitioner final : public Partitioner {
+ public:
+  explicit RangePartitioner(std::vector<std::string> boundaries);
+
+  // Builds boundaries by sampling the given keys to create `num_shards`
+  // near-equal ranges.
+  static RangePartitioner FromSample(std::vector<std::string> sample_keys,
+                                     int num_shards);
+
+  int num_shards() const override;
+  int ShardOf(const std::string& key) const override;
+
+  const std::vector<std::string>& boundaries() const { return boundaries_; }
+
+ private:
+  std::vector<std::string> boundaries_;  // sorted ascending
+};
+
+}  // namespace gs

@@ -1,0 +1,194 @@
+#include "engine/cluster.h"
+
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "dag/dag_scheduler.h"
+#include "engine/dataset.h"
+#include "engine/job_runner.h"
+
+namespace gs {
+
+const char* AggregatorPolicyName(AggregatorPolicy policy) {
+  switch (policy) {
+    case AggregatorPolicy::kLargestInput: return "largest-input";
+    case AggregatorPolicy::kRandom: return "random";
+    case AggregatorPolicy::kSmallestInput: return "smallest-input";
+  }
+  return "unknown";
+}
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSpark: return "Spark";
+    case Scheme::kCentralized: return "Centralized";
+    case Scheme::kAggShuffle: return "AggShuffle";
+  }
+  return "unknown";
+}
+
+GeoCluster::GeoCluster(Topology topo, RunConfig config)
+    : topo_(std::move(topo)),
+      config_(config),
+      root_rng_(config.seed) {
+  GS_CHECK(topo_.num_nodes() > 0);
+  network_ = std::make_unique<Network>(sim_, topo_, config_.net,
+                                       root_rng_.Split("net-jitter"));
+  blocks_ = std::make_unique<BlockManager>(topo_.num_nodes());
+  scheduler_ =
+      std::make_unique<TaskScheduler>(sim_, topo_, config_.sched);
+  disk_ = std::make_unique<DiskModel>(sim_, topo_.num_nodes(),
+                                      config_.cost.disk_read_rate,
+                                      config_.cost.disk_write_rate);
+  // The driver is the first non-worker node; if all nodes are workers,
+  // node 0 doubles as the driver.
+  driver_node_ = 0;
+  for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
+    if (!topo_.node(n).worker) {
+      driver_node_ = n;
+      break;
+    }
+  }
+}
+
+GeoCluster::~GeoCluster() = default;
+
+Dataset GeoCluster::CreateSource(
+    std::string name, std::vector<SourceRdd::Partition> partitions) {
+  auto rdd = std::make_shared<SourceRdd>(NextRddId(), std::move(name),
+                                         std::move(partitions));
+  return Dataset(this, std::move(rdd));
+}
+
+Dataset GeoCluster::Parallelize(std::string name,
+                                const std::vector<Record>& records,
+                                int partitions_per_dc) {
+  GS_CHECK(partitions_per_dc > 0);
+  // Enumerate worker nodes round-robin across datacenters.
+  std::vector<NodeIndex> nodes;
+  for (int k = 0; k < partitions_per_dc; ++k) {
+    for (DcIndex dc = 0; dc < topo_.num_datacenters(); ++dc) {
+      const auto& in_dc = topo_.nodes_in(dc);
+      int seen = 0;
+      for (NodeIndex n : in_dc) {
+        if (!topo_.node(n).worker) continue;
+        if (seen++ == k % static_cast<int>(in_dc.size())) {
+          nodes.push_back(n);
+          break;
+        }
+      }
+    }
+  }
+  GS_CHECK(!nodes.empty());
+  const std::size_t per =
+      (records.size() + nodes.size() - 1) / nodes.size();
+  std::vector<SourceRdd::Partition> partitions;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<Record> chunk;
+    const std::size_t begin = i * per;
+    const std::size_t end = std::min(records.size(), begin + per);
+    if (begin < end) {
+      chunk.assign(records.begin() + begin, records.begin() + end);
+    }
+    SourceRdd::Partition part;
+    part.records = MakeRecords(std::move(chunk));
+    part.node = nodes[i];
+    part.bytes = SerializedSize(*part.records);
+    partitions.push_back(std::move(part));
+  }
+  return CreateSource(std::move(name), std::move(partitions));
+}
+
+TraceCollector& GeoCluster::EnableTracing() {
+  if (!trace_) {
+    trace_ = std::make_unique<TraceCollector>();
+    network_->SetFlowObserver([this](const FlowRecord& f) {
+      TraceSpan span;
+      span.kind = TraceSpan::Kind::kFlow;
+      span.category = FlowKindName(f.kind);
+      span.dc = topo_.dc_of(f.src);
+      span.peer_dc = topo_.dc_of(f.dst);
+      span.node = f.src;
+      span.bytes = f.bytes;
+      span.start = f.started;
+      span.end = f.finished;
+      std::ostringstream name;
+      name << FlowKindName(f.kind) << " " << topo_.node(f.src).name << " -> "
+           << topo_.node(f.dst).name;
+      span.name = name.str();
+      trace_->Add(std::move(span));
+    });
+  }
+  return *trace_;
+}
+
+NodeIndex GeoCluster::SourceLocation(const SourceRdd& rdd,
+                                     int partition) const {
+  const std::int64_t key =
+      (static_cast<std::int64_t>(rdd.id()) << 32) | partition;
+  auto it = relocations_.find(key);
+  if (it != relocations_.end()) return it->second;
+  return rdd.partition(partition).node;
+}
+
+RddPtr GeoCluster::MaybeRewrite(const RddPtr& final_rdd) {
+  if (config_.scheme != Scheme::kAggShuffle || !config_.auto_aggregation) {
+    return final_rdd;
+  }
+  // A memo shared across actions keeps rewritten nodes (and thus cache
+  // identities) stable from one job to the next.
+  auto it = rewrite_memo_.find(final_rdd.get());
+  if (it != rewrite_memo_.end()) return it->second;
+  RddPtr rewritten = InsertTransfersBeforeShuffles(
+      final_rdd, [this] { return NextRddId(); });
+  // Remember the mapping for every node by re-walking both graphs is
+  // unnecessary: memoize the root only; shared subtrees are preserved by
+  // the rewriter itself via structural sharing.
+  rewrite_memo_.emplace(final_rdd.get(), rewritten);
+  return rewritten;
+}
+
+DcIndex GeoCluster::ChooseCentralDc(const RddPtr& final_rdd) const {
+  std::vector<Bytes> per_dc(topo_.num_datacenters(), 0);
+  std::vector<const Rdd*> visited;
+  std::function<void(const Rdd&)> walk = [&](const Rdd& rdd) {
+    for (const Rdd* v : visited) {
+      if (v == &rdd) return;
+    }
+    visited.push_back(&rdd);
+    if (rdd.kind() == RddKind::kSource) {
+      const auto& src = static_cast<const SourceRdd&>(rdd);
+      for (int p = 0; p < src.num_partitions(); ++p) {
+        per_dc[topo_.dc_of(SourceLocation(src, p))] +=
+            src.partition(p).bytes;
+      }
+    }
+    for (const RddPtr& parent : rdd.parents()) walk(*parent);
+  };
+  walk(*final_rdd);
+  DcIndex best = 0;
+  for (DcIndex dc = 1; dc < topo_.num_datacenters(); ++dc) {
+    if (per_dc[dc] > per_dc[best]) best = dc;
+  }
+  return best;
+}
+
+JobResult GeoCluster::RunJob(const RddPtr& final_rdd, ActionKind action) {
+  RddPtr rdd = MaybeRewrite(final_rdd);
+  const int job_id = next_job_id_++;
+  GS_LOG_INFO << "job " << job_id << " (" << SchemeName(config_.scheme)
+              << ") starting at t=" << sim_.Now();
+  JobRunner runner(*this, rdd, action,
+                   root_rng_.Split(static_cast<std::uint64_t>(job_id) + 17));
+  JobResult result = runner.Run();
+  last_metrics_ = result.metrics;
+  GS_LOG_INFO << "job " << job_id << " finished in "
+              << result.metrics.jct() << "s, cross-DC "
+              << ToMiB(result.metrics.cross_dc_bytes) << " MiB";
+  return result;
+}
+
+}  // namespace gs

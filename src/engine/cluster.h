@@ -1,0 +1,135 @@
+// GeoCluster: the public entry point of the library.
+//
+// Owns the simulated cluster (event loop, network, storage, scheduler) and
+// executes jobs under one of the three schemes. Datasets are created via
+// CreateSource()/Parallelize() and transformed through the Dataset facade
+// (engine/dataset.h); actions on a Dataset run a job to completion on the
+// simulated cluster and return results plus metrics.
+//
+// Typical use:
+//
+//   gs::Topology topo = gs::Ec2SixRegionTopology(scale);
+//   gs::RunConfig cfg;
+//   cfg.scheme = gs::Scheme::kAggShuffle;
+//   cfg.cost = gs::CostModel{}.Scaled(scale);
+//   gs::GeoCluster cluster(topo, cfg);
+//   gs::Dataset text = cluster.CreateSource("text", partitions);
+//   auto counts = text.FlatMap(tokenize).ReduceByKey(gs::SumInt64(), 8);
+//   std::vector<gs::Record> result = counts.Collect();
+//   gs::JobMetrics m = cluster.last_job_metrics();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/metrics.h"
+#include "engine/run_config.h"
+#include "engine/trace.h"
+#include "exec/disk.h"
+#include "netsim/network.h"
+#include "netsim/topology.h"
+#include "rdd/rdd.h"
+#include "sched/task_scheduler.h"
+#include "simcore/simulator.h"
+#include "storage/block_manager.h"
+#include "storage/map_output_tracker.h"
+
+namespace gs {
+
+class Dataset;
+
+// How a job's result stage delivers its output.
+enum class ActionKind {
+  kCollect,  // full partition contents flow to the driver
+  kSave,     // output persists on the workers; only a small ack is sent
+};
+
+struct JobResult {
+  std::vector<Record> records;  // empty for kSave
+  JobMetrics metrics;
+};
+
+class GeoCluster {
+ public:
+  GeoCluster(Topology topo, RunConfig config);
+  ~GeoCluster();
+
+  GeoCluster(const GeoCluster&) = delete;
+  GeoCluster& operator=(const GeoCluster&) = delete;
+
+  // Creates an input dataset from explicitly placed partitions.
+  Dataset CreateSource(std::string name,
+                       std::vector<SourceRdd::Partition> partitions);
+
+  // Creates an input dataset by spreading `records` across the workers of
+  // all datacenters round-robin, `partitions_per_dc` partitions each.
+  Dataset Parallelize(std::string name, const std::vector<Record>& records,
+                      int partitions_per_dc = 1);
+
+  // Runs a job computing `final`; called by Dataset actions.
+  JobResult RunJob(const RddPtr& final_rdd, ActionKind action);
+
+  const JobMetrics& last_job_metrics() const { return last_metrics_; }
+  const Topology& topology() const { return topo_; }
+  const RunConfig& config() const { return config_; }
+  Simulator& simulator() { return sim_; }
+  Network& network() { return *network_; }
+  BlockManager& blocks() { return *blocks_; }
+  MapOutputTracker& tracker() { return tracker_; }
+  TaskScheduler& scheduler() { return *scheduler_; }
+  DiskModel& disk() { return *disk_; }
+  NodeIndex driver_node() const { return driver_node_; }
+
+  // Id allocators shared by the Dataset facade and graph rewrites.
+  RddId NextRddId() { return next_rdd_id_++; }
+  ShuffleId NextShuffleId() { return next_shuffle_id_++; }
+
+  // Starts recording task/stage/flow spans (Sec. IV-E's WebUI-style
+  // visualization); returns the collector to read after the run. Tracing
+  // stays on for the lifetime of the cluster.
+  TraceCollector& EnableTracing();
+  TraceCollector* trace() { return trace_.get(); }
+
+  // Current (possibly relocated) node of a source partition.
+  NodeIndex SourceLocation(const SourceRdd& rdd, int partition) const;
+
+ private:
+  friend class JobRunner;
+
+  // AggShuffle: memoized graph rewrite inserting transferTo before each
+  // shuffle. The memo persists across actions so cached datasets keep their
+  // identity between jobs.
+  RddPtr MaybeRewrite(const RddPtr& final_rdd);
+
+  // Centralized: move every source partition in the graph into the central
+  // datacenter (once), measuring the flows as part of the job.
+  void CentralizeInputs(const RddPtr& final_rdd);
+
+  Topology topo_;
+  RunConfig config_;
+  Simulator sim_;
+  Rng root_rng_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<BlockManager> blocks_;
+  MapOutputTracker tracker_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<DiskModel> disk_;
+  NodeIndex driver_node_ = 0;
+
+  RddId next_rdd_id_ = 0;
+  ShuffleId next_shuffle_id_ = 0;
+  int next_job_id_ = 0;
+
+  JobMetrics last_metrics_;
+  std::unique_ptr<TraceCollector> trace_;
+  std::unordered_map<const Rdd*, RddPtr> rewrite_memo_;
+  // (source rdd id, partition) -> relocated node (Centralized scheme).
+  std::unordered_map<std::int64_t, NodeIndex> relocations_;
+
+  DcIndex ChooseCentralDc(const RddPtr& final_rdd) const;
+};
+
+}  // namespace gs

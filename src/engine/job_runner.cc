@@ -1,0 +1,949 @@
+#include "engine/job_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "dag/dag_scheduler.h"
+#include "data/compression.h"
+#include "exec/evaluator.h"
+
+namespace gs {
+namespace {
+
+// Serialized size of a save-acknowledgement sent to the driver.
+constexpr Bytes kSaveAckBytes = 16;
+// Hand-off latency for a transfer whose producer and receiver share a node.
+constexpr SimTime kLocalHandoff = Millis(1);
+// Fraction of a transfer producer's compute after which its push departs
+// (intra-task pipelining, Sec. IV-B).
+constexpr double kEarlyPushFraction = 0.3;
+
+}  // namespace
+
+JobRunner::JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
+                     Rng rng)
+    : cluster_(cluster),
+      sim_(cluster.simulator()),
+      topo_(cluster.topology()),
+      config_(cluster.config()),
+      final_rdd_(std::move(final_rdd)),
+      action_(action),
+      rng_(std::move(rng)) {}
+
+JobResult JobRunner::Run() {
+  metrics_.started = sim_.Now();
+  const TrafficMeter& meter = cluster_.network().meter();
+  meter_before_total_ = meter.cross_dc_total();
+  meter_before_collect_ = meter.cross_dc_of_kind(FlowKind::kCollect);
+  meter_before_fetch_ = meter.cross_dc_of_kind(FlowKind::kShuffleFetch);
+  meter_before_push_ = meter.cross_dc_of_kind(FlowKind::kShufflePush);
+  meter_before_centralize_ = meter.cross_dc_of_kind(FlowKind::kCentralize);
+
+  std::vector<Stage> stages = BuildStages(final_rdd_);
+  for (Stage& s : stages) {
+    auto run = std::make_unique<StageRun>();
+    run->stage = std::move(s);
+    run->metrics.id = run->stage.id;
+    run->metrics.name = run->stage.output_rdd->name();
+    run->metrics.num_tasks = run->stage.num_tasks();
+    stage_runs_.push_back(std::move(run));
+  }
+  result_stage_ = static_cast<StageId>(stage_runs_.size()) - 1;
+  GS_CHECK(stage_run(result_stage_).stage.output ==
+           StageOutputKind::kResult);
+  results_.resize(stage_run(result_stage_).stage.num_tasks());
+
+  PruneCachedStages();
+  if (config_.scheme == Scheme::kCentralized) {
+    CentralizeInputsThenStart();
+  } else {
+    SubmitReadyStages();
+  }
+  sim_.Run();
+  GS_CHECK_MSG(job_done_, "simulation drained before the job completed — "
+                          "a task or flow was lost");
+
+  for (const auto& sr : stage_runs_) {
+    if (!sr->skipped) metrics_.stages.push_back(sr->metrics);
+  }
+
+  const Bytes collect_delta =
+      meter.cross_dc_of_kind(FlowKind::kCollect) - meter_before_collect_;
+  metrics_.cross_dc_bytes =
+      (meter.cross_dc_total() - meter_before_total_) - collect_delta;
+  metrics_.cross_dc_fetch_bytes =
+      meter.cross_dc_of_kind(FlowKind::kShuffleFetch) - meter_before_fetch_;
+  metrics_.cross_dc_push_bytes =
+      meter.cross_dc_of_kind(FlowKind::kShufflePush) - meter_before_push_;
+  metrics_.cross_dc_centralize_bytes =
+      meter.cross_dc_of_kind(FlowKind::kCentralize) -
+      meter_before_centralize_;
+
+  JobResult result;
+  result.metrics = metrics_;
+  for (auto& partition_records : results_) {
+    result.records.insert(result.records.end(),
+                          std::make_move_iterator(partition_records.begin()),
+                          std::make_move_iterator(partition_records.end()));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Stage orchestration
+// ---------------------------------------------------------------------------
+
+void JobRunner::PruneCachedStages() {
+  // Children have higher stage ids than their parents, so a reverse pass
+  // visits consumers before producers. Start with everything potentially
+  // skippable except the result stage; un-skip what a live consumer needs.
+  std::vector<bool> needed(stage_runs_.size(), false);
+  needed[result_stage_] = true;
+  for (StageId id = static_cast<StageId>(stage_runs_.size()) - 1; id >= 0;
+       --id) {
+    StageRun& sr = stage_run(id);
+    if (!needed[id]) continue;
+
+    // Which boundaries do this stage's tasks actually reach?
+    bool reaches_transfer = false;
+    std::vector<ShuffleId> reached_shuffles;
+    for (int p = 0; p < sr.stage.num_tasks(); ++p) {
+      EvalCut cut =
+          FindEvalCut(*sr.stage.output_rdd, p, cluster_.blocks());
+      if (cut.is_cached_cut) continue;
+      if (cut.rdd->kind() == RddKind::kTransferred) {
+        reaches_transfer = true;
+      } else if (cut.rdd->kind() == RddKind::kShuffled) {
+        reached_shuffles.push_back(
+            static_cast<const ShuffledRdd*>(cut.rdd)->shuffle().id);
+      }
+    }
+    for (StageId parent : sr.stage.barrier_parents) {
+      const Stage& ps = stage_run(parent).stage;
+      GS_CHECK(ps.consumer_shuffle != nullptr);
+      const ShuffleId sid = ps.consumer_shuffle->shuffle().id;
+      if (std::find(reached_shuffles.begin(), reached_shuffles.end(), sid) !=
+          reached_shuffles.end()) {
+        needed[parent] = true;
+      }
+    }
+    if (sr.stage.starts_at_transfer) {
+      if (reaches_transfer) {
+        needed[sr.stage.transfer_producer] = true;
+      } else {
+        sr.standalone = true;  // fully cache-covered: run without pairing
+      }
+    }
+  }
+  for (StageId id = 0; id < static_cast<StageId>(stage_runs_.size()); ++id) {
+    if (!needed[id]) {
+      StageRun& sr = stage_run(id);
+      sr.skipped = true;
+      sr.submitted = true;
+      sr.done = true;
+    }
+  }
+}
+
+bool JobRunner::StageIsReady(const StageRun& sr) const {
+  if (sr.submitted || sr.done) return false;
+  // Receiver stages are co-submitted with their producer, not by
+  // readiness — unless cache coverage made them standalone.
+  if (sr.stage.starts_at_transfer && !sr.standalone) return false;
+  for (StageId parent : sr.stage.barrier_parents) {
+    if (!stage_runs_[parent]->done) return false;
+  }
+  return true;
+}
+
+void JobRunner::SubmitReadyStages() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& sr : stage_runs_) {
+      if (StageIsReady(*sr)) {
+        SubmitStage(sr->stage.id);
+        progress = true;
+      }
+    }
+  }
+}
+
+void JobRunner::SubmitStage(StageId id) {
+  StageRun& sr = stage_run(id);
+  GS_CHECK(!sr.submitted);
+  sr.submitted = true;
+  sr.metrics.submitted = sim_.Now();
+
+  // Pair a transfer producer with its receiver stage: decide the aggregator
+  // datacenter now (Sec. IV-D: the datacenter storing the largest amount of
+  // map input, known before the map runs), then co-submit the receiver so
+  // pushes pipeline with the producing tasks. Note: aggregator_dc on a
+  // StageRun always means "the datacenter this stage's *receiver* tasks
+  // land in"; a stage that both receives one transfer and produces the
+  // next (explicit transferTo -> map -> automatic transferTo) keeps its
+  // own receiver datacenter and assigns the new target to its consumer.
+  std::vector<DcIndex> transfer_targets;
+  if (sr.stage.output == StageOutputKind::kTransferProduce &&
+      sr.stage.transfer_consumer >= 0) {
+    if (sr.stage.consumer_transfer->target_dc() != kNoDc) {
+      transfer_targets = {sr.stage.consumer_transfer->target_dc()};
+    } else {
+      transfer_targets = ChooseAggregatorDcs(sr);
+    }
+    GS_LOG_INFO << "transferTo aggregator(s) for stage " << id << ": "
+                << topo_.datacenter(transfer_targets.front()).name
+                << (transfer_targets.size() > 1 ? " (+more)" : "");
+  }
+
+  // Create task states immediately; scheduling happens after the driver's
+  // submit delay.
+  sr.tasks.clear();
+  sr.partition_done.assign(sr.stage.num_tasks(), false);
+  for (int p = 0; p < sr.stage.num_tasks(); ++p) {
+    auto task = std::make_unique<TaskRun>();
+    task->stage = id;
+    task->partition = p;
+    sr.tasks.push_back(std::move(task));
+  }
+
+  sim_.Schedule(config_.cost.stage_submit_delay, [this, id] {
+    LaunchTasks(id);
+  });
+
+  if (sr.stage.transfer_consumer >= 0) {
+    StageRun& consumer = stage_run(sr.stage.transfer_consumer);
+    // The receiver stage must not also wait on unfinished shuffles; the
+    // Dataset facade cannot build such graphs.
+    for (StageId parent : consumer.stage.barrier_parents) {
+      GS_CHECK_MSG(stage_runs_[parent]->done,
+                   "receiver stage has unfinished shuffle parents");
+    }
+    GS_CHECK(!transfer_targets.empty());
+    consumer.aggregator_dcs = transfer_targets;
+    SubmitStage(sr.stage.transfer_consumer);
+  }
+}
+
+void JobRunner::LaunchTasks(StageId id) {
+  StageRun& sr = stage_run(id);
+  if (sr.stage.starts_at_transfer && !sr.standalone) {
+    // Receiver tasks are submitted to the scheduler one-by-one as their
+    // producer task is assigned (their preferences depend on the producer's
+    // node: co-located partitions make the receiver a no-op, Sec. IV-C2).
+    return;
+  }
+  for (auto& task : sr.tasks) SubmitTask(*task);
+}
+
+void JobRunner::OnStageDone(StageId id) {
+  StageRun& sr = stage_run(id);
+  GS_CHECK(!sr.done);
+  sr.done = true;
+  sr.metrics.completed = sim_.Now();
+  if (TraceCollector* trace = cluster_.trace()) {
+    TraceSpan span;
+    span.kind = TraceSpan::Kind::kStage;
+    span.category = "stage";
+    span.name = "stage" + std::to_string(id) + " (" + sr.metrics.name + ")";
+    span.dc = topo_.dc_of(cluster_.driver_node());
+    span.start = sr.metrics.submitted;
+    span.end = sim_.Now();
+    trace->Add(std::move(span));
+  }
+  if (id == result_stage_) {
+    job_done_ = true;
+    metrics_.completed = sim_.Now();
+    return;
+  }
+  SubmitReadyStages();
+}
+
+// ---------------------------------------------------------------------------
+// Task lifecycle
+// ---------------------------------------------------------------------------
+
+std::vector<NodeIndex> JobRunner::PreferredNodes(const StageRun& sr,
+                                                 int partition) {
+  EvalCut cut = FindEvalCut(*sr.stage.output_rdd, partition,
+                            cluster_.blocks());
+  if (cut.is_cached_cut) {
+    return cluster_.blocks().Locations(
+        BlockId::Cached(cut.rdd->id(), cut.partition));
+  }
+  switch (cut.rdd->kind()) {
+    case RddKind::kSource: {
+      const auto& src = static_cast<const SourceRdd&>(*cut.rdd);
+      return {cluster_.SourceLocation(src, cut.partition)};
+    }
+    case RddKind::kShuffled: {
+      const auto& s = static_cast<const ShuffledRdd&>(*cut.rdd);
+      return cluster_.tracker().PreferredShardLocations(
+          s.shuffle().id, cut.partition, config_.reducer_pref_fraction);
+    }
+    default:
+      return {};
+  }
+}
+
+void JobRunner::SubmitTask(TaskRun& task) {
+  StageRun& sr = stage_run(task.stage);
+  TaskRequest request;
+  request.id = static_cast<TaskId>(task.stage) * 100000 + task.partition;
+  if (sr.stage.starts_at_transfer && !sr.standalone) {
+    // Receiver write phase: the pushed data already landed on task.node.
+    GS_CHECK(task.node != kNoNode);
+    request.preferred = {task.node};
+    request.policy = PlacementPolicy::kNodeOnly;
+  } else {
+    request.preferred = PreferredNodes(sr, task.partition);
+    if (config_.scheme == Scheme::kCentralized &&
+        !request.preferred.empty()) {
+      // "After all data is centralized within a cluster, Spark works
+      // within a datacenter" (Sec. V-A): tasks never spill back out.
+      request.policy = PlacementPolicy::kDcOnly;
+    }
+  }
+  TaskRun* task_ptr = &task;
+  request.on_assigned = [this, task_ptr](NodeIndex node, LocalityLevel) {
+    OnAssigned(*task_ptr, node);
+  };
+  cluster_.scheduler().Submit(std::move(request));
+}
+
+void JobRunner::OnAssigned(TaskRun& task, NodeIndex node) {
+  StageRun& sr = stage_run(task.stage);
+  task.node = node;
+  task.assigned = true;
+  task.assigned_at = sim_.Now();
+  if (sr.metrics.first_task_started == 0) {
+    sr.metrics.first_task_started = sim_.Now();
+  }
+
+  // A transfer producer's assignment fixes the pairing for its receiver:
+  // decide the receiver's destination node now, so the push can start the
+  // instant the producer finishes.
+  if (sr.stage.output == StageOutputKind::kTransferProduce &&
+      sr.stage.transfer_consumer >= 0) {
+    PlaceReceiver(sr, task);
+  }
+
+  if (sr.stage.starts_at_transfer && !sr.standalone) {
+    // Receiver write phase: the slot was requested after the data landed.
+    ExecuteReceiver(task);
+    return;
+  }
+  TaskRun* task_ptr = &task;
+  sim_.Schedule(config_.cost.task_launch_overhead,
+                [this, task_ptr] { StartGather(*task_ptr); });
+}
+
+void JobRunner::StartGather(TaskRun& task) {
+  StageRun& sr = stage_run(task.stage);
+  EvalCut cut = FindEvalCut(*sr.stage.output_rdd, task.partition,
+                            cluster_.blocks());
+  task.cut_rdd = cut.rdd;
+  task.cut_partition = cut.partition;
+  task.gathered.clear();
+  task.in_bytes = 0;
+  task.gather_is_processed = false;
+  task.pending_gathers = 1;  // released at the end of this function
+  TaskRun* t = &task;
+
+  auto add_disk_read = [&](Bytes bytes) {
+    ++task.pending_gathers;
+    cluster_.disk().Read(task.node, bytes,
+                         [this, t] { GatherArrived(*t); });
+  };
+  auto add_flow = [&](NodeIndex from, Bytes bytes, FlowKind kind) {
+    ++task.pending_gathers;
+    cluster_.network().StartFlow(from, task.node, bytes, kind,
+                                 [this, t] { GatherArrived(*t); });
+  };
+
+  if (cut.is_cached_cut) {
+    const BlockId id = BlockId::Cached(cut.rdd->id(), cut.partition);
+    std::vector<NodeIndex> locs = cluster_.blocks().Locations(id);
+    GS_CHECK(!locs.empty());
+    NodeIndex from = locs.front();
+    for (NodeIndex loc : locs) {
+      if (loc == task.node) from = loc;
+    }
+    std::optional<Block> block = cluster_.blocks().Get(from, id);
+    GS_CHECK(block.has_value());
+    task.gathered = *block->records;
+    task.in_bytes = block->bytes;
+    task.gather_is_processed = true;
+    if (from == task.node) {
+      add_disk_read(0);  // in-memory cache hit
+    } else {
+      add_flow(from, block->bytes, FlowKind::kOther);
+    }
+  } else if (cut.rdd->kind() == RddKind::kSource) {
+    const auto& src = static_cast<const SourceRdd&>(*cut.rdd);
+    const SourceRdd::Partition& part = src.partition(cut.partition);
+    NodeIndex loc = cluster_.SourceLocation(src, cut.partition);
+    task.gathered = *part.records;
+    task.in_bytes = part.bytes;
+    if (loc == task.node) {
+      add_disk_read(part.bytes);
+    } else {
+      add_flow(loc, part.bytes, FlowKind::kOther);
+    }
+  } else if (cut.rdd->kind() == RddKind::kShuffled) {
+    // Fetch-based shuffle read: one flow per remote source node, one disk
+    // read covering all local shards (Sec. II-A).
+    const auto& s = static_cast<const ShuffledRdd&>(*cut.rdd);
+    const ShuffleId sid = s.shuffle().id;
+    const int shard = cut.partition;
+    const int num_maps = cluster_.tracker().num_map_partitions(sid);
+    std::unordered_map<NodeIndex, Bytes> remote_bytes;
+    Bytes local_bytes = 0;
+    for (int m = 0; m < num_maps; ++m) {
+      const MapOutputLocation& out = cluster_.tracker().Output(sid, m, shard);
+      GS_CHECK_MSG(out.node != kNoNode, "shuffle " << sid << " map output "
+                                                   << m << " missing");
+      std::optional<Block> block = cluster_.blocks().Get(
+          out.node, BlockId::Shuffle(sid, m, shard));
+      GS_CHECK(block.has_value());
+      task.gathered.insert(task.gathered.end(), block->records->begin(),
+                           block->records->end());
+      task.in_bytes += out.bytes;
+      if (out.node == task.node) {
+        local_bytes += out.bytes;
+      } else {
+        remote_bytes[out.node] += out.bytes;
+      }
+    }
+    add_disk_read(local_bytes);
+    // Deterministic flow start order.
+    std::vector<std::pair<NodeIndex, Bytes>> sources(remote_bytes.begin(),
+                                                     remote_bytes.end());
+    std::sort(sources.begin(), sources.end());
+    for (const auto& [from, bytes] : sources) {
+      add_flow(from, bytes, FlowKind::kShuffleFetch);
+    }
+  } else {
+    GS_CHECK_MSG(false, "unexpected gather boundary: "
+                            << cut.rdd->name());
+  }
+
+  GatherArrived(task);  // release the guard
+}
+
+void JobRunner::GatherArrived(TaskRun& task) {
+  GS_CHECK(task.pending_gathers > 0);
+  if (--task.pending_gathers == 0) OnGatherDone(task);
+}
+
+void JobRunner::OnGatherDone(TaskRun& task) {
+  StageRun& sr = stage_run(task.stage);
+
+  EvalStart start;
+  start.rdd = task.cut_rdd;
+  start.partition = task.cut_partition;
+  start.records = std::move(task.gathered);
+  start.already_processed = task.gather_is_processed;
+  task.gathered.clear();
+  const std::size_t in_records = start.records.size();
+
+  EvalResult eval = Evaluate(*sr.stage.output_rdd, task.partition,
+                             std::move(start));
+  std::vector<Record> records = std::move(eval.records);
+  if (sr.stage.pre_output_combine && !config_.disable_map_side_combine) {
+    records = CombineByKey(records, sr.stage.pre_output_combine);
+  }
+  const Bytes out_bytes = SerializedSize(records);
+  SimTime cpu = config_.cost.CpuTime(task.in_bytes, out_bytes) +
+                config_.cost.record_cpu *
+                    static_cast<double>(in_records + records.size());
+  cpu *= StragglerFactor();
+
+  // Store cache fills on this node once the compute finishes.
+  TaskRun* t = &task;
+
+  // Failure injection (Sec. V, Fig. 2): reduce tasks may fail partway
+  // through their first attempt.
+  const bool may_fail = IsReducerStage(sr) && task.attempt == 0 &&
+                        config_.reduce_failure_prob > 0;
+  if (may_fail && rng_.Bernoulli(config_.reduce_failure_prob)) {
+    sim_.Schedule(cpu * config_.failure_point,
+                  [this, t] { OnTaskFailed(*t); });
+    return;
+  }
+
+  // Intra-task pipelining (Sec. IV-B): a transfer producer starts pushing
+  // "as soon as there is a fraction of data available, without waiting
+  // until the entire output dataset is ready". The push flow (sized for
+  // the full output) departs once an early fraction of the compute is
+  // done; the task itself completes at full compute time.
+  if (sr.stage.output == StageOutputKind::kTransferProduce &&
+      sr.stage.transfer_consumer >= 0) {
+    StageRun* producer_sr = &sr;
+    sim_.Schedule(cpu * kEarlyPushFraction,
+                  [this, t, producer_sr, records]() mutable {
+                    NotifyReceiver(*producer_sr, *t, std::move(records));
+                  });
+    sim_.Schedule(cpu, [this, t, fills = std::move(eval.cache_fills)] {
+      for (auto& fill : fills) {
+        cluster_.blocks().Put(t->node,
+                              BlockId::Cached(fill.rdd, fill.partition),
+                              fill.records);
+      }
+      FinishTask(*t);
+    });
+    return;
+  }
+
+  auto commit = [this, t, records = std::move(records),
+                 fills = std::move(eval.cache_fills)]() mutable {
+    for (auto& fill : fills) {
+      cluster_.blocks().Put(t->node, BlockId::Cached(fill.rdd, fill.partition),
+                            fill.records);
+    }
+    OnComputeDone(*t, std::move(records));
+  };
+  sim_.Schedule(cpu, std::move(commit));
+}
+
+void JobRunner::OnTaskFailed(TaskRun& task) {
+  StageRun& sr = stage_run(task.stage);
+  ++sr.metrics.task_failures;
+  ++metrics_.task_failures;
+  GS_LOG_INFO << "task " << sr.stage.id << "/" << task.partition
+              << " failed on " << topo_.node(task.node).name << ", retrying";
+  cluster_.scheduler().ReleaseSlot(task.node);
+  ++task.attempt;
+  task.assigned = false;
+  task.node = kNoNode;
+  SubmitTask(task);
+}
+
+void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
+  StageRun& sr = stage_run(task.stage);
+  TaskRun* t = &task;
+
+  switch (sr.stage.output) {
+    case StageOutputKind::kResult: {
+      Bytes bytes;
+      if (action_ == ActionKind::kCollect) {
+        bytes = SerializedSize(records);
+      } else {
+        // Save: output persists on the workers via HDFS (replication
+        // factor 3: one local write plus two in-datacenter copies); the
+        // driver gets an ack with the partition's record count.
+        const Bytes out_bytes = SerializedSize(records);
+        records = {Record{std::to_string(task.partition),
+                          static_cast<std::int64_t>(records.size())}};
+        bytes = kSaveAckBytes;
+        cluster_.disk().Write(task.node, 3 * out_bytes, [] {});
+      }
+      results_[task.partition] = std::move(records);
+      cluster_.network().StartFlow(task.node, cluster_.driver_node(), bytes,
+                                   FlowKind::kCollect,
+                                   [this, t] { FinishTask(*t); });
+      break;
+    }
+    case StageOutputKind::kShuffleWrite: {
+      const ShuffledRdd& consumer = *sr.stage.consumer_shuffle;
+      const ShuffleInfo& info = consumer.shuffle();
+      const int num_shards = info.partitioner->num_shards();
+      const int num_maps = sr.stage.output_rdd->num_partitions();
+      cluster_.tracker().RegisterShuffle(info.id, num_maps, num_shards);
+
+      std::vector<std::vector<Record>> shards(num_shards);
+      for (Record& r : records) {
+        shards[info.partitioner->ShardOf(r.key)].push_back(std::move(r));
+      }
+      // Shuffle files are compressed on disk and on the wire
+      // (spark.shuffle.compress).
+      std::vector<Bytes> shard_bytes(num_shards, 0);
+      Bytes total = 0;
+      for (int k = 0; k < num_shards; ++k) {
+        shard_bytes[k] = CompressedSize(shards[k]);
+        total += shard_bytes[k];
+      }
+      const int map_partition = task.partition;
+      cluster_.disk().Write(
+          task.node, total,
+          [this, t, map_partition, sid = info.id,
+           shards = std::move(shards), shard_bytes]() mutable {
+            for (int k = 0; k < static_cast<int>(shards.size()); ++k) {
+              cluster_.blocks().PutWithSize(
+                  t->node, BlockId::Shuffle(sid, map_partition, k),
+                  MakeRecords(std::move(shards[k])), shard_bytes[k]);
+            }
+            cluster_.tracker().RegisterMapOutput(sid, map_partition, t->node,
+                                                 shard_bytes);
+            FinishTask(*t);
+          });
+      break;
+    }
+    case StageOutputKind::kTransferProduce: {
+      // Hand the partition to the paired receiver; the push flow proceeds
+      // after this task's slot is released (pipelining: the WAN transfer
+      // overlaps later map tasks, Fig. 1b). No disk write on the producer
+      // (Sec. IV-B, "unnecessary disk I/O is avoided").
+      NotifyReceiver(sr, task, std::move(records));
+      FinishTask(task);
+      break;
+    }
+  }
+}
+
+void JobRunner::FinishTask(TaskRun& task) {
+  StageRun& sr = stage_run(task.stage);
+  GS_CHECK(!task.done);
+  task.done = true;
+  cluster_.scheduler().ReleaseSlot(task.node);
+  // Losing attempt of a speculated partition: its twin already finished.
+  if (sr.partition_done[task.partition]) return;
+  sr.partition_done[task.partition] = true;
+  sr.completed_durations.push_back(sim_.Now() - task.assigned_at);
+  if (TraceCollector* trace = cluster_.trace()) {
+    TraceSpan span;
+    span.kind = TraceSpan::Kind::kTask;
+    span.category = sr.stage.starts_at_transfer && !sr.standalone
+                        ? "receiver"
+                    : IsReducerStage(sr)                             ? "reduce"
+                    : sr.stage.output == StageOutputKind::kResult    ? "result"
+                                                                     : "map";
+    span.name = "stage" + std::to_string(sr.stage.id) + "/part" +
+                std::to_string(task.partition) +
+                (task.speculative ? "#spec" : task.attempt > 0 ? "#retry" : "");
+    span.dc = topo_.dc_of(task.node);
+    span.node = task.node;
+    span.start = task.assigned_at;
+    span.end = sim_.Now();
+    trace->Add(std::move(span));
+  }
+  if (++sr.tasks_done == static_cast<int>(sr.tasks.size())) {
+    OnStageDone(sr.stage.id);
+  } else {
+    MaybeSpeculate(sr);
+  }
+}
+
+void JobRunner::MaybeSpeculate(StageRun& sr) {
+  if (!config_.speculation || sr.done) return;
+  // Transfer pairs (producer or receiver) keep their one-to-one pairing;
+  // only plain map/reduce/result stages speculate, like Spark excludes
+  // custom-committed outputs.
+  if (sr.stage.starts_at_transfer ||
+      sr.stage.output == StageOutputKind::kTransferProduce) {
+    return;
+  }
+  const int total = static_cast<int>(sr.tasks.size());
+  if (sr.tasks_done < config_.speculation_quantile * total) return;
+
+  std::vector<double> durations = sr.completed_durations;
+  std::sort(durations.begin(), durations.end());
+  const double median = durations[durations.size() / 2];
+  const double threshold =
+      std::max(config_.speculation_multiplier * median, Millis(100));
+
+  for (auto& task : sr.tasks) {
+    if (task->done || !task->assigned || task->has_backup ||
+        sr.partition_done[task->partition]) {
+      continue;
+    }
+    if (sim_.Now() - task->assigned_at <= threshold) continue;
+    task->has_backup = true;
+    auto backup = std::make_unique<TaskRun>();
+    backup->stage = sr.stage.id;
+    backup->partition = task->partition;
+    backup->speculative = true;
+    backup->attempt = 1;  // backups skip first-attempt failure injection
+    TaskRun* backup_ptr = backup.get();
+    sr.backups.push_back(std::move(backup));
+    GS_LOG_INFO << "speculating stage " << sr.stage.id << " partition "
+                << task->partition;
+    SubmitTask(*backup_ptr);
+  }
+
+  // Stragglers are also detected between completions: poll while any
+  // un-backed-up task is still running.
+  bool pending = false;
+  for (const auto& task : sr.tasks) {
+    if (!task->done && !task->has_backup &&
+        !sr.partition_done[task->partition]) {
+      pending = true;
+      break;
+    }
+  }
+  if (pending && !sr.spec_check_scheduled) {
+    sr.spec_check_scheduled = true;
+    StageRun* srp = &sr;
+    sim_.Schedule(std::max(Millis(100), median / 2), [this, srp] {
+      srp->spec_check_scheduled = false;
+      MaybeSpeculate(*srp);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transfer (push) path
+// ---------------------------------------------------------------------------
+
+void JobRunner::PlaceReceiver(StageRun& producer_sr, TaskRun& producer_task) {
+  StageRun& consumer = stage_run(producer_sr.stage.transfer_consumer);
+  TaskRun& receiver = *consumer.tasks[producer_task.partition];
+  if (receiver.node != kNoNode) return;  // producer retry: keep placement
+  receiver.producer_node = producer_task.node;
+  const std::vector<DcIndex>& targets = consumer.aggregator_dcs;
+  GS_CHECK(!targets.empty());
+  const DcIndex producer_dc = topo_.dc_of(producer_task.node);
+  if (std::find(targets.begin(), targets.end(), producer_dc) !=
+      targets.end()) {
+    // Already in an aggregator datacenter: the transferTo task is
+    // transparent (Sec. IV-C2) — no data moves.
+    receiver.node = producer_task.node;
+    return;
+  }
+  // Mimic the Task Scheduler's host-level pick within the aggregator
+  // subset: spread receivers round-robin over datacenters, then workers.
+  const int cursor = consumer.rr_next++;
+  const DcIndex dc = targets[cursor % targets.size()];
+  std::vector<NodeIndex> workers;
+  for (NodeIndex n : topo_.nodes_in(dc)) {
+    if (topo_.node(n).worker) workers.push_back(n);
+  }
+  GS_CHECK(!workers.empty());
+  receiver.node =
+      workers[(cursor / targets.size()) % workers.size()];
+}
+
+void JobRunner::NotifyReceiver(StageRun& producer_sr, TaskRun& producer_task,
+                               std::vector<Record> records) {
+  GS_CHECK(producer_sr.stage.transfer_consumer >= 0);
+  StageRun& consumer = stage_run(producer_sr.stage.transfer_consumer);
+  TaskRun& receiver = *consumer.tasks[producer_task.partition];
+  GS_CHECK(!receiver.producer_done);
+  // Pushed data is serialized and compressed like any shuffle stream.
+  receiver.inbox_bytes = CompressedSize(records);
+  receiver.inbox = MakeRecords(std::move(records));
+  receiver.producer_done = true;
+  receiver.producer_node = producer_task.node;
+  TryDeliver(receiver);
+}
+
+void JobRunner::TryDeliver(TaskRun& receiver) {
+  if (receiver.node == kNoNode || !receiver.producer_done ||
+      receiver.receiver_started) {
+    return;
+  }
+  receiver.receiver_started = true;
+  TaskRun* r = &receiver;
+  if (receiver.producer_node == receiver.node) {
+    // Co-located: the transferTo task is transparent (Sec. IV-C2).
+    sim_.Schedule(kLocalHandoff, [this, r] { ReceiverGotData(*r); });
+  } else {
+    cluster_.network().StartFlow(receiver.producer_node, receiver.node,
+                                 receiver.inbox_bytes, FlowKind::kShufflePush,
+                                 [this, r] { ReceiverGotData(*r); });
+  }
+}
+
+void JobRunner::ReceiverGotData(TaskRun& receiver) {
+  // The pushed bytes are on receiver.node; acquire a slot there for the
+  // receive/write work (receivers consume aggregator-datacenter compute,
+  // Sec. IV-E).
+  SubmitTask(receiver);
+}
+
+void JobRunner::ExecuteReceiver(TaskRun& receiver) {
+  StageRun& sr = stage_run(receiver.stage);
+  // Evaluate the receiver's narrow chain starting at the TransferredRdd.
+  LeafRef leaf = ResolveLeaf(*sr.stage.output_rdd, receiver.partition);
+  GS_CHECK(leaf.leaf->kind() == RddKind::kTransferred);
+
+  EvalStart start;
+  start.rdd = leaf.leaf;
+  start.partition = leaf.partition;
+  start.records = *receiver.inbox;
+  receiver.inbox.reset();
+  receiver.in_bytes = receiver.inbox_bytes;
+
+  EvalResult eval = Evaluate(*sr.stage.output_rdd, receiver.partition,
+                             std::move(start));
+  std::vector<Record> records = std::move(eval.records);
+  if (sr.stage.pre_output_combine) {
+    records = CombineByKey(records, sr.stage.pre_output_combine);
+  }
+  // Receiving is I/O-bound; charge a nominal CPU cost for deserialization.
+  const Bytes out_bytes = SerializedSize(records);
+  const SimTime cpu = config_.cost.CpuTime(0, out_bytes / 4);
+
+  TaskRun* r = &receiver;
+  sim_.Schedule(cpu, [this, r, records = std::move(records),
+                      fills = std::move(eval.cache_fills)]() mutable {
+    for (auto& fill : fills) {
+      cluster_.blocks().Put(r->node, BlockId::Cached(fill.rdd, fill.partition),
+                            fill.records);
+    }
+    OnComputeDone(*r, std::move(records));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+double JobRunner::StragglerFactor() {
+  const CostModel& cost = config_.cost;
+  double factor = std::exp(rng_.Normal(0.0, cost.straggler_sigma));
+  if (cost.straggler_prob > 0 && rng_.Bernoulli(cost.straggler_prob)) {
+    factor *= cost.straggler_factor;
+  }
+  return factor;
+}
+
+bool JobRunner::IsReducerStage(const StageRun& sr) const {
+  for (const Rdd* leaf : CollectLeaves(*sr.stage.output_rdd)) {
+    if (leaf->kind() == RddKind::kShuffled) return true;
+  }
+  return false;
+}
+
+std::vector<DcIndex> JobRunner::ChooseAggregatorDcs(const StageRun& producer_sr) {
+  std::vector<Bytes> per_dc(topo_.num_datacenters(), 0);
+  for (int p = 0; p < producer_sr.stage.num_tasks(); ++p) {
+    EvalCut cut = FindEvalCut(*producer_sr.stage.output_rdd, p,
+                              cluster_.blocks());
+    if (cut.is_cached_cut) {
+      std::vector<NodeIndex> locs = cluster_.blocks().Locations(
+          BlockId::Cached(cut.rdd->id(), cut.partition));
+      if (!locs.empty()) {
+        std::optional<Block> b = cluster_.blocks().Get(
+            locs.front(), BlockId::Cached(cut.rdd->id(), cut.partition));
+        per_dc[topo_.dc_of(locs.front())] += b ? b->bytes : 0;
+      }
+      continue;
+    }
+    switch (cut.rdd->kind()) {
+      case RddKind::kSource: {
+        const auto& src = static_cast<const SourceRdd&>(*cut.rdd);
+        NodeIndex loc = cluster_.SourceLocation(src, cut.partition);
+        per_dc[topo_.dc_of(loc)] += src.partition(cut.partition).bytes;
+        break;
+      }
+      case RddKind::kShuffled: {
+        const auto& s = static_cast<const ShuffledRdd&>(*cut.rdd);
+        const ShuffleId sid = s.shuffle().id;
+        const int num_maps = cluster_.tracker().num_map_partitions(sid);
+        for (int m = 0; m < num_maps; ++m) {
+          const MapOutputLocation& out =
+              cluster_.tracker().Output(sid, m, cut.partition);
+          if (out.node != kNoNode) {
+            per_dc[topo_.dc_of(out.node)] += out.bytes;
+          }
+        }
+        break;
+      }
+      case RddKind::kTransferred: {
+        // This stage's input arrives through its own receiver tasks; it
+        // lives in the stage's (already decided) aggregator subset.
+        // Weight by partition count — all partitions land there.
+        GS_CHECK(!producer_sr.aggregator_dcs.empty());
+        for (DcIndex dc : producer_sr.aggregator_dcs) per_dc[dc] += 1;
+        break;
+      }
+      default:
+        GS_CHECK_MSG(false, "unexpected boundary while choosing aggregator");
+    }
+  }
+
+  const int k = std::clamp(config_.aggregator_dc_count, 1,
+                           topo_.num_datacenters());
+  std::vector<DcIndex> ranking(topo_.num_datacenters());
+  for (DcIndex dc = 0; dc < topo_.num_datacenters(); ++dc) ranking[dc] = dc;
+  switch (config_.aggregator_policy) {
+    case AggregatorPolicy::kRandom:
+      rng_.Shuffle(ranking);
+      break;
+    case AggregatorPolicy::kSmallestInput:
+      std::stable_sort(ranking.begin(), ranking.end(),
+                       [&per_dc](DcIndex a, DcIndex b) {
+                         return per_dc[a] < per_dc[b];
+                       });
+      break;
+    case AggregatorPolicy::kLargestInput:
+      std::stable_sort(ranking.begin(), ranking.end(),
+                       [&per_dc](DcIndex a, DcIndex b) {
+                         return per_dc[a] > per_dc[b];
+                       });
+      break;
+  }
+  ranking.resize(k);
+  return ranking;
+}
+
+void JobRunner::CentralizeInputsThenStart() {
+  DcIndex central = config_.central_dc;
+  if (central == kNoDc) central = cluster_.ChooseCentralDc(final_rdd_);
+
+  // Collect every source RDD reachable from the final RDD.
+  std::vector<const SourceRdd*> sources;
+  std::vector<const Rdd*> visited;
+  std::function<void(const Rdd&)> walk = [&](const Rdd& rdd) {
+    for (const Rdd* v : visited) {
+      if (v == &rdd) return;
+    }
+    visited.push_back(&rdd);
+    if (rdd.kind() == RddKind::kSource) {
+      sources.push_back(static_cast<const SourceRdd*>(&rdd));
+    }
+    for (const RddPtr& p : rdd.parents()) walk(*p);
+  };
+  walk(*final_rdd_);
+
+  const std::vector<NodeIndex>& central_nodes = topo_.nodes_in(central);
+  std::vector<NodeIndex> central_workers;
+  for (NodeIndex n : central_nodes) {
+    if (topo_.node(n).worker) central_workers.push_back(n);
+  }
+  GS_CHECK(!central_workers.empty());
+
+  StageMetrics relocation;
+  relocation.id = -1;
+  relocation.name = "input-centralization";
+  relocation.submitted = sim_.Now();
+  relocation.first_task_started = sim_.Now();
+
+  auto pending = std::make_shared<int>(1);
+  auto metrics_slot = std::make_shared<StageMetrics>(relocation);
+  auto done_one = [this, pending, metrics_slot] {
+    if (--*pending == 0) {
+      metrics_slot->completed = sim_.Now();
+      metrics_.stages.push_back(*metrics_slot);
+      SubmitReadyStages();
+    }
+  };
+
+  std::size_t rr = 0;
+  for (const SourceRdd* src : sources) {
+    for (int p = 0; p < src->num_partitions(); ++p) {
+      NodeIndex loc = cluster_.SourceLocation(*src, p);
+      if (topo_.dc_of(loc) == central) continue;
+      NodeIndex dest = central_workers[rr++ % central_workers.size()];
+      const std::int64_t key =
+          (static_cast<std::int64_t>(src->id()) << 32) | p;
+      ++*pending;
+      metrics_slot->num_tasks++;
+      cluster_.network().StartFlow(
+          loc, dest, src->partition(p).bytes, FlowKind::kCentralize,
+          [this, key, dest, done_one] {
+            cluster_.relocations_[key] = dest;
+            done_one();
+          });
+    }
+  }
+  done_one();  // release the guard
+}
+
+}  // namespace gs

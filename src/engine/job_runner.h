@@ -1,0 +1,155 @@
+// JobRunner: executes one action (job) on the simulated cluster.
+//
+// Drives the full lifecycle the paper describes:
+//   build stages -> submit ready stages -> schedule tasks (locality-aware)
+//   -> gather (disk reads / fetch flows / transfer receives) -> compute
+//   (real record transformation + simulated CPU time) -> output (shuffle
+//   write / transfer push / result delivery) -> stage completion -> next
+//   stages -> job completion.
+//
+// Scheme differences are confined to three points:
+//  * kAggShuffle rewrites the graph (transferTo before every shuffle) —
+//    done by GeoCluster before the runner sees it;
+//  * kCentralized runs an input-relocation phase before stage submission;
+//  * transfer-producer stages push each computed partition to a paired
+//    receiver task the moment it is ready (pipelining, Fig. 1b), while
+//    fetch-based shuffles wait for the stage barrier (Fig. 1a).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dag/stage.h"
+#include "engine/cluster.h"
+
+namespace gs {
+
+class JobRunner {
+ public:
+  JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
+            Rng rng);
+
+  // Runs the job to completion (drains the simulator) and returns results.
+  JobResult Run();
+
+ private:
+  struct TaskRun {
+    StageId stage = -1;
+    int partition = -1;
+    int attempt = 0;
+    NodeIndex node = kNoNode;
+    bool assigned = false;
+    bool done = false;
+    bool speculative = false;   // backup copy of a straggler
+    bool has_backup = false;    // a speculative copy was launched
+    SimTime assigned_at = 0;
+
+    // Gather state.
+    int pending_gathers = 0;
+    std::vector<Record> gathered;
+    Bytes in_bytes = 0;
+    bool gather_is_processed = false;  // records came from a cache hit
+    const Rdd* cut_rdd = nullptr;
+    int cut_partition = -1;
+
+    // Receiver state (stages starting at a TransferredRdd).
+    bool producer_done = false;
+    bool receiver_started = false;
+    RecordsPtr inbox;
+    Bytes inbox_bytes = 0;
+    NodeIndex producer_node = kNoNode;
+  };
+
+  struct StageRun {
+    Stage stage;
+    StageMetrics metrics;
+    bool submitted = false;
+    bool done = false;
+    // Pruned: every downstream consumer is satisfied from cached blocks
+    // (Spark's missing-parent-stages check); the stage never runs.
+    bool skipped = false;
+    // A receiver stage whose every partition is cache-covered runs as a
+    // normal stage (gathering from the cache) instead of pairing with its
+    // (pruned) producer.
+    bool standalone = false;
+    int tasks_done = 0;
+    // Datacenters this stage's receiver tasks land in (usually one;
+    // several when RunConfig::aggregator_dc_count > 1).
+    std::vector<DcIndex> aggregator_dcs;
+    int rr_next = 0;  // round-robin cursor for receiver placement
+    std::vector<std::unique_ptr<TaskRun>> tasks;
+    // Speculative backup attempts (spark.speculation) and which partitions
+    // already have a winning attempt.
+    std::vector<std::unique_ptr<TaskRun>> backups;
+    std::vector<bool> partition_done;
+    std::vector<double> completed_durations;
+    bool spec_check_scheduled = false;
+  };
+
+  // --- stage orchestration ---
+  // Marks stages whose outputs are fully cache-covered as skipped, so
+  // cached datasets are not recomputed (and not re-pushed) by later jobs.
+  void PruneCachedStages();
+  void SubmitReadyStages();
+  bool StageIsReady(const StageRun& sr) const;
+  void SubmitStage(StageId id);
+  void LaunchTasks(StageId id);
+  void OnStageDone(StageId id);
+
+  // --- task lifecycle ---
+  std::vector<NodeIndex> PreferredNodes(const StageRun& sr, int partition);
+  void SubmitTask(TaskRun& task);
+  void OnAssigned(TaskRun& task, NodeIndex node);
+  void StartGather(TaskRun& task);
+  void GatherArrived(TaskRun& task);  // one gather op finished
+  void OnGatherDone(TaskRun& task);
+  void OnComputeDone(TaskRun& task, std::vector<Record> records);
+  void OnTaskFailed(TaskRun& task);
+  void FinishTask(TaskRun& task);
+  // Launches backup copies of stragglers once enough of the stage is done
+  // (spark.speculation); only plain map/reduce/result stages speculate.
+  void MaybeSpeculate(StageRun& sr);
+
+  // --- transfer (push) path ---
+  // Picks the receiver's node the moment its producer is placed, so the
+  // push can start straight at producer completion (pipelining, Fig. 1b);
+  // the receiver only acquires an executor slot for its write phase.
+  void PlaceReceiver(StageRun& producer_sr, TaskRun& producer_task);
+  void NotifyReceiver(StageRun& producer_sr, TaskRun& producer_task,
+                      std::vector<Record> records);
+  void TryDeliver(TaskRun& receiver);
+  void ReceiverGotData(TaskRun& receiver);  // data landed: request a slot
+  void ExecuteReceiver(TaskRun& receiver);  // slot acquired: run the chain
+
+  // --- helpers ---
+  double StragglerFactor();
+  // The top-k datacenters by stage-input bytes (k = aggregator_dc_count;
+  // policy may invert or randomize the ranking for ablations).
+  std::vector<DcIndex> ChooseAggregatorDcs(const StageRun& producer_sr);
+  void CentralizeInputsThenStart();
+  StageRun& stage_run(StageId id) { return *stage_runs_[id]; }
+  bool IsReducerStage(const StageRun& sr) const;
+
+  GeoCluster& cluster_;
+  Simulator& sim_;
+  const Topology& topo_;
+  const RunConfig& config_;
+  RddPtr final_rdd_;
+  ActionKind action_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<StageRun>> stage_runs_;
+  StageId result_stage_ = -1;
+  bool job_done_ = false;
+
+  std::vector<std::vector<Record>> results_;  // per result partition
+  JobMetrics metrics_;
+  Bytes meter_before_total_ = 0;
+  Bytes meter_before_collect_ = 0;
+  Bytes meter_before_fetch_ = 0;
+  Bytes meter_before_push_ = 0;
+  Bytes meter_before_centralize_ = 0;
+};
+
+}  // namespace gs

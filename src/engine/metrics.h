@@ -1,0 +1,42 @@
+// Per-job measurements: completion time, stage spans, traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace gs {
+
+struct StageMetrics {
+  StageId id = -1;
+  std::string name;
+  int num_tasks = 0;
+  int task_failures = 0;
+  SimTime submitted = 0;
+  SimTime first_task_started = 0;
+  SimTime completed = 0;
+
+  SimTime span() const { return completed - submitted; }
+};
+
+struct JobMetrics {
+  SimTime started = 0;
+  SimTime completed = 0;
+  std::vector<StageMetrics> stages;
+
+  // Cross-datacenter bytes among workers incurred by this job. Matches the
+  // paper's Fig. 8 metric: traffic to/from the driver (collect) excluded,
+  // raw-input centralization included.
+  Bytes cross_dc_bytes = 0;
+  Bytes cross_dc_fetch_bytes = 0;       // fetch-based shuffle reads
+  Bytes cross_dc_push_bytes = 0;        // transferTo pushes
+  Bytes cross_dc_centralize_bytes = 0;  // Centralized input relocation
+
+  int task_failures = 0;
+
+  SimTime jct() const { return completed - started; }
+};
+
+}  // namespace gs

@@ -1,0 +1,87 @@
+// Run configuration: scheme selection and engine knobs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "exec/cost_model.h"
+#include "netsim/network.h"
+#include "sched/task_scheduler.h"
+
+namespace gs {
+
+// The three schemes evaluated in the paper (Sec. V-A, "Baselines").
+enum class Scheme {
+  kSpark,        // stock fetch-based shuffle, network-oblivious placement
+  kCentralized,  // ship all raw input to one datacenter, then run there
+  kAggShuffle,   // this paper: proactive Push/Aggregate via transferTo()
+};
+
+const char* SchemeName(Scheme scheme);
+
+// Aggregator-datacenter selection policy for automatic transferTo().
+// kLargestInput is the paper's choice (Sec. III-B/IV-D); the others exist
+// for the ablation validating that analysis (bench_ablation_aggregator).
+enum class AggregatorPolicy { kLargestInput, kRandom, kSmallestInput };
+
+const char* AggregatorPolicyName(AggregatorPolicy policy);
+
+struct RunConfig {
+  Scheme scheme = Scheme::kSpark;
+  std::uint64_t seed = 1;
+
+  // Data volumes and rates are both divided by `scale` relative to the
+  // paper's full-size experiment, which preserves all time and traffic
+  // ratios while letting benches run in seconds (see DESIGN.md). The
+  // topology and cost model passed to GeoCluster must be built with the
+  // same scale.
+  double scale = 100.0;
+
+  NetworkConfig net;
+  TaskSchedulerConfig sched;
+  CostModel cost;  // already scaled by the caller (CostModel::Scaled)
+
+  // AggShuffle: insert transferTo() before every shuffle automatically
+  // (spark.shuffle.aggregation). When false, only explicit transferTo()
+  // calls in application code take effect.
+  bool auto_aggregation = true;
+
+  // Probability that a reduce task fails on its first attempt, and the
+  // fraction of its compute phase after which the failure strikes.
+  double reduce_failure_prob = 0.0;
+  double failure_point = 0.5;
+
+  // Speculative execution (spark.speculation, off by default as in Spark):
+  // once `speculation_quantile` of a stage's tasks finished, a running task
+  // slower than `speculation_multiplier` x the median duration gets a
+  // backup copy; the first attempt to finish wins. Interacts with the
+  // shuffle mechanism: a speculated *reducer* re-fetches its input — over
+  // the WAN under fetch-based shuffle, locally under Push/Aggregate.
+  bool speculation = false;
+  double speculation_quantile = 0.75;
+  double speculation_multiplier = 1.5;
+
+  // Centralized: destination datacenter; kNoDc = the one already holding
+  // the most input bytes.
+  DcIndex central_dc = kNoDc;
+
+  // Reducer placement preference threshold: a node is preferred for a
+  // reduce task if it stores at least this fraction of the shard's input
+  // (Spark's REDUCER_PREF_LOCS_FRACTION).
+  double reducer_pref_fraction = 0.2;
+
+  // Ablation knobs.
+  AggregatorPolicy aggregator_policy = AggregatorPolicy::kLargestInput;
+  // Aggregate shuffle input into this many datacenters (Sec. III-C:
+  // "aggregating all shuffle input into a subset of datacenters which
+  // store the largest fractions"; the paper evaluates 1). Larger values
+  // trade extra cross-datacenter reduce traffic for more ingress bandwidth
+  // and compute headroom; num_datacenters approximates iShuffle-style
+  // spread shuffle-on-write.
+  int aggregator_dc_count = 1;
+  // Skip map-side combining before shuffle writes and transfer pushes
+  // (Sec. IV-C3); results stay correct via the reduce-side combine.
+  bool disable_map_side_combine = false;
+};
+
+}  // namespace gs

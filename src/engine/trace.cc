@@ -1,0 +1,130 @@
+#include "engine/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* KindName(TraceSpan::Kind kind) {
+  switch (kind) {
+    case TraceSpan::Kind::kTask: return "task";
+    case TraceSpan::Kind::kFlow: return "flow";
+    case TraceSpan::Kind::kStage: return "stage";
+    case TraceSpan::Kind::kPhase: return "phase";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void TraceCollector::Add(TraceSpan span) {
+  GS_CHECK(span.end >= span.start);
+  spans_.push_back(std::move(span));
+}
+
+std::string TraceCollector::ToChromeTraceJson() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    // pid: datacenter (flows use src dc); tid: node, or a synthetic id for
+    // WAN links (1000 + dst dc) so links group under the source region.
+    int pid = s.dc;
+    int tid = s.kind == TraceSpan::Kind::kFlow ? 1000 + s.peer_dc
+              : s.node != kNoNode              ? s.node
+                                               : 999;
+    os << "{\"name\":\"" << JsonEscape(s.name) << "\",\"cat\":\""
+       << JsonEscape(s.category) << "\",\"ph\":\"X\",\"ts\":"
+       << static_cast<std::int64_t>(s.start * 1e6)
+       << ",\"dur\":" << static_cast<std::int64_t>(s.duration() * 1e6)
+       << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"args\":{\"kind\":\""
+       << KindName(s.kind) << "\",\"bytes\":" << s.bytes << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string TraceCollector::RenderGantt(int width) const {
+  GS_CHECK(width > 10);
+  if (spans_.empty()) return "(empty trace)\n";
+
+  SimTime t0 = spans_.front().start, t1 = spans_.front().end;
+  for (const TraceSpan& s : spans_) {
+    t0 = std::min(t0, s.start);
+    t1 = std::max(t1, s.end);
+  }
+  const double span = std::max(1e-9, t1 - t0);
+
+  // Row key: tasks/phases -> "node <n>", flows -> "wan <a>-><b>".
+  std::map<std::string, std::string> rows;
+  auto row_of = [&](const TraceSpan& s) {
+    std::ostringstream key;
+    if (s.kind == TraceSpan::Kind::kFlow) {
+      if (s.dc == s.peer_dc) {
+        key << "net  dc" << s.dc << " (intra)";
+      } else {
+        key << "wan  dc" << s.dc << "->dc" << s.peer_dc;
+      }
+    } else if (s.kind == TraceSpan::Kind::kStage) {
+      key << "stages";
+    } else {
+      key << "node " << s.node;
+    }
+    return key.str();
+  };
+  auto mark_of = [](const TraceSpan& s) -> char {
+    if (s.kind == TraceSpan::Kind::kFlow) {
+      return s.category == "shuffle-push" ? '>' :
+             s.category == "shuffle-fetch" ? '<' : '~';
+    }
+    if (s.kind == TraceSpan::Kind::kStage) return '=';
+    if (s.category == "receiver") return 'r';
+    if (s.category == "reduce") return 'R';
+    return '#';
+  };
+
+  for (const TraceSpan& s : spans_) {
+    std::string key = row_of(s);
+    auto [it, inserted] = rows.try_emplace(key, std::string(width, ' '));
+    std::string& lane = it->second;
+    int a = static_cast<int>((s.start - t0) / span * (width - 1));
+    int b = static_cast<int>((s.end - t0) / span * (width - 1));
+    b = std::max(b, a);
+    for (int i = a; i <= b && i < width; ++i) lane[i] = mark_of(s);
+  }
+
+  std::size_t label_width = 0;
+  for (const auto& [key, lane] : rows) {
+    label_width = std::max(label_width, key.size());
+  }
+  std::ostringstream os;
+  os << "t = [" << t0 << "s, " << t1 << "s]  "
+     << "(# task, r receiver, R reduce, > push, < fetch, ~ other)\n";
+  for (const auto& [key, lane] : rows) {
+    os << key << std::string(label_width - key.size() + 1, ' ') << "|" << lane
+       << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace gs

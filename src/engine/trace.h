@@ -1,0 +1,68 @@
+// Execution tracing: task, stage and flow timelines.
+//
+// Sec. IV-E notes that expressing cross-region transfers as computation
+// lets them be visualized like any other work ("inter-datacenter data
+// transfers can be shown from the Spark WebUI... visualizing the critical
+// inter-datacenter traffic"). TraceCollector records spans during a run
+// and exports either a Chrome-trace JSON (load in chrome://tracing or
+// Perfetto; one process per datacenter, one track per node/link) or a
+// plain-text Gantt rendering for terminals.
+//
+// Enable via RunConfig is not needed: tracing is opt-in per cluster with
+// GeoCluster::EnableTracing(), which returns the collector to read after
+// the run. Overhead when disabled is a null-pointer check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace gs {
+
+struct TraceSpan {
+  enum class Kind {
+    kTask,      // one task attempt: gather+compute+output on a node
+    kFlow,      // one network flow on a datacenter-pair link
+    kStage,     // stage span (submission to completion)
+    kPhase,     // sub-task phase (gather / compute / output)
+  };
+
+  Kind kind = Kind::kTask;
+  std::string name;       // e.g. "stage2/part5" or "push dc0->dc3"
+  std::string category;   // e.g. "map", "reduce", "receiver", "shuffle-push"
+  SimTime start = 0;
+  SimTime end = 0;
+  // Track identity: for tasks/phases the node; for flows the (src,dst)
+  // datacenter pair; for stages the driver.
+  DcIndex dc = kNoDc;
+  NodeIndex node = kNoNode;
+  DcIndex peer_dc = kNoDc;  // flows only: destination datacenter
+  Bytes bytes = 0;          // flows: size; tasks: output size
+
+  double duration() const { return end - start; }
+};
+
+class TraceCollector {
+ public:
+  void Add(TraceSpan span);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  void Clear() { spans_.clear(); }
+
+  // Chrome trace event format ("traceEvents" JSON): pid = datacenter,
+  // tid = node or WAN link, complete events ("ph":"X") with microsecond
+  // timestamps (1 simulated second = 1s of trace time).
+  std::string ToChromeTraceJson() const;
+
+  // Fixed-width terminal Gantt chart: one row per node plus one per active
+  // WAN link, time axis scaled to `width` columns.
+  std::string RenderGantt(int width = 100) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace gs

@@ -1,0 +1,88 @@
+#include "exec/disk.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+DiskModel::DiskModel(Simulator& sim, int num_nodes, Rate read_rate,
+                     Rate write_rate)
+    : sim_(sim), read_(num_nodes), write_(num_nodes) {
+  GS_CHECK(num_nodes > 0);
+  GS_CHECK(read_rate > 0);
+  GS_CHECK(write_rate > 0);
+  for (auto& ch : read_) ch.rate = read_rate;
+  for (auto& ch : write_) ch.rate = write_rate;
+}
+
+void DiskModel::Read(NodeIndex node, Bytes bytes, DoneFn done) {
+  GS_CHECK(node >= 0 && node < static_cast<NodeIndex>(read_.size()));
+  Enqueue(read_[node], bytes, std::move(done));
+}
+
+void DiskModel::Write(NodeIndex node, Bytes bytes, DoneFn done) {
+  GS_CHECK(node >= 0 && node < static_cast<NodeIndex>(write_.size()));
+  Enqueue(write_[node], bytes, std::move(done));
+}
+
+int DiskModel::active_requests(NodeIndex node) const {
+  GS_CHECK(node >= 0 && node < static_cast<NodeIndex>(read_.size()));
+  return static_cast<int>(read_[node].queue.size() +
+                          write_[node].queue.size());
+}
+
+void DiskModel::Enqueue(Channel& ch, Bytes bytes, DoneFn done) {
+  GS_CHECK(bytes >= 0);
+  GS_CHECK(done != nullptr);
+  // Settle the channel's past progress (at the *old* concurrency) before
+  // the new request joins the share.
+  Advance(ch);
+  Request req;
+  req.remaining = static_cast<double>(bytes);
+  req.done = std::move(done);
+  ch.queue.push_back(std::move(req));
+  Reconfigure(ch);
+}
+
+void DiskModel::Advance(Channel& ch) {
+  const SimTime now = sim_.Now();
+  // Processor sharing: all requests progressed at rate / n since the last
+  // settlement.
+  if (!ch.queue.empty() && now > ch.last_update) {
+    const double progressed =
+        (now - ch.last_update) * ch.rate / static_cast<double>(ch.queue.size());
+    for (Request& r : ch.queue) r.remaining -= progressed;
+  }
+  ch.last_update = now;
+}
+
+void DiskModel::Reconfigure(Channel& ch) {
+  Advance(ch);
+
+  // Complete finished requests (deliver via the simulator).
+  for (auto it = ch.queue.begin(); it != ch.queue.end();) {
+    if (it->remaining <= kByteEpsilon) {
+      sim_.Schedule(0, std::move(it->done));
+      it = ch.queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  ch.completion.Cancel();
+  if (ch.queue.empty()) return;
+  double shortest = ch.queue.front().remaining;
+  for (const Request& r : ch.queue) {
+    shortest = std::min(shortest, r.remaining);
+  }
+  const double share = ch.rate / static_cast<double>(ch.queue.size());
+  Channel* chp = &ch;
+  ch.completion =
+      sim_.Schedule(shortest / share, [this, chp] { Reconfigure(*chp); });
+}
+
+}  // namespace gs

@@ -1,0 +1,65 @@
+// Per-node disk model with processor-sharing contention.
+//
+// Each worker's SSD serves all concurrent requests of a channel (read or
+// write) at an aggregate rate, shared equally — so two tasks scanning
+// input on the same 2-core node each see half the sequential bandwidth,
+// and a reducer's shuffle read contends with a neighbouring task's output
+// write only through its own channel. This matters most for the
+// Centralized baseline, which funnels every stage through one
+// datacenter's eight slots.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+
+class DiskModel {
+ public:
+  using DoneFn = std::function<void()>;
+
+  DiskModel(Simulator& sim, int num_nodes, Rate read_rate, Rate write_rate);
+
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  // Enqueues a sequential read/write of `bytes` on `node`; `done` fires
+  // (via the simulator) when the last byte is transferred. Zero-byte
+  // requests complete on the next simulator step.
+  void Read(NodeIndex node, Bytes bytes, DoneFn done);
+  void Write(NodeIndex node, Bytes bytes, DoneFn done);
+
+  // Number of in-flight requests (both channels) on a node.
+  int active_requests(NodeIndex node) const;
+
+ private:
+  struct Request {
+    double remaining = 0;
+    DoneFn done;
+  };
+  // One processor-shared channel (read or write) of one node.
+  struct Channel {
+    Rate rate = 0;
+    SimTime last_update = 0;
+    std::list<Request> queue;
+    EventHandle completion;
+  };
+
+  void Enqueue(Channel& ch, Bytes bytes, DoneFn done);
+  // Settles progress at the current concurrency up to Now().
+  void Advance(Channel& ch);
+  // Advances progress, completes finished requests, reschedules the next
+  // completion event.
+  void Reconfigure(Channel& ch);
+
+  Simulator& sim_;
+  std::vector<Channel> read_;
+  std::vector<Channel> write_;
+};
+
+}  // namespace gs

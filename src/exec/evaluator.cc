@@ -1,0 +1,98 @@
+#include "exec/evaluator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+
+// Recursively evaluates `rdd` partition `p`, bottoming out at `start`.
+std::vector<Record> Eval(const Rdd& rdd, int p, const EvalStart& start,
+                         EvalResult& result) {
+  if (&rdd == start.rdd) {
+    GS_CHECK_MSG(p == start.partition, "boundary partition mismatch: " << p
+                                           << " vs " << start.partition);
+    if (rdd.kind() == RddKind::kShuffled && !start.already_processed) {
+      // `start.records` are raw gathered shard records; apply the reduce
+      // side's combine/group/sort.
+      return static_cast<const ShuffledRdd&>(rdd).ProcessShard(start.records);
+    }
+    return start.records;
+  }
+
+  std::vector<Record> out;
+  switch (rdd.kind()) {
+    case RddKind::kMapPartitions: {
+      const auto& m = static_cast<const MapPartitionsRdd&>(rdd);
+      std::vector<Record> in = Eval(*m.parent(), p, start, result);
+      out = m.fn()(p, in);
+      break;
+    }
+    case RddKind::kUnion: {
+      const auto& u = static_cast<const UnionRdd&>(rdd);
+      auto [parent_idx, parent_part] = u.Resolve(p);
+      out = Eval(*u.parents()[parent_idx], parent_part, start, result);
+      break;
+    }
+    case RddKind::kSource:
+    case RddKind::kShuffled:
+    case RddKind::kTransferred:
+      GS_CHECK_MSG(false, "reached boundary rdd '" << rdd.name()
+                       << "' that is not the evaluation start — the gather "
+                          "plan should have provided its records");
+      break;
+  }
+
+  if (rdd.cached()) {
+    result.cache_fills.push_back(
+        EvalResult::CacheFill{rdd.id(), p, MakeRecords(out)});
+  }
+  return out;
+}
+
+}  // namespace
+
+EvalResult Evaluate(const Rdd& output, int partition, EvalStart start) {
+  GS_CHECK(start.rdd != nullptr);
+  EvalResult result;
+  const bool start_is_cache_hit = start.already_processed;
+  result.records = Eval(output, partition, start, result);
+  // The boundary itself may be cached (e.g. a cached ShuffledRdd).
+  if (&output == start.rdd && output.cached() && !start_is_cache_hit) {
+    result.cache_fills.push_back(EvalResult::CacheFill{
+        output.id(), partition, MakeRecords(result.records)});
+  }
+  return result;
+}
+
+EvalCut FindEvalCut(const Rdd& output, int partition,
+                    const BlockManager& blocks) {
+  const Rdd* current = &output;
+  int p = partition;
+  for (;;) {
+    if (current->cached() &&
+        !blocks.Locations(BlockId::Cached(current->id(), p)).empty()) {
+      return EvalCut{current, p, /*is_cached_cut=*/true};
+    }
+    switch (current->kind()) {
+      case RddKind::kMapPartitions:
+        current =
+            static_cast<const MapPartitionsRdd*>(current)->parent().get();
+        break;
+      case RddKind::kUnion: {
+        const auto& u = static_cast<const UnionRdd&>(*current);
+        auto [parent_idx, parent_part] = u.Resolve(p);
+        current = u.parents()[parent_idx].get();
+        p = parent_part;
+        break;
+      }
+      case RddKind::kSource:
+      case RddKind::kShuffled:
+      case RddKind::kTransferred:
+        return EvalCut{current, p, /*is_cached_cut=*/false};
+    }
+  }
+}
+
+}  // namespace gs

@@ -1,0 +1,60 @@
+// Synchronous evaluation of a stage's narrow chain for one partition.
+//
+// Given the records at the stage's boundary leaf (input block, gathered
+// shuffle shard, or received transfer), Evaluate() walks the narrow chain
+// up to the stage's output RDD and returns the computed records, noting any
+// cache interactions along the way.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dag/dag_scheduler.h"
+#include "rdd/rdd.h"
+#include "storage/block_manager.h"
+
+namespace gs {
+
+struct EvalResult {
+  std::vector<Record> records;
+  // Partitions of cached RDDs computed along the way that should be stored
+  // on the executing node (rdd id + partition + payload).
+  struct CacheFill {
+    RddId rdd = -1;
+    int partition = -1;
+    RecordsPtr records;
+  };
+  std::vector<CacheFill> cache_fills;
+};
+
+// The point where evaluation starts: either the stage's boundary leaf or a
+// cached cut above it (if `cache_cut` names an RDD whose partition was found
+// in the block manager, evaluation starts there with `boundary_records`).
+struct EvalStart {
+  const Rdd* rdd = nullptr;  // leaf or cached RDD where records originate
+  int partition = -1;
+  std::vector<Record> records;
+  // True when records came from a cache hit: they are the rdd's final
+  // output, so no shard processing or re-caching applies at this node.
+  bool already_processed = false;
+};
+
+// Evaluates partition `partition` of `output`, starting from `start`.
+// For a ShuffledRdd leaf, `start.records` are the raw gathered shard
+// records; ProcessShard (combine/group/sort) is applied here.
+EvalResult Evaluate(const Rdd& output, int partition, EvalStart start);
+
+// Finds the evaluation cut for a task: walks from `output` down towards the
+// boundary leaf; if a cached RDD with a block available on *any* node is
+// crossed, returns it (highest such cut). Otherwise returns the leaf.
+// The caller turns this into a gather plan (local/remote read or shuffle
+// fetch or transfer receive).
+struct EvalCut {
+  const Rdd* rdd = nullptr;  // cached RDD or boundary leaf
+  int partition = -1;
+  bool is_cached_cut = false;
+};
+EvalCut FindEvalCut(const Rdd& output, int partition,
+                    const BlockManager& blocks);
+
+}  // namespace gs

@@ -1,0 +1,310 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace gs {
+namespace {
+
+// Flows below this many remaining bytes are considered finished; guards
+// against floating-point residue keeping a flow alive forever.
+constexpr double kByteEpsilon = 1e-6;
+
+}  // namespace
+
+const char* FlowKindName(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kShuffleFetch: return "shuffle-fetch";
+    case FlowKind::kShufflePush: return "shuffle-push";
+    case FlowKind::kCentralize: return "centralize";
+    case FlowKind::kCollect: return "collect";
+    case FlowKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+TrafficMeter::TrafficMeter(int num_dcs)
+    : num_dcs_(num_dcs),
+      pair_bytes_(static_cast<std::size_t>(num_dcs) * num_dcs, 0) {}
+
+void TrafficMeter::Record(DcIndex src, DcIndex dst, FlowKind kind,
+                          Bytes bytes) {
+  GS_CHECK(src >= 0 && src < num_dcs_ && dst >= 0 && dst < num_dcs_);
+  GS_CHECK(bytes >= 0);
+  pair_bytes_[static_cast<std::size_t>(src) * num_dcs_ + dst] += bytes;
+  if (src != dst) kind_cross_dc_[static_cast<int>(kind)] += bytes;
+}
+
+Bytes TrafficMeter::cross_dc_total() const {
+  Bytes total = 0;
+  for (DcIndex s = 0; s < num_dcs_; ++s) {
+    for (DcIndex d = 0; d < num_dcs_; ++d) {
+      if (s != d) total += pair_bytes(s, d);
+    }
+  }
+  return total;
+}
+
+Bytes TrafficMeter::cross_dc_of_kind(FlowKind kind) const {
+  auto it = kind_cross_dc_.find(static_cast<int>(kind));
+  return it == kind_cross_dc_.end() ? 0 : it->second;
+}
+
+Bytes TrafficMeter::pair_bytes(DcIndex src, DcIndex dst) const {
+  return pair_bytes_[static_cast<std::size_t>(src) * num_dcs_ + dst];
+}
+
+void TrafficMeter::Reset() {
+  std::fill(pair_bytes_.begin(), pair_bytes_.end(), 0);
+  kind_cross_dc_.clear();
+}
+
+Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
+                 Rng jitter_rng)
+    : sim_(sim),
+      topo_(topo),
+      config_(config),
+      jitter_rng_(std::move(jitter_rng)),
+      meter_(topo.num_datacenters()) {
+  capacity_.resize(2 * static_cast<std::size_t>(topo_.num_nodes()) +
+                   topo_.num_wan_links());
+  for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
+    capacity_[UplinkRes(n)] = topo_.node(n).nic_rate;
+    capacity_[DownlinkRes(n)] = topo_.node(n).nic_rate;
+  }
+  wan_current_.resize(topo_.num_wan_links());
+  for (int l = 0; l < topo_.num_wan_links(); ++l) {
+    wan_current_[l] = topo_.wan_link(l).base_rate;
+    capacity_[WanRes(l)] = wan_current_[l];
+  }
+}
+
+FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
+                          FlowKind kind, CompletionFn on_complete) {
+  GS_CHECK(src >= 0 && src < topo_.num_nodes());
+  GS_CHECK(dst >= 0 && dst < topo_.num_nodes());
+  GS_CHECK(bytes >= 0);
+  GS_CHECK(on_complete != nullptr);
+
+  const FlowId id = next_flow_id_++;
+  const DcIndex src_dc = topo_.dc_of(src);
+  const DcIndex dst_dc = topo_.dc_of(dst);
+
+  if (src == dst) {
+    // Loopback: no network resources consumed, no traffic metered.
+    sim_.Schedule(Millis(0.1), std::move(on_complete));
+    return id;
+  }
+
+  meter_.Record(src_dc, dst_dc, kind, bytes);
+  CatchUpJitter();
+
+  Flow flow;
+  flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
+  flow.kind = kind;
+  flow.total = bytes;
+  flow.remaining = static_cast<double>(bytes);
+  flow.created_at = sim_.Now();
+  flow.last_update = sim_.Now();
+  flow.on_complete = std::move(on_complete);
+  flow.resources.push_back(UplinkRes(src));
+  SimTime setup = topo_.rtt(src_dc, dst_dc) / 2;
+  if (src_dc != dst_dc) {
+    int link = topo_.wan_link_index(src_dc, dst_dc);
+    GS_CHECK_MSG(link >= 0, "no WAN link " << src_dc << "->" << dst_dc);
+    flow.resources.push_back(WanRes(link));
+    // Single-connection TCP ceiling and occasional stalls on WAN paths.
+    const WanLinkSpec& spec = topo_.wan_link(link);
+    double eff = jitter_rng_.Uniform(config_.wan_flow_efficiency_min, 1.0);
+    flow.rate_cap = eff * spec.base_rate;
+    if (config_.wan_stall_prob > 0 &&
+        jitter_rng_.Bernoulli(config_.wan_stall_prob)) {
+      setup += jitter_rng_.Uniform(config_.wan_stall_min,
+                                   config_.wan_stall_max);
+    }
+  }
+  flow.resources.push_back(DownlinkRes(dst));
+  flows_.emplace(id, std::move(flow));
+
+  // Connection setup: the flow begins contending after one-way latency
+  // (plus any stall).
+  sim_.Schedule(setup, [this, id] {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;  // cancelled during setup
+    it->second.started = true;
+    it->second.last_update = sim_.Now();
+    Reconfigure();
+  });
+  MaintainJitterEvent();
+  return id;
+}
+
+void Network::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  it->second.completion_event.Cancel();
+  flows_.erase(it);
+  Reconfigure();
+}
+
+Rate Network::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0 : it->second.rate;
+}
+
+Rate Network::wan_capacity(DcIndex src, DcIndex dst) {
+  CatchUpJitter();
+  int link = topo_.wan_link_index(src, dst);
+  GS_CHECK(link >= 0);
+  return wan_current_[link];
+}
+
+void Network::ComputeMaxMinRates() {
+  // Progressive filling over flows that finished connection setup. Each
+  // flow additionally gets a virtual resource of capacity rate_cap (its
+  // single-connection TCP ceiling), so capped flows freeze at their cap
+  // and the leftover bandwidth redistributes max-min fairly.
+  std::vector<Flow*> active;
+  active.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    f.rate = 0;
+    if (f.started) active.push_back(&f);
+  }
+
+  const std::size_t base = capacity_.size();
+  std::vector<double> remaining_cap = capacity_;
+  std::vector<int> count(base, 0);
+  remaining_cap.reserve(base + active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (int r : active[i]->resources) ++count[r];
+    remaining_cap.push_back(active[i]->rate_cap > 0
+                                ? active[i]->rate_cap
+                                : std::numeric_limits<double>::infinity());
+    count.push_back(1);
+  }
+
+  std::vector<bool> frozen(active.size(), false);
+  std::size_t unfrozen = active.size();
+  while (unfrozen > 0) {
+    // The bottleneck resource has the smallest fair share among resources
+    // carrying at least one unfrozen flow.
+    double best_share = std::numeric_limits<double>::infinity();
+    int best_res = -1;
+    for (std::size_t r = 0; r < remaining_cap.size(); ++r) {
+      if (count[r] <= 0) continue;
+      double share = remaining_cap[r] / count[r];
+      if (share < best_share) {
+        best_share = share;
+        best_res = static_cast<int>(r);
+      }
+    }
+    if (best_res < 0) break;  // should not happen: every flow has resources
+    best_share = std::max(best_share, 0.0);
+
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (frozen[i]) continue;
+      Flow* f = active[i];
+      bool on_bottleneck =
+          static_cast<std::size_t>(best_res) == base + i ||
+          std::find(f->resources.begin(), f->resources.end(), best_res) !=
+              f->resources.end();
+      if (!on_bottleneck) continue;
+      f->rate = best_share;
+      frozen[i] = true;
+      --unfrozen;
+      for (int r : f->resources) {
+        remaining_cap[r] -= best_share;
+        --count[r];
+      }
+      count[base + i] = 0;
+    }
+  }
+}
+
+void Network::Reconfigure() {
+  CatchUpJitter();
+  const SimTime now = sim_.Now();
+  // Advance progress at old rates and collect flows that are done.
+  std::vector<FlowId> done;
+  for (auto& [id, f] : flows_) {
+    f.remaining -= f.rate * (now - f.last_update);
+    f.last_update = now;
+    if (f.started && f.remaining <= kByteEpsilon) done.push_back(id);
+  }
+  if (!done.empty()) {
+    // FinishFlow triggers a fresh Reconfigure once the map is updated.
+    for (FlowId id : done) FinishFlow(id);
+    return;
+  }
+
+  ComputeMaxMinRates();
+
+  for (auto& [id, f] : flows_) {
+    f.completion_event.Cancel();
+    if (f.rate <= 0) continue;  // still in connection setup or starved
+    SimTime eta = f.remaining / f.rate;
+    f.completion_event = sim_.Schedule(eta, [this] { Reconfigure(); });
+  }
+  MaintainJitterEvent();
+}
+
+void Network::FinishFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  CompletionFn cb = std::move(it->second.on_complete);
+  it->second.completion_event.Cancel();
+  if (observer_) {
+    const Flow& f = it->second;
+    observer_(FlowRecord{f.id, f.src, f.dst, f.kind, f.total, f.created_at,
+                         sim_.Now()});
+  }
+  flows_.erase(it);
+  // Run the completion through the simulator so that callbacks observe a
+  // consistent network state and cannot reenter Reconfigure mid-loop.
+  sim_.Schedule(0, std::move(cb));
+  Reconfigure();
+}
+
+void Network::CatchUpJitter() {
+  if (!JitterEnabled()) return;
+  const SimTime now = sim_.Now();
+  while (last_resample_ + config_.jitter_interval <= now) {
+    last_resample_ += config_.jitter_interval;
+    for (int l = 0; l < topo_.num_wan_links(); ++l) {
+      const WanLinkSpec& spec = topo_.wan_link(l);
+      double deviation = wan_current_[l] - spec.base_rate;
+      double fresh = jitter_rng_.Uniform(spec.min_rate, spec.max_rate);
+      double next = spec.base_rate + config_.jitter_momentum * deviation +
+                    (1 - config_.jitter_momentum) * (fresh - spec.base_rate);
+      next = std::clamp(next, static_cast<double>(spec.min_rate),
+                        static_cast<double>(spec.max_rate));
+      wan_current_[l] = next;
+      capacity_[WanRes(l)] = next;
+    }
+  }
+}
+
+void Network::MaintainJitterEvent() {
+  if (!JitterEnabled()) return;
+  if (flows_.empty()) {
+    resample_event_.Cancel();
+    return;
+  }
+  if (resample_event_.pending()) return;
+  SimTime next_at = last_resample_ + config_.jitter_interval;
+  if (next_at < sim_.Now()) next_at = sim_.Now();
+  resample_event_ = sim_.ScheduleAt(next_at, [this] {
+    // CatchUpJitter (via Reconfigure) performs the due draw; Reconfigure
+    // then re-shares bandwidth under the new capacities.
+    Reconfigure();
+  });
+}
+
+}  // namespace gs

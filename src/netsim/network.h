@@ -1,0 +1,195 @@
+// Flow-level wide-area network simulation.
+//
+// Each transfer is a fluid flow over up to three shared resources — the
+// sender uplink NIC, one directed WAN link, and the receiver downlink NIC.
+// Whenever the set of flows or a link capacity changes, rates are recomputed
+// with progressive filling (max-min fairness) and every flow's completion
+// event is rescheduled. This captures the two effects the paper builds on:
+//
+//  * a stage-barrier fetch start makes many flows share the bottleneck WAN
+//    link simultaneously (Fig. 1a), while per-mapper pushes serialize onto
+//    an otherwise idle link (Fig. 1b); and
+//  * WAN capacity fluctuates over time (Sec. V-A), producing run-to-run
+//    variance in job completion time (Fig. 7 error bars).
+//
+// WAN capacities follow a seeded, mean-reverting piecewise-constant trace,
+// re-drawn every jitter_interval of simulated time. The trace is evaluated
+// lazily (caught up on demand) so an idle network leaves the event queue
+// empty and Simulator::Run() terminates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "netsim/topology.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+
+// Accounting category for a flow, used by the traffic meters.
+enum class FlowKind {
+  kShuffleFetch,   // reducer fetching shuffle input (baseline Spark)
+  kShufflePush,    // proactive push of shuffle input (transferTo)
+  kCentralize,     // raw-input relocation (Centralized baseline)
+  kCollect,        // results returned to the driver
+  kOther,
+};
+
+const char* FlowKindName(FlowKind kind);
+
+struct NetworkConfig {
+  // Re-draw every WAN link capacity at this period. <= 0 disables jitter
+  // (links stay at base_rate).
+  SimTime jitter_interval = Seconds(5);
+  // Weight of the previous deviation kept at each re-draw; 0 = i.i.d.
+  // uniform draws, closer to 1 = smoother, mean-reverting traces.
+  double jitter_momentum = 0.5;
+
+  // Per-flow TCP behaviour on wide-area paths (Sec. V-A: "flash congestion
+  // and temporarily lost connections are common"). Each WAN flow gets an
+  // efficiency factor drawn uniformly from [wan_flow_efficiency_min, 1]
+  // capping its share of the link (loss/RTT limits of a single connection),
+  // and with probability wan_stall_prob its start is delayed by a stall of
+  // [wan_stall_min, wan_stall_max] seconds (retransmission timeout /
+  // reconnection). Barrier-synchronized fetches put these tails on the
+  // critical path; pipelined pushes absorb them under the map stage.
+  double wan_flow_efficiency_min = 0.6;
+  double wan_stall_prob = 0.06;
+  SimTime wan_stall_min = Seconds(2);
+  SimTime wan_stall_max = Seconds(10);
+};
+
+// Point-to-point transfer statistics per datacenter pair and flow kind.
+class TrafficMeter {
+ public:
+  explicit TrafficMeter(int num_dcs);
+
+  void Record(DcIndex src, DcIndex dst, FlowKind kind, Bytes bytes);
+
+  // Bytes between distinct datacenters, all kinds.
+  Bytes cross_dc_total() const;
+  Bytes cross_dc_of_kind(FlowKind kind) const;
+  Bytes pair_bytes(DcIndex src, DcIndex dst) const;
+
+  void Reset();
+
+ private:
+  int num_dcs_;
+  std::vector<Bytes> pair_bytes_;                  // [src * num_dcs + dst]
+  std::unordered_map<int, Bytes> kind_cross_dc_;   // key: FlowKind
+};
+
+// Completed-flow record delivered to an observer (tracing/diagnostics).
+struct FlowRecord {
+  FlowId id = 0;
+  NodeIndex src = kNoNode;
+  NodeIndex dst = kNoNode;
+  FlowKind kind = FlowKind::kOther;
+  Bytes bytes = 0;
+  SimTime started = 0;
+  SimTime finished = 0;
+};
+
+class Network {
+ public:
+  using CompletionFn = std::function<void()>;
+  using FlowObserverFn = std::function<void(const FlowRecord&)>;
+
+  Network(Simulator& sim, const Topology& topo, NetworkConfig config,
+          Rng jitter_rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Starts a flow of `bytes` from node src to node dst. `on_complete` fires
+  // (through the simulator) once the last byte arrives. A flow between a
+  // node and itself completes after loopback latency without touching the
+  // network. Returns an id usable with CancelFlow.
+  FlowId StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes, FlowKind kind,
+                   CompletionFn on_complete);
+
+  // Cancels an in-flight flow (e.g. the destination task failed). Bytes
+  // already transferred remain accounted in the traffic meter; the
+  // completion callback never fires.
+  void CancelFlow(FlowId id);
+
+  bool has_flow(FlowId id) const { return flows_.count(id) > 0; }
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+
+  // Instantaneous max-min rate of a flow; 0 if unknown or still in setup.
+  Rate flow_rate(FlowId id) const;
+
+  // Current (possibly jittered) capacity of a directed WAN link.
+  Rate wan_capacity(DcIndex src, DcIndex dst);
+
+  const TrafficMeter& meter() const { return meter_; }
+  TrafficMeter& meter() { return meter_; }
+
+  // Invoked at each (non-loopback) flow completion. One observer at most.
+  void SetFlowObserver(FlowObserverFn observer) {
+    observer_ = std::move(observer);
+  }
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  struct Flow {
+    FlowId id = 0;
+    NodeIndex src = 0;
+    NodeIndex dst = 0;
+    FlowKind kind = FlowKind::kOther;
+    bool started = false;  // connection setup finished; contends for rate
+    double remaining = 0;  // bytes still to send
+    Bytes total = 0;
+    Rate rate = 0;
+    Rate rate_cap = 0;  // per-flow TCP ceiling; 0 = uncapped
+    SimTime created_at = 0;
+    SimTime last_update = 0;
+    std::vector<int> resources;  // indices into capacity_
+    CompletionFn on_complete;
+    EventHandle completion_event;
+  };
+
+  // Resource indexing: [0, N) node uplinks, [N, 2N) node downlinks,
+  // [2N, 2N+L) WAN links.
+  int UplinkRes(NodeIndex n) const { return n; }
+  int DownlinkRes(NodeIndex n) const { return topo_.num_nodes() + n; }
+  int WanRes(int link_idx) const { return 2 * topo_.num_nodes() + link_idx; }
+
+  // Advances every flow's remaining byte count to `Now()` at its current
+  // rate, then recomputes max-min rates and reschedules completions.
+  void Reconfigure();
+
+  void ComputeMaxMinRates();
+  void FinishFlow(FlowId id);
+
+  // Advances the piecewise-constant WAN capacity traces up to Now().
+  void CatchUpJitter();
+  // Keeps a resample event scheduled iff flows are active.
+  void MaintainJitterEvent();
+  bool JitterEnabled() const {
+    return config_.jitter_interval > 0 && topo_.num_wan_links() > 0;
+  }
+
+  Simulator& sim_;
+  const Topology& topo_;
+  NetworkConfig config_;
+  Rng jitter_rng_;
+  TrafficMeter meter_;
+
+  std::vector<Rate> capacity_;      // per resource, current
+  std::vector<Rate> wan_current_;   // per WAN link, jittered capacity
+  SimTime last_resample_ = 0;       // trace evaluated up to this time
+  EventHandle resample_event_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  FlowObserverFn observer_;
+};
+
+}  // namespace gs

@@ -1,0 +1,49 @@
+#include "netsim/pricing.h"
+
+#include "common/check.h"
+
+namespace gs {
+
+WanPricing WanPricing::Uniform(int num_dcs, double usd_per_gib) {
+  GS_CHECK(num_dcs > 0);
+  GS_CHECK(usd_per_gib >= 0);
+  return WanPricing(std::vector<double>(num_dcs, usd_per_gib));
+}
+
+WanPricing::WanPricing(std::vector<double> egress_usd_per_gib)
+    : egress_usd_per_gib_(std::move(egress_usd_per_gib)) {
+  GS_CHECK(!egress_usd_per_gib_.empty());
+  for (double rate : egress_usd_per_gib_) GS_CHECK(rate >= 0);
+}
+
+WanPricing WanPricing::Ec2SixRegionTariff() {
+  // Region order of Ec2SixRegionTopology: Virginia, California, Sao Paulo,
+  // Frankfurt, Singapore, Sydney.
+  return WanPricing({0.09, 0.09, 0.16, 0.09, 0.12, 0.14});
+}
+
+double WanPricing::egress_rate(DcIndex dc) const {
+  GS_CHECK(dc >= 0 && dc < static_cast<DcIndex>(egress_usd_per_gib_.size()));
+  return egress_usd_per_gib_[dc];
+}
+
+double WanPricing::CostUsd(DcIndex src, DcIndex dst, Bytes bytes) const {
+  GS_CHECK(bytes >= 0);
+  if (src == dst) return 0;  // intra-region transfer is free
+  return egress_rate(src) * static_cast<double>(bytes) / kGiB;
+}
+
+double WanPricing::CostUsd(const TrafficMeter& meter,
+                           const Topology& topo) const {
+  GS_CHECK(topo.num_datacenters() <=
+           static_cast<int>(egress_usd_per_gib_.size()));
+  double total = 0;
+  for (DcIndex src = 0; src < topo.num_datacenters(); ++src) {
+    for (DcIndex dst = 0; dst < topo.num_datacenters(); ++dst) {
+      total += CostUsd(src, dst, meter.pair_bytes(src, dst));
+    }
+  }
+  return total;
+}
+
+}  // namespace gs

@@ -1,0 +1,43 @@
+// Inter-datacenter transfer pricing.
+//
+// The task-placement systems the paper positions against (Geode,
+// WANalytics) minimize cross-datacenter traffic because providers bill
+// per egressed gigabyte. This model prices a TrafficMeter's cross-region
+// bytes with per-source-region egress rates (EC2-2016-style tariffs), so
+// any scheme comparison can also be read in dollars.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "netsim/network.h"
+#include "netsim/topology.h"
+
+namespace gs {
+
+class WanPricing {
+ public:
+  // Per-region egress rates (USD/GiB), e.g. premium for South America.
+  explicit WanPricing(std::vector<double> egress_usd_per_gib);
+
+  // Uniform egress rate in USD per GiB for every region.
+  static WanPricing Uniform(int num_dcs, double usd_per_gib = 0.09);
+
+  // EC2-2016-flavoured tariff for the paper's six regions: 0.09 $/GiB
+  // default, 0.16 for Sao Paulo, 0.14 for Sydney.
+  static WanPricing Ec2SixRegionTariff();
+
+  double egress_rate(DcIndex dc) const;
+
+  // Total cost of all cross-datacenter bytes recorded in the meter.
+  double CostUsd(const TrafficMeter& meter, const Topology& topo) const;
+
+  // Cost of a single transfer.
+  double CostUsd(DcIndex src, DcIndex dst, Bytes bytes) const;
+
+ private:
+  std::vector<double> egress_usd_per_gib_;
+};
+
+}  // namespace gs

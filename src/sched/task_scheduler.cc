@@ -1,0 +1,145 @@
+#include "sched/task_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gs {
+
+TaskScheduler::TaskScheduler(Simulator& sim, const Topology& topo,
+                             TaskSchedulerConfig config)
+    : sim_(sim), topo_(topo), config_(config), free_(topo.num_nodes(), 0) {
+  for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
+    free_[n] = topo_.node(n).worker ? topo_.node(n).cores : 0;
+  }
+}
+
+void TaskScheduler::Submit(TaskRequest request) {
+  GS_CHECK(request.on_assigned != nullptr);
+  for (NodeIndex n : request.preferred) {
+    GS_CHECK_MSG(n >= 0 && n < topo_.num_nodes(), "bad preferred node " << n);
+  }
+  Pending pending;
+  pending.submitted_at = sim_.Now();
+  const bool has_prefs = !request.preferred.empty();
+  pending.request = std::move(request);
+  if (has_prefs && config_.locality_wait > 0 &&
+      pending.request.policy == PlacementPolicy::kAnyAfterWait) {
+    // Wake the scheduler when this task becomes eligible for ANY placement.
+    pending.wait_expiry =
+        sim_.Schedule(config_.locality_wait, [this] { Pump(); });
+  }
+  queue_.push_back(std::move(pending));
+  Pump();
+}
+
+void TaskScheduler::ReleaseSlot(NodeIndex node) {
+  GS_CHECK(node >= 0 && node < topo_.num_nodes());
+  GS_CHECK_MSG(topo_.node(node).worker, "released slot on non-worker");
+  ++free_[node];
+  GS_CHECK(free_[node] <= topo_.node(node).cores);
+  Pump();
+}
+
+int TaskScheduler::free_slots(NodeIndex node) const {
+  GS_CHECK(node >= 0 && node < topo_.num_nodes());
+  return free_[node];
+}
+
+int TaskScheduler::busy_slots_in(DcIndex dc) const {
+  int busy = 0;
+  for (NodeIndex n : topo_.nodes_in(dc)) {
+    if (topo_.node(n).worker) busy += topo_.node(n).cores - free_[n];
+  }
+  return busy;
+}
+
+NodeIndex TaskScheduler::BestFreeNodeIn(
+    const std::vector<NodeIndex>& candidates) const {
+  NodeIndex best = kNoNode;
+  for (NodeIndex n : candidates) {
+    if (free_[n] <= 0) continue;
+    if (best == kNoNode || free_[n] > free_[best]) best = n;
+  }
+  return best;
+}
+
+NodeIndex TaskScheduler::LeastLoadedFreeWorker() const {
+  NodeIndex best = kNoNode;
+  for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
+    if (free_[n] <= 0) continue;
+    if (best == kNoNode || free_[n] > free_[best]) best = n;
+  }
+  return best;
+}
+
+bool TaskScheduler::TryAssign(Pending& pending) {
+  TaskRequest& request = pending.request;
+  NodeIndex node = kNoNode;
+  LocalityLevel locality = LocalityLevel::kNoPreference;
+
+  if (!request.preferred.empty()) {
+    // Level 1: exactly a preferred node.
+    node = BestFreeNodeIn(request.preferred);
+    locality = LocalityLevel::kNodeLocal;
+    if (node == kNoNode && request.policy != PlacementPolicy::kNodeOnly) {
+      // Level 2: any worker in a datacenter hosting a preferred node.
+      std::vector<NodeIndex> dc_candidates;
+      for (NodeIndex pref : request.preferred) {
+        for (NodeIndex n : topo_.nodes_in(topo_.dc_of(pref))) {
+          dc_candidates.push_back(n);
+        }
+      }
+      node = BestFreeNodeIn(dc_candidates);
+      locality = LocalityLevel::kDcLocal;
+    }
+    // Level 3: anywhere, but only after the locality wait expired (delay
+    // scheduling). This is what keeps reduce tasks queued for the
+    // aggregator datacenter instead of instantly spilling elsewhere.
+    if (node == kNoNode &&
+        request.policy == PlacementPolicy::kAnyAfterWait &&
+        sim_.Now() - pending.submitted_at >= config_.locality_wait) {
+      node = LeastLoadedFreeWorker();
+      locality = LocalityLevel::kAny;
+    }
+  } else {
+    node = LeastLoadedFreeWorker();
+    locality = LocalityLevel::kNoPreference;
+  }
+
+  if (node == kNoNode) return false;
+  --free_[node];
+  GS_CHECK(free_[node] >= 0);
+  pending.wait_expiry.Cancel();
+  // Deliver through the simulator so assignment is observed at a stable
+  // point in the event loop (and never reenters the scheduler mid-Pump).
+  auto cb = std::move(request.on_assigned);
+  sim_.Schedule(0, [cb = std::move(cb), node, locality] {
+    cb(node, locality);
+  });
+  return true;
+}
+
+void TaskScheduler::Pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  // First-fit in submission order. A task with unsatisfiable preferences
+  // does not block later tasks (no head-of-line blocking), matching Spark's
+  // per-offer matching.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (TryAssign(*it)) {
+        it = queue_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  pumping_ = false;
+}
+
+}  // namespace gs

@@ -1,0 +1,90 @@
+// Locality-aware task scheduling over executor slots.
+//
+// Models Spark's standalone-mode behaviour the paper relies on (Sec. IV-B):
+// the scheduler is the only component that picks hosts; tasks express
+// host-level preferences through preferredLocations and the scheduler
+// satisfies them greedily, falling back from preferred node, to a node in a
+// preferred node's datacenter, and — only after a locality wait, as in
+// Spark's delay scheduling — to the least-loaded worker anywhere. The
+// Push/Aggregate mechanism steers placement purely by feeding receiver
+// tasks whose preferences name the aggregator datacenter's workers — no
+// scheduler change is needed, which is the paper's central design point.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "netsim/topology.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+
+// How well a task's placement matched its preferences (for metrics/tests).
+enum class LocalityLevel { kNodeLocal, kDcLocal, kAny, kNoPreference };
+
+// How far from its preferences a task may be placed.
+enum class PlacementPolicy {
+  kAnyAfterWait,  // node -> datacenter -> (after locality wait) anywhere
+  kDcOnly,        // node -> datacenter of a preferred node, never beyond
+  kNodeOnly,      // exactly a preferred node (e.g. data already landed there)
+};
+
+struct TaskRequest {
+  TaskId id = -1;
+  // Preferred worker nodes, best first. Empty = no preference.
+  std::vector<NodeIndex> preferred;
+  PlacementPolicy policy = PlacementPolicy::kAnyAfterWait;
+  // Invoked (via the simulator, at the current time) when a slot is
+  // assigned.
+  std::function<void(NodeIndex node, LocalityLevel locality)> on_assigned;
+};
+
+struct TaskSchedulerConfig {
+  // How long a task with placement preferences waits for a slot in a
+  // preferred datacenter before accepting any worker (Spark's
+  // spark.locality.wait).
+  SimTime locality_wait = Seconds(6);
+};
+
+class TaskScheduler {
+ public:
+  TaskScheduler(Simulator& sim, const Topology& topo,
+                TaskSchedulerConfig config = {});
+
+  // Enqueues a task; it will be assigned a slot as soon as one is free,
+  // respecting submission order per locality level.
+  void Submit(TaskRequest request);
+
+  // Releases the slot a task was holding and assigns queued tasks.
+  // A failed task is Submit()ed again by the caller after release.
+  void ReleaseSlot(NodeIndex node);
+
+  int free_slots(NodeIndex node) const;
+  int queued_tasks() const { return static_cast<int>(queue_.size()); }
+  int busy_slots_in(DcIndex dc) const;
+
+ private:
+  struct Pending {
+    TaskRequest request;
+    SimTime submitted_at = 0;
+    EventHandle wait_expiry;
+  };
+
+  bool TryAssign(Pending& pending);
+  void Pump();
+
+  NodeIndex BestFreeNodeIn(const std::vector<NodeIndex>& candidates) const;
+  NodeIndex LeastLoadedFreeWorker() const;
+
+  Simulator& sim_;
+  const Topology& topo_;
+  TaskSchedulerConfig config_;
+  std::vector<int> free_;  // free slots per node (0 for non-workers)
+  std::deque<Pending> queue_;
+  bool pumping_ = false;
+};
+
+}  // namespace gs

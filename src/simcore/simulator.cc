@@ -1,0 +1,70 @@
+#include "simcore/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gs {
+
+void EventHandle::Cancel() {
+  if (state_ && !state_->fired) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  GS_CHECK_MSG(when >= now_, "scheduling into the past: " << when << " < "
+                                                          << now_);
+  GS_CHECK(fn != nullptr);
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{when, next_seq_++, std::move(fn), state});
+  ++live_events_;
+  return EventHandle(state);
+}
+
+void Simulator::SkimCancelled() {
+  while (!queue_.empty() && queue_.top().state->cancelled) {
+    queue_.pop();
+    --live_events_;
+  }
+}
+
+bool Simulator::Step() {
+  SkimCancelled();
+  if (queue_.empty()) return false;
+  // Move the event out before running it: the callback may schedule more.
+  Event ev = queue_.top();
+  queue_.pop();
+  --live_events_;
+  GS_CHECK(ev.when >= now_);
+  now_ = ev.when;
+  ev.state->fired = true;
+  ++executed_events_;
+  ev.fn();
+  return true;
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  for (;;) {
+    SkimCancelled();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace gs

@@ -1,0 +1,94 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a priority queue of timestamped events. Components
+// schedule callbacks at future simulated times; Run() drains the queue in
+// time order (FIFO among equal timestamps). Events can be cancelled, which
+// is how the network model reschedules flow-completion events when max-min
+// fair rates change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace gs {
+
+// Handle to a scheduled event; allows cancellation. Copyable; all copies
+// refer to the same scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly and
+  // on a default-constructed handle.
+  void Cancel();
+
+  // True if the event is still pending (scheduled, not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules fn to run at now + delay. Negative delays are clamped to zero.
+  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules fn at an absolute simulated time (>= Now()).
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs until the event queue is empty. Returns the final simulated time.
+  SimTime Run();
+
+  // Runs until the queue is empty or the clock would pass `deadline`.
+  // Events at exactly `deadline` are executed.
+  SimTime RunUntil(SimTime deadline);
+
+  // Executes a single event, if any. Returns false when the queue is empty.
+  bool Step();
+
+  std::size_t pending_events() const { return live_events_; }
+  std::int64_t executed_events() const { return executed_events_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::int64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled events off the top of the queue.
+  void SkimCancelled();
+
+  SimTime now_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t executed_events_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace gs

@@ -1,0 +1,99 @@
+#include "storage/block_manager.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gs {
+
+std::string BlockId::ToString() const {
+  const char* names[] = {"input", "shuffle", "transfer", "cached"};
+  std::ostringstream os;
+  os << names[static_cast<int>(kind)] << "(" << a << "," << b << "," << c
+     << ")";
+  return os.str();
+}
+
+RecordsPtr MakeRecords(std::vector<Record> records) {
+  return std::make_shared<const std::vector<Record>>(std::move(records));
+}
+
+BlockManager::BlockManager(int num_nodes) : stores_(num_nodes) {
+  GS_CHECK(num_nodes > 0);
+}
+
+void BlockManager::Put(NodeIndex node, const BlockId& id, RecordsPtr records) {
+  GS_CHECK(records != nullptr);
+  Bytes bytes = SerializedSize(*records);
+  PutWithSize(node, id, std::move(records), bytes);
+}
+
+void BlockManager::PutWithSize(NodeIndex node, const BlockId& id,
+                               RecordsPtr records, Bytes bytes) {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  GS_CHECK(records != nullptr);
+  GS_CHECK(bytes >= 0);
+  auto [it, inserted] = stores_[node].insert_or_assign(
+      id, Block{std::move(records), bytes});
+  (void)it;
+  if (inserted) {
+    locations_[id].push_back(node);
+  }
+}
+
+bool BlockManager::Has(NodeIndex node, const BlockId& id) const {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  return stores_[node].count(id) > 0;
+}
+
+std::optional<Block> BlockManager::Get(NodeIndex node,
+                                       const BlockId& id) const {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  auto it = stores_[node].find(id);
+  if (it == stores_[node].end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeIndex> BlockManager::Locations(const BlockId& id) const {
+  auto it = locations_.find(id);
+  if (it == locations_.end()) return {};
+  return it->second;
+}
+
+std::optional<Block> BlockManager::GetAnywhere(const BlockId& id) const {
+  auto locs = Locations(id);
+  if (locs.empty()) return std::nullopt;
+  return Get(locs.front(), id);
+}
+
+void BlockManager::Remove(NodeIndex node, const BlockId& id) {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  stores_[node].erase(id);
+  auto it = locations_.find(id);
+  if (it != locations_.end()) {
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), node), v.end());
+    if (v.empty()) locations_.erase(it);
+  }
+}
+
+void BlockManager::RemoveAllOfKind(BlockId::Kind kind) {
+  for (auto& store : stores_) {
+    for (auto it = store.begin(); it != store.end();) {
+      it = it->first.kind == kind ? store.erase(it) : std::next(it);
+    }
+  }
+  for (auto it = locations_.begin(); it != locations_.end();) {
+    it = it->first.kind == kind ? locations_.erase(it) : std::next(it);
+  }
+}
+
+Bytes BlockManager::BytesOnNode(NodeIndex node) const {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  Bytes total = 0;
+  for (const auto& [id, block] : stores_[node]) total += block.bytes;
+  return total;
+}
+
+}  // namespace gs

@@ -1,0 +1,56 @@
+// Cluster-wide block registry.
+//
+// Tracks which node stores each block and the block payloads themselves.
+// Task placement reads locations from here (host-level data locality);
+// task execution reads/writes payloads.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "storage/block.h"
+
+namespace gs {
+
+class BlockManager {
+ public:
+  explicit BlockManager(int num_nodes);
+
+  // Stores a block on a node; replaces any previous copy on that node.
+  void Put(NodeIndex node, const BlockId& id, RecordsPtr records);
+
+  // Stores a block with an explicitly declared serialized size (used when
+  // the logical size differs from SerializedSize of the payload, e.g.
+  // generated inputs that model a larger on-disk file).
+  void PutWithSize(NodeIndex node, const BlockId& id, RecordsPtr records,
+                   Bytes bytes);
+
+  bool Has(NodeIndex node, const BlockId& id) const;
+
+  // Fetches a block stored on the given node. Returns nullopt if absent.
+  std::optional<Block> Get(NodeIndex node, const BlockId& id) const;
+
+  // All nodes currently holding the block.
+  std::vector<NodeIndex> Locations(const BlockId& id) const;
+
+  // Convenience: the block from any node holding it (first location).
+  std::optional<Block> GetAnywhere(const BlockId& id) const;
+
+  void Remove(NodeIndex node, const BlockId& id);
+
+  // Drops every block of the given kind (e.g. all shuffle output of a job).
+  void RemoveAllOfKind(BlockId::Kind kind);
+
+  Bytes BytesOnNode(NodeIndex node) const;
+  int num_nodes() const { return static_cast<int>(stores_.size()); }
+
+ private:
+  using Store = std::unordered_map<BlockId, Block, BlockIdHash>;
+  std::vector<Store> stores_;  // per node
+  std::unordered_map<BlockId, std::vector<NodeIndex>, BlockIdHash>
+      locations_;
+};
+
+}  // namespace gs

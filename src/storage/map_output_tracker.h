@@ -1,0 +1,83 @@
+// MapOutputTracker: where each shard of each shuffle lives, and how big.
+//
+// After a map (or receiver) task writes shuffle output, it registers the
+// per-shard sizes and its node here. Reducers consult the tracker to build
+// their fetch lists; the DAG scheduler consults it to compute the
+// shuffle-input distribution per datacenter (the s_1 >= s_2 >= ... of
+// Sec. III-B) that drives reducer placement and aggregator selection.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "netsim/topology.h"
+
+namespace gs {
+
+struct MapOutputLocation {
+  NodeIndex node = kNoNode;
+  Bytes bytes = 0;  // size of one shard of one map partition
+};
+
+class MapOutputTracker {
+ public:
+  // Declares a shuffle with the given dimensions. Idempotent.
+  void RegisterShuffle(ShuffleId shuffle, int num_map_partitions,
+                       int num_shards);
+
+  // Records that map partition `map_partition` of `shuffle` stored its
+  // shards on `node`, with `shard_bytes[k]` bytes for shard k.
+  void RegisterMapOutput(ShuffleId shuffle, int map_partition, NodeIndex node,
+                         const std::vector<Bytes>& shard_bytes);
+
+  // Re-registration after the output moved (e.g. pushed by transferTo).
+  // Same signature as RegisterMapOutput; simply overwrites the location.
+
+  bool HasShuffle(ShuffleId shuffle) const;
+  int num_map_partitions(ShuffleId shuffle) const;
+  int num_shards(ShuffleId shuffle) const;
+
+  // True once every map partition registered its output.
+  bool IsComplete(ShuffleId shuffle) const;
+
+  // Location/size of one shard of one map partition.
+  const MapOutputLocation& Output(ShuffleId shuffle, int map_partition,
+                                  int shard) const;
+
+  // Total bytes destined to shard (reducer) k, across all map partitions.
+  Bytes ShardInputBytes(ShuffleId shuffle, int shard) const;
+
+  // Total shuffle input bytes S.
+  Bytes TotalBytes(ShuffleId shuffle) const;
+
+  // Bytes of shuffle input stored per node.
+  std::vector<Bytes> BytesPerNode(ShuffleId shuffle, int num_nodes) const;
+
+  // Bytes of shuffle input stored per datacenter (the s_j of Sec. III-B).
+  std::vector<Bytes> BytesPerDc(ShuffleId shuffle, const Topology& topo) const;
+
+  // Nodes holding at least `fraction` of shard k's input — Spark's reducer
+  // locality preference.
+  std::vector<NodeIndex> PreferredShardLocations(ShuffleId shuffle, int shard,
+                                                 double fraction) const;
+
+  void Clear();
+
+ private:
+  struct ShuffleStatus {
+    int num_map_partitions = 0;
+    int num_shards = 0;
+    int registered = 0;
+    // outputs[map_partition * num_shards + shard]
+    std::vector<MapOutputLocation> outputs;
+    std::vector<bool> map_done;
+  };
+
+  const ShuffleStatus& StatusOf(ShuffleId shuffle) const;
+
+  std::unordered_map<ShuffleId, ShuffleStatus> shuffles_;
+};
+
+}  // namespace gs

@@ -1,0 +1,75 @@
+// The five HiBench workloads of the paper's evaluation (Table I), scaled.
+//
+// Each workload deterministically generates its input from a data seed,
+// places it across datacenters, builds the job via the Dataset API, runs it
+// on a GeoCluster, and returns the JobResult. The same data seed produces
+// byte-identical inputs under every scheme, so scheme comparisons are
+// apples-to-apples.
+//
+// Paper-scale specifications (Table I), divided by `scale`:
+//   WordCount:  3.2 GB of generated text
+//   Sort:       320 MB of key/value records
+//   TeraSort:   32M records x 100 bytes (with HiBench's size-bloating map)
+//   PageRank:   500,000 pages, 3 iterations
+//   NaiveBayes: 100,000 pages, 100 classes
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+namespace gs {
+
+struct WorkloadParams {
+  double scale = 100.0;   // divide paper-scale inputs by this factor
+  int map_partitions = 48;
+  int reduce_tasks = 8;   // "maximum parallelism of reduce set to 8"
+  // Input placement skew across datacenters; empty = DefaultDcWeights.
+  std::vector<double> dc_weights;
+  // TeraSort only: explicitly transferTo() *before* the bloating map, the
+  // developer fix the paper recommends in Sec. V-B.
+  bool terasort_explicit_transfer = false;
+  // Collect full results at the driver instead of saving on the workers
+  // (used by tests to compare outputs across schemes). NaiveBayes always
+  // collects its model.
+  bool collect_results = false;
+};
+
+class Workload {
+ public:
+  explicit Workload(WorkloadParams params) : params_(std::move(params)) {}
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+  // Table I style specification line, at paper scale and at this scale.
+  virtual std::string SpecSummary() const = 0;
+
+  // Generates input, runs the job on `cluster`, returns results + metrics.
+  virtual JobResult Run(GeoCluster& cluster, std::uint64_t data_seed) = 0;
+
+ protected:
+  const WorkloadParams& params() const { return params_; }
+  std::vector<double> Weights(const Topology& topo) const;
+
+  // Runs the final action: Save by default, Collect when requested.
+  JobResult Finish(const Dataset& dataset) const {
+    return params_.collect_results ? dataset.RunCollect()
+                                   : dataset.RunSave();
+  }
+
+ private:
+  WorkloadParams params_;
+};
+
+// Factory for "wordcount", "sort", "terasort", "pagerank", "naivebayes".
+std::unique_ptr<Workload> MakeWorkload(std::string_view name,
+                                       const WorkloadParams& params);
+
+// The five workload names, in the paper's order.
+const std::vector<std::string>& AllWorkloadNames();
+
+}  // namespace gs

@@ -1,0 +1,45 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace gs {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(GS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(GS_CHECK_MSG(true, "never shown"));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(GS_CHECK(false), CheckFailure);
+}
+
+TEST(CheckTest, MessageContainsExpressionAndLocation) {
+  try {
+    GS_CHECK(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, MsgVariantStreamsContext) {
+  try {
+    int shard = 7;
+    GS_CHECK_MSG(shard < 4, "shard " << shard << " out of range");
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("shard 7 out of range"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, IsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(GS_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,57 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace gs {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, DefaultLevelSuppressesInfo) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_INFO << "hidden";
+  GS_LOG_WARN << "visible";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+  EXPECT_NE(err.find("visible"), std::string::npos);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_ERROR << "nope";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LogTest, DebugLevelShowsAll) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_DEBUG << "d";
+  GS_LOG_INFO << "i";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[debug] d"), std::string::npos);
+  EXPECT_NE(err.find("[info] i"), std::string::npos);
+}
+
+TEST(LogTest, StreamsArbitraryValues) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_INFO << "x=" << 42 << " y=" << 1.5;
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("x=42 y=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gs {
+namespace {
+
+TEST(StatsTest, EmptySampleIsZero) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+  EXPECT_EQ(s.median, 0);
+}
+
+TEST(StatsTest, SingleSample) {
+  Summary s = Summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.trimmed_mean, 5.0);
+  EXPECT_EQ(s.median, 5.0);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, TwoSamplesTrimmedFallsBackToMean) {
+  Summary s = Summarize({2.0, 4.0});
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.trimmed_mean, 3.0);
+}
+
+TEST(StatsTest, TrimmedMeanDropsMinAndMax) {
+  // The paper's methodology: drop the best and worst run before averaging.
+  Summary s = Summarize({100.0, 1.0, 2.0, 3.0, 0.0});
+  EXPECT_EQ(s.trimmed_mean, 2.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_EQ(Summarize({3.0, 1.0, 2.0}).median, 2.0);
+  EXPECT_EQ(Summarize({4.0, 1.0, 2.0, 3.0}).median, 2.5);
+}
+
+TEST(StatsTest, QuartilesOfKnownSample) {
+  Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.p25, 2.0);
+  EXPECT_EQ(s.p75, 4.0);
+  EXPECT_EQ(s.iqr(), 2.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 25), 1.75);
+}
+
+TEST(StatsTest, StddevOfKnownSample) {
+  Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev (n-1)
+}
+
+class StatsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsPropertyTest, OrderingInvariants) {
+  Rng rng(GetParam());
+  std::vector<double> samples;
+  const int n = static_cast<int>(rng.UniformInt(1, 200));
+  for (int i = 0; i < n; ++i) samples.push_back(rng.Uniform(-50, 50));
+  Summary s = Summarize(samples);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.max);
+  EXPECT_LE(s.min, s.trimmed_mean);
+  EXPECT_LE(s.trimmed_mean, s.max);
+  EXPECT_GE(s.iqr(), 0.0);
+  EXPECT_GE(s.stddev, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,67 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TextTable t({"a", "bee"});
+  t.AddRow({"1", "2"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| bee "), std::string::npos);
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(TableTest, ColumnWidthFollowsWidestCell) {
+  TextTable t({"x"});
+  t.AddRow({"longest-cell-content"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| longest-cell-content |"), std::string::npos);
+  EXPECT_NE(out.find("| x                    |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorAddsRule) {
+  TextTable t({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string out = t.Render();
+  // header rule + post-header rule + separator + final rule = 4 rules.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TableTest, MismatchedRowThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), CheckFailure);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), CheckFailure);
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(FmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FmtMiB) {
+  EXPECT_EQ(FmtMiB(1024 * 1024), "1.0 MiB");
+  EXPECT_EQ(FmtMiB(1536 * 1024), "1.5 MiB");
+}
+
+TEST(FormatTest, FmtPercentSigned) {
+  EXPECT_EQ(FmtPercent(-0.25), "-25.0%");
+  EXPECT_EQ(FmtPercent(0.125), "+12.5%");
+}
+
+}  // namespace
+}  // namespace gs

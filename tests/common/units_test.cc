@@ -1,0 +1,40 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace gs {
+namespace {
+
+TEST(UnitsTest, ByteHelpers) {
+  EXPECT_EQ(KiB(1), 1024);
+  EXPECT_EQ(MiB(1), 1024 * 1024);
+  EXPECT_EQ(GiB(1), 1024LL * 1024 * 1024);
+  EXPECT_EQ(MiB(1.5), 1536 * 1024);
+  EXPECT_EQ(KiB(0.5), 512);
+}
+
+TEST(UnitsTest, RateHelpers) {
+  // 8 Mbps = 1 MB/s (decimal).
+  EXPECT_DOUBLE_EQ(Mbps(8), 1e6);
+  EXPECT_DOUBLE_EQ(Gbps(1), Mbps(1000));
+}
+
+TEST(UnitsTest, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(Seconds(2.5), 2.5);
+  EXPECT_DOUBLE_EQ(Millis(1500), 1.5);
+}
+
+TEST(UnitsTest, ToMiBRoundTrips) {
+  EXPECT_DOUBLE_EQ(ToMiB(MiB(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMiB(KiB(512)), 0.5);
+  EXPECT_DOUBLE_EQ(ToMiB(0), 0.0);
+}
+
+TEST(UnitsTest, TransferArithmetic) {
+  // 1 MiB over a 100 Mbps link: ~0.084 seconds.
+  double seconds = static_cast<double>(MiB(1)) / Mbps(100);
+  EXPECT_NEAR(seconds, 0.0839, 1e-3);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,109 @@
+#include "data/combiner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gs {
+namespace {
+
+TEST(CombinerTest, SumInt64MergesEqualKeys) {
+  std::vector<Record> in{{"a", std::int64_t{1}},
+                         {"b", std::int64_t{10}},
+                         {"a", std::int64_t{2}},
+                         {"a", std::int64_t{3}}};
+  auto out = CombineByKey(in, SumInt64());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].key, "a");  // first-appearance order
+  EXPECT_EQ(std::get<std::int64_t>(out[0].value), 6);
+  EXPECT_EQ(out[1].key, "b");
+  EXPECT_EQ(std::get<std::int64_t>(out[1].value), 10);
+}
+
+TEST(CombinerTest, EmptyInput) {
+  EXPECT_TRUE(CombineByKey({}, SumInt64()).empty());
+}
+
+TEST(CombinerTest, NoDuplicatesIsIdentity) {
+  std::vector<Record> in{{"x", std::int64_t{1}}, {"y", std::int64_t{2}}};
+  EXPECT_EQ(CombineByKey(in, SumInt64()), in);
+}
+
+TEST(CombinerTest, SumDouble) {
+  std::vector<Record> in{{"a", 1.5}, {"a", 2.25}};
+  auto out = CombineByKey(in, SumDouble());
+  EXPECT_DOUBLE_EQ(std::get<double>(out[0].value), 3.75);
+}
+
+TEST(CombinerTest, MergeTermWeightsUnionsAndSums) {
+  Value a = std::vector<TermWeight>{{"x", 1.0}, {"y", 2.0}};
+  Value b = std::vector<TermWeight>{{"y", 3.0}, {"z", 4.0}};
+  auto merged = std::get<std::vector<TermWeight>>(MergeTermWeights()(a, b));
+  std::map<std::string, double> m(merged.begin(), merged.end());
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m["x"], 1.0);
+  EXPECT_DOUBLE_EQ(m["y"], 5.0);
+  EXPECT_DOUBLE_EQ(m["z"], 4.0);
+}
+
+TEST(CombinerTest, MergeTermWeightsOutputIsSorted) {
+  Value a = std::vector<TermWeight>{{"zz", 1.0}};
+  Value b = std::vector<TermWeight>{{"aa", 1.0}};
+  auto merged = std::get<std::vector<TermWeight>>(MergeTermWeights()(a, b));
+  EXPECT_EQ(merged[0].first, "aa");
+  EXPECT_EQ(merged[1].first, "zz");
+}
+
+TEST(CombinerTest, ConcatStrings) {
+  Value a = std::string("foo");
+  Value b = std::string("bar");
+  EXPECT_EQ(std::get<std::string>(ConcatStrings()(a, b)), "foobar");
+  EXPECT_EQ(std::get<std::string>(ConcatStrings(',')(a, b)), "foo,bar");
+}
+
+TEST(CombinerTest, NullFunctionThrows) {
+  EXPECT_THROW(CombineByKey({{"a", std::int64_t{1}}}, nullptr),
+               CheckFailure);
+}
+
+class CombinerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombinerPropertyTest, MatchesReferenceAggregation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Record> in;
+  std::map<std::string, std::int64_t> reference;
+  const int n = static_cast<int>(rng.UniformInt(0, 500));
+  for (int i = 0; i < n; ++i) {
+    std::string key = "k" + std::to_string(rng.UniformInt(0, 40));
+    std::int64_t v = rng.UniformInt(-100, 100);
+    in.push_back({key, v});
+    reference[key] += v;
+  }
+  auto out = CombineByKey(in, SumInt64());
+  EXPECT_EQ(out.size(), reference.size());
+  for (const Record& r : out) {
+    EXPECT_EQ(std::get<std::int64_t>(r.value), reference[r.key]) << r.key;
+  }
+}
+
+TEST_P(CombinerPropertyTest, CombineTwiceEqualsCombineOnce) {
+  // Idempotence of a second pass: combining an already-combined batch
+  // changes nothing (keys are unique).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  std::vector<Record> in;
+  for (int i = 0; i < 300; ++i) {
+    in.push_back({"k" + std::to_string(rng.UniformInt(0, 30)),
+                  rng.UniformInt(0, 10)});
+  }
+  auto once = CombineByKey(in, SumInt64());
+  auto twice = CombineByKey(once, SumInt64());
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinerPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace gs

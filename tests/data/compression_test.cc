@@ -1,0 +1,86 @@
+#include "data/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workloads/input_gen.h"
+
+namespace gs {
+namespace {
+
+TEST(CompressionTest, EmptyBatch) {
+  EXPECT_EQ(CompressedSize({}), 0);
+  EXPECT_EQ(EstimateCompressionRatio({}), 1.0);
+}
+
+TEST(CompressionTest, RatioWithinBounds) {
+  Rng rng(1);
+  std::vector<Record> records;
+  for (int i = 0; i < 500; ++i) {
+    records.push_back({"k" + std::to_string(i),
+                       std::string(50, static_cast<char>('a' + i % 26))});
+  }
+  double ratio = EstimateCompressionRatio(records);
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0);
+}
+
+TEST(CompressionTest, CompressedNeverExceedsSerialized) {
+  Rng rng(2);
+  auto vocab = MakeVocabulary(100, rng);
+  ZipfSampler zipf(vocab.size(), 1.1);
+  auto records = MakeTextLines(KiB(64), 10, vocab, zipf, rng);
+  EXPECT_LE(CompressedSize(records), SerializedSize(records));
+}
+
+TEST(CompressionTest, RepetitiveTextCompressesBetterThanRandom) {
+  Rng rng(3);
+  // Zipf text from a small vocabulary: highly repetitive.
+  auto vocab = MakeVocabulary(200, rng);
+  ZipfSampler zipf(vocab.size(), 1.2);
+  auto text = MakeTextLines(KiB(64), 15, vocab, zipf, rng);
+  // gensort-style records: high-entropy keys and random values.
+  auto random = MakeKeyValueRecords(600, 90, rng, kPrintableAlphabet, nullptr);
+
+  double text_ratio = EstimateCompressionRatio(text);
+  double random_ratio = EstimateCompressionRatio(random);
+  EXPECT_LT(text_ratio, random_ratio);
+  EXPECT_LT(text_ratio, 0.6) << "text should compress well";
+  EXPECT_GT(random_ratio, 0.7) << "random data should barely compress";
+}
+
+TEST(CompressionTest, DeterministicForSameBatch) {
+  Rng rng(4);
+  auto records = MakeKeyValueRecords(300, 50, rng, kHexAlphabet, nullptr);
+  EXPECT_EQ(CompressedSize(records), CompressedSize(records));
+}
+
+TEST(CompressionTest, TinyBatchIsUncompressed) {
+  std::vector<Record> one{{"k", std::string("ab")}};
+  EXPECT_EQ(EstimateCompressionRatio(one), 1.0);
+  EXPECT_EQ(CompressedSize(one), SerializedSize(one));
+}
+
+TEST(CompressionTest, TeraSortAnomalyHolds) {
+  // The paper's TeraSort premise: bloated, incompressible records yield a
+  // shuffle input *larger* than the raw input, while text shuffles shrink.
+  Rng rng(5);
+  auto raw = MakeKeyValueRecords(500, 90, rng, kPrintableAlphabet, nullptr);
+  std::vector<Record> bloated;
+  for (const Record& r : raw) {
+    std::string v = std::get<std::string>(r.value);
+    v += "|meta=" + r.key + "|crc=00000000";
+    bloated.push_back({r.key, std::move(v)});
+  }
+  EXPECT_GT(CompressedSize(bloated), SerializedSize(raw))
+      << "TeraSort shuffle input must exceed its raw input";
+
+  auto vocab = MakeVocabulary(500, rng);
+  ZipfSampler zipf(vocab.size(), 1.1);
+  auto text = MakeTextLines(KiB(32), 20, vocab, zipf, rng);
+  EXPECT_LT(CompressedSize(text), SerializedSize(text) * 3 / 4)
+      << "text shuffle input should be much smaller than raw";
+}
+
+}  // namespace
+}  // namespace gs

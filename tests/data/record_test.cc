@@ -1,0 +1,60 @@
+#include "data/record.h"
+
+#include <gtest/gtest.h>
+
+namespace gs {
+namespace {
+
+TEST(RecordTest, SerializedSizeOfScalars) {
+  EXPECT_EQ(SerializedSize(Value{std::monostate{}}), 0);
+  EXPECT_EQ(SerializedSize(Value{std::int64_t{42}}), 8);
+  EXPECT_EQ(SerializedSize(Value{3.14}), 8);
+  EXPECT_EQ(SerializedSize(Value{std::string("abcd")}), 4 + 4);
+}
+
+TEST(RecordTest, SerializedSizeOfContainers) {
+  Value strings = std::vector<std::string>{"ab", "cde"};
+  EXPECT_EQ(SerializedSize(strings), 4 + (4 + 2) + (4 + 3));
+  Value weights = std::vector<TermWeight>{{"ab", 1.0}, {"c", 2.0}};
+  EXPECT_EQ(SerializedSize(weights), 4 + (4 + 2 + 8) + (4 + 1 + 8));
+}
+
+TEST(RecordTest, RecordSizeIncludesKeyAndOverhead) {
+  Record r{"key", std::int64_t{1}};
+  EXPECT_EQ(SerializedSize(r), 8 + 4 + 3 + 8);
+}
+
+TEST(RecordTest, BatchSizeSums) {
+  std::vector<Record> batch{{"a", std::int64_t{1}}, {"bb", 2.0}};
+  EXPECT_EQ(SerializedSize(batch),
+            SerializedSize(batch[0]) + SerializedSize(batch[1]));
+  EXPECT_EQ(SerializedSize(std::vector<Record>{}), 0);
+}
+
+TEST(RecordTest, LargerPayloadLargerSize) {
+  Record small{"k", std::string(10, 'x')};
+  Record big{"k", std::string(100, 'x')};
+  EXPECT_LT(SerializedSize(small), SerializedSize(big));
+}
+
+TEST(RecordTest, Equality) {
+  Record a{"k", std::int64_t{1}};
+  Record b{"k", std::int64_t{1}};
+  Record c{"k", std::int64_t{2}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, (Record{"other", std::int64_t{1}}));
+}
+
+TEST(RecordTest, ToStringRendersAllTypes) {
+  EXPECT_EQ(ToString(Value{std::int64_t{7}}), "7");
+  EXPECT_EQ(ToString(Value{std::string("hi")}), "\"hi\"");
+  EXPECT_EQ(ToString(Value{std::monostate{}}), "()");
+  EXPECT_EQ(ToString(Value{std::vector<std::string>{"a", "b"}}), "[a, b]");
+  EXPECT_EQ(ToString(Record{"k", std::int64_t{1}}), "(k -> 1)");
+  Value weights = std::vector<TermWeight>{{"t", 2.0}};
+  EXPECT_EQ(ToString(weights), "{t:2}");
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,83 @@
+// Locality spill behaviour: when a datacenter's slots are oversubscribed,
+// tasks eventually run elsewhere and read their input across the WAN —
+// stock Spark behaviour that both hurts the Centralized baseline (before
+// the confinement fix) and creates the Sec. IV-E trade-off.
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+namespace gs {
+namespace {
+
+std::vector<SourceRdd::Partition> AllOnNodeZero(int partitions) {
+  std::vector<SourceRdd::Partition> parts;
+  for (int p = 0; p < partitions; ++p) {
+    std::vector<Record> records;
+    for (int i = 0; i < 1500; ++i) {
+      records.push_back({"k" + std::to_string(p) + "-" + std::to_string(i),
+                         std::string(60, 'a' + static_cast<char>(i % 26))});
+    }
+    SourceRdd::Partition part;
+    part.records = MakeRecords(std::move(records));
+    part.node = 0;
+    part.bytes = SerializedSize(*part.records);
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+RunConfig Cfg(SimTime locality_wait) {
+  RunConfig cfg;
+  cfg.scheme = Scheme::kSpark;
+  cfg.seed = 5;
+  cfg.cost = CostModel{}.Scaled(100);
+  cfg.net.jitter_interval = 0;
+  cfg.net.wan_stall_prob = 0;
+  cfg.net.wan_flow_efficiency_min = 1.0;
+  cfg.cost.straggler_sigma = 0;
+  cfg.cost.straggler_prob = 0;
+  cfg.sched.locality_wait = locality_wait;
+  return cfg;
+}
+
+TEST(LocalitySpillTest, OversubscribedDcSpillsAfterWaitAndReadsRemotely) {
+  // 20 partitions on one node; its datacenter has 8 slots. With a short
+  // wait, the excess tasks run in other datacenters and pull input across
+  // the WAN (FlowKind::kOther, counted in cross_dc_bytes).
+  GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(Seconds(0.5)));
+  Dataset data = cluster.CreateSource("hot", AllOnNodeZero(20));
+  (void)data.Map("id", [](const Record& r) { return r; }).Save();
+  const JobMetrics& m = cluster.last_job_metrics();
+  EXPECT_GT(m.cross_dc_bytes, 0)
+      << "spilled tasks must read input across datacenters";
+  EXPECT_EQ(m.cross_dc_fetch_bytes, 0);
+  EXPECT_EQ(m.cross_dc_push_bytes, 0);
+}
+
+TEST(LocalitySpillTest, LongWaitKeepsWorkLocal) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(Seconds(600)));
+  Dataset data = cluster.CreateSource("hot", AllOnNodeZero(20));
+  (void)data.Map("id", [](const Record& r) { return r; }).Save();
+  const JobMetrics& m = cluster.last_job_metrics();
+  EXPECT_EQ(m.cross_dc_bytes, 0)
+      << "with a long locality wait all tasks should queue in place";
+}
+
+TEST(LocalitySpillTest, SpillTradesTrafficForTime) {
+  GeoCluster spilling(Ec2SixRegionTopology(100), Cfg(Seconds(0.5)));
+  Dataset d1 = spilling.CreateSource("hot", AllOnNodeZero(20));
+  (void)d1.Map("id", [](const Record& r) { return r; }).Save();
+  double spill_jct = spilling.last_job_metrics().jct();
+
+  GeoCluster queueing(Ec2SixRegionTopology(100), Cfg(Seconds(600)));
+  Dataset d2 = queueing.CreateSource("hot", AllOnNodeZero(20));
+  (void)d2.Map("id", [](const Record& r) { return r; }).Save();
+  double queue_jct = queueing.last_job_metrics().jct();
+
+  // Spilling uses the whole cluster; queueing serializes on 8 slots.
+  EXPECT_LT(spill_jct, queue_jct);
+}
+
+}  // namespace
+}  // namespace gs

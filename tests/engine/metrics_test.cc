@@ -1,0 +1,117 @@
+// Job/stage metrics invariants across schemes.
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+namespace gs {
+namespace {
+
+RunConfig Cfg(Scheme scheme) {
+  RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 4;
+  cfg.cost = CostModel{}.Scaled(100);
+  return cfg;
+}
+
+std::vector<Record> SomeRecords(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back({"k" + std::to_string(i % 13), std::int64_t{1}});
+  }
+  return records;
+}
+
+JobMetrics RunJob(Scheme scheme) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(scheme));
+  Dataset data = cluster.Parallelize("data", SomeRecords(400), 2);
+  (void)data.ReduceByKey(SumInt64(), 8).Collect();
+  return cluster.last_job_metrics();
+}
+
+class MetricsSchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(MetricsSchemeTest, StageSpansAreWellFormed) {
+  JobMetrics m = RunJob(GetParam());
+  EXPECT_GT(m.jct(), 0);
+  ASSERT_GE(m.stages.size(), 2u);
+  for (const StageMetrics& s : m.stages) {
+    EXPECT_GE(s.submitted, m.started);
+    EXPECT_GE(s.completed, s.submitted) << s.name;
+    EXPECT_LE(s.completed, m.completed) << s.name;
+    EXPECT_GT(s.num_tasks, 0) << s.name;
+    EXPECT_GE(s.span(), 0) << s.name;
+  }
+  // The last stage to finish defines job completion.
+  SimTime latest = 0;
+  for (const StageMetrics& s : m.stages) {
+    latest = std::max(latest, s.completed);
+  }
+  EXPECT_DOUBLE_EQ(latest, m.completed);
+}
+
+TEST_P(MetricsSchemeTest, TrafficDecompositionIsConsistent) {
+  JobMetrics m = RunJob(GetParam());
+  EXPECT_GE(m.cross_dc_bytes, 0);
+  // Every decomposed kind is part of the total.
+  EXPECT_LE(m.cross_dc_fetch_bytes + m.cross_dc_push_bytes +
+                m.cross_dc_centralize_bytes,
+            m.cross_dc_bytes + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, MetricsSchemeTest,
+                         ::testing::Values(Scheme::kSpark,
+                                           Scheme::kCentralized,
+                                           Scheme::kAggShuffle),
+                         [](const auto& info) {
+                           return SchemeName(info.param);
+                         });
+
+TEST(MetricsTest, SchemeAndPolicyNames) {
+  EXPECT_STREQ(SchemeName(Scheme::kSpark), "Spark");
+  EXPECT_STREQ(SchemeName(Scheme::kCentralized), "Centralized");
+  EXPECT_STREQ(SchemeName(Scheme::kAggShuffle), "AggShuffle");
+  EXPECT_STREQ(AggregatorPolicyName(AggregatorPolicy::kLargestInput),
+               "largest-input");
+  EXPECT_STREQ(AggregatorPolicyName(AggregatorPolicy::kRandom), "random");
+  EXPECT_STREQ(AggregatorPolicyName(AggregatorPolicy::kSmallestInput),
+               "smallest-input");
+  EXPECT_STREQ(FlowKindName(FlowKind::kShufflePush), "shuffle-push");
+  EXPECT_STREQ(FlowKindName(FlowKind::kCentralize), "centralize");
+}
+
+TEST(MetricsTest, CentralizedAddsRelocationPseudoStage) {
+  JobMetrics m = RunJob(Scheme::kCentralized);
+  bool found = false;
+  for (const StageMetrics& s : m.stages) {
+    if (s.name == "input-centralization") {
+      found = true;
+      EXPECT_GT(s.num_tasks, 0);
+      EXPECT_GE(s.span(), 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsTest, AggShuffleHasMoreStagesThanSpark) {
+  // Receiver stages appear in the metrics.
+  JobMetrics spark = RunJob(Scheme::kSpark);
+  JobMetrics agg = RunJob(Scheme::kAggShuffle);
+  EXPECT_GT(agg.stages.size(), spark.stages.size());
+}
+
+TEST(MetricsTest, ConsecutiveJobsAccumulateSimTimeButNotJct) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(Scheme::kSpark));
+  Dataset data = cluster.Parallelize("data", SomeRecords(200), 1);
+  (void)data.Count();
+  JobMetrics first = cluster.last_job_metrics();
+  (void)data.Count();
+  JobMetrics second = cluster.last_job_metrics();
+  EXPECT_GT(second.started, first.completed - 1e-9);
+  // JCTs are comparable (same work), not cumulative.
+  EXPECT_LT(second.jct(), first.jct() * 3);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,91 @@
+// Speculative execution (spark.speculation): backup copies of stragglers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+namespace gs {
+namespace {
+
+RunConfig Cfg(bool speculate, std::uint64_t seed = 12) {
+  RunConfig cfg;
+  cfg.scheme = Scheme::kSpark;
+  cfg.seed = seed;
+  cfg.cost = CostModel{}.Scaled(100);
+  // Strong stragglers so speculation has something to fix.
+  cfg.cost.straggler_sigma = 0.2;
+  cfg.cost.straggler_prob = 0.25;
+  cfg.cost.straggler_factor = 6.0;
+  cfg.net.jitter_interval = 0;
+  cfg.net.wan_stall_prob = 0;
+  cfg.speculation = speculate;
+  return cfg;
+}
+
+std::vector<Record> Keyed(int n, int keys) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back({"k" + std::to_string(i % keys), std::int64_t{1}});
+  }
+  return records;
+}
+
+std::vector<Record> SortedResult(GeoCluster& cluster) {
+  auto result = cluster.Parallelize("d", Keyed(2000, 200), 2)
+                    .ReduceByKey(SumInt64(), 8)
+                    .Collect();
+  std::sort(result.begin(), result.end(),
+            [](const Record& a, const Record& b) { return a.key < b.key; });
+  return result;
+}
+
+TEST(SpeculationTest, ResultsUnchanged) {
+  GeoCluster off(Ec2SixRegionTopology(100), Cfg(false));
+  GeoCluster on(Ec2SixRegionTopology(100), Cfg(true));
+  EXPECT_EQ(SortedResult(off), SortedResult(on));
+}
+
+TEST(SpeculationTest, BackupsAppearInTraceAndHelpOrAreNeutral) {
+  // Over several seeds, speculation launches backups and on average does
+  // not hurt completion time under heavy stragglers.
+  double off_total = 0, on_total = 0;
+  int backups_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GeoCluster off(Ec2SixRegionTopology(100), Cfg(false, seed));
+    (void)SortedResult(off);
+    off_total += off.last_job_metrics().jct();
+
+    GeoCluster on(Ec2SixRegionTopology(100), Cfg(true, seed));
+    TraceCollector& trace = on.EnableTracing();
+    (void)SortedResult(on);
+    on_total += on.last_job_metrics().jct();
+    for (const TraceSpan& s : trace.spans()) {
+      if (s.name.find("#spec") != std::string::npos) ++backups_seen;
+    }
+  }
+  EXPECT_GT(backups_seen, 0) << "straggler-heavy runs must speculate";
+  EXPECT_LT(on_total, off_total * 1.05)
+      << "speculation must not systematically hurt";
+}
+
+TEST(SpeculationTest, OffByDefaultMatchesSpark) {
+  RunConfig cfg;
+  EXPECT_FALSE(cfg.speculation);
+}
+
+TEST(SpeculationTest, WorksUnderAggShuffle) {
+  // Receiver/producer stages are excluded, but reduce stages still
+  // speculate and read the aggregated input locally.
+  RunConfig cfg = Cfg(true);
+  cfg.scheme = Scheme::kAggShuffle;
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  auto result = SortedResult(cluster);
+  EXPECT_EQ(result.size(), 200u);
+  EXPECT_EQ(cluster.last_job_metrics().cross_dc_fetch_bytes, 0)
+      << "speculated reducers must re-read locally under Push/Aggregate";
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,137 @@
+// TraceCollector: span recording, Chrome-trace export, Gantt rendering.
+#include "engine/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+namespace gs {
+namespace {
+
+TraceSpan MakeSpan(TraceSpan::Kind kind, double start, double end,
+                   NodeIndex node = 1, const char* cat = "map") {
+  TraceSpan s;
+  s.kind = kind;
+  s.name = "span";
+  s.category = cat;
+  s.start = start;
+  s.end = end;
+  s.dc = 0;
+  s.node = node;
+  return s;
+}
+
+TEST(TraceCollectorTest, AddAndClear) {
+  TraceCollector t;
+  t.Add(MakeSpan(TraceSpan::Kind::kTask, 0, 1));
+  t.Add(MakeSpan(TraceSpan::Kind::kTask, 1, 2));
+  EXPECT_EQ(t.spans().size(), 2u);
+  t.Clear();
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TraceCollectorTest, RejectsNegativeSpans) {
+  TraceCollector t;
+  EXPECT_THROW(t.Add(MakeSpan(TraceSpan::Kind::kTask, 2, 1)), CheckFailure);
+}
+
+TEST(TraceCollectorTest, ChromeTraceJsonShape) {
+  TraceCollector t;
+  t.Add(MakeSpan(TraceSpan::Kind::kTask, 0.5, 1.25));
+  std::string json = t.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":750000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, JsonEscapesSpecialCharacters) {
+  TraceCollector t;
+  TraceSpan s = MakeSpan(TraceSpan::Kind::kTask, 0, 1);
+  s.name = "with \"quotes\" and \\slash";
+  t.Add(s);
+  std::string json = t.ToChromeTraceJson();
+  EXPECT_NE(json.find("with \\\"quotes\\\""), std::string::npos);
+  EXPECT_EQ(json.find("with \"quotes\""), std::string::npos);
+}
+
+TEST(TraceCollectorTest, GanttRendersRowsPerNodeAndLink) {
+  TraceCollector t;
+  t.Add(MakeSpan(TraceSpan::Kind::kTask, 0, 5, /*node=*/3));
+  TraceSpan flow = MakeSpan(TraceSpan::Kind::kFlow, 2, 8);
+  flow.peer_dc = 4;
+  flow.category = "shuffle-push";
+  t.Add(flow);
+  std::string gantt = t.RenderGantt(60);
+  EXPECT_NE(gantt.find("node 3"), std::string::npos);
+  EXPECT_NE(gantt.find("wan  dc0->dc4"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);   // task mark
+  EXPECT_NE(gantt.find('>'), std::string::npos);   // push mark
+}
+
+TEST(TraceCollectorTest, GanttEmptyTrace) {
+  TraceCollector t;
+  EXPECT_EQ(t.RenderGantt(50), "(empty trace)\n");
+}
+
+TEST(TraceIntegrationTest, JobProducesTaskStageAndFlowSpans) {
+  RunConfig cfg;
+  cfg.scheme = Scheme::kAggShuffle;
+  cfg.seed = 6;
+  cfg.cost = CostModel{}.Scaled(100);
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  TraceCollector& trace = cluster.EnableTracing();
+
+  std::vector<Record> records;
+  for (int i = 0; i < 300; ++i) {
+    records.push_back({"k" + std::to_string(i % 17), std::int64_t{1}});
+  }
+  (void)cluster.Parallelize("data", records, 2)
+      .ReduceByKey(SumInt64(), 8)
+      .Collect();
+
+  int tasks = 0, stages = 0, flows = 0, pushes = 0, receivers = 0;
+  for (const TraceSpan& s : trace.spans()) {
+    switch (s.kind) {
+      case TraceSpan::Kind::kTask:
+        ++tasks;
+        if (s.category == "receiver") ++receivers;
+        break;
+      case TraceSpan::Kind::kStage: ++stages; break;
+      case TraceSpan::Kind::kFlow:
+        ++flows;
+        if (s.category == "shuffle-push") ++pushes;
+        break;
+      default: break;
+    }
+  }
+  EXPECT_GE(stages, 3);  // producer + receiver + result
+  EXPECT_GE(tasks, 12 + 12 + 8);
+  EXPECT_GT(receivers, 0);
+  EXPECT_GT(pushes, 0) << "cross-DC pushes must appear in the trace";
+  EXPECT_GT(flows, pushes) << "collect flows should appear too";
+
+  // Exports do not crash on a real trace and mention a push.
+  std::string json = cluster.trace()->ToChromeTraceJson();
+  EXPECT_NE(json.find("shuffle-push"), std::string::npos);
+  std::string gantt = cluster.trace()->RenderGantt(80);
+  EXPECT_NE(gantt.find('>'), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, DisabledTracingRecordsNothing) {
+  RunConfig cfg;
+  cfg.scheme = Scheme::kSpark;
+  cfg.seed = 6;
+  cfg.cost = CostModel{}.Scaled(100);
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  std::vector<Record> records{{"a", std::int64_t{1}}};
+  (void)cluster.Parallelize("data", records).Collect();
+  EXPECT_EQ(cluster.trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace gs

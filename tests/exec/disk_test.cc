@@ -1,0 +1,115 @@
+#include "exec/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  DiskModel disk{sim, /*num_nodes=*/3, /*read=*/MiB(100), /*write=*/MiB(50)};
+};
+
+TEST(DiskModelTest, SingleReadTakesBytesOverRate) {
+  Fixture f;
+  double done_at = -1;
+  f.disk.Read(0, MiB(200), [&] { done_at = f.sim.Now(); });
+  f.sim.Run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(DiskModelTest, WriteChannelHasItsOwnRate) {
+  Fixture f;
+  double done_at = -1;
+  f.disk.Write(0, MiB(100), [&] { done_at = f.sim.Now(); });
+  f.sim.Run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(DiskModelTest, ConcurrentReadsShareBandwidth) {
+  Fixture f;
+  double a = -1, b = -1;
+  f.disk.Read(0, MiB(100), [&] { a = f.sim.Now(); });
+  f.disk.Read(0, MiB(100), [&] { b = f.sim.Now(); });
+  f.sim.Run();
+  // Each gets 50 MiB/s while both are active.
+  EXPECT_NEAR(a, 2.0, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(DiskModelTest, ShortRequestFinishesFirstThenLongSpeedsUp) {
+  Fixture f;
+  double small = -1, big = -1;
+  f.disk.Read(0, MiB(50), [&] { small = f.sim.Now(); });
+  f.disk.Read(0, MiB(150), [&] { big = f.sim.Now(); });
+  f.sim.Run();
+  // Shared 50 MiB/s each until t=1 (small done); big then has 100 MiB left
+  // at full rate: done at t=2.
+  EXPECT_NEAR(small, 1.0, 1e-9);
+  EXPECT_NEAR(big, 2.0, 1e-9);
+}
+
+TEST(DiskModelTest, ReadsAndWritesDoNotContend) {
+  Fixture f;
+  double r = -1, w = -1;
+  f.disk.Read(0, MiB(100), [&] { r = f.sim.Now(); });
+  f.disk.Write(0, MiB(50), [&] { w = f.sim.Now(); });
+  f.sim.Run();
+  EXPECT_NEAR(r, 1.0, 1e-9);
+  EXPECT_NEAR(w, 1.0, 1e-9);
+}
+
+TEST(DiskModelTest, NodesAreIndependent) {
+  Fixture f;
+  double a = -1, b = -1;
+  f.disk.Read(0, MiB(100), [&] { a = f.sim.Now(); });
+  f.disk.Read(1, MiB(100), [&] { b = f.sim.Now(); });
+  f.sim.Run();
+  EXPECT_NEAR(a, 1.0, 1e-9);
+  EXPECT_NEAR(b, 1.0, 1e-9);
+}
+
+TEST(DiskModelTest, ZeroByteRequestCompletesImmediately) {
+  Fixture f;
+  bool done = false;
+  f.disk.Read(0, 0, [&] { done = true; });
+  f.sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(f.sim.Now(), 0.0, 1e-9);
+}
+
+TEST(DiskModelTest, LateArrivalSharesRemaining) {
+  Fixture f;
+  double a = -1, b = -1;
+  f.disk.Read(0, MiB(100), [&] { a = f.sim.Now(); });
+  f.sim.Schedule(0.5, [&] {
+    f.disk.Read(0, MiB(100), [&] { b = f.sim.Now(); });
+  });
+  f.sim.Run();
+  // First runs alone for 0.5s (50 MiB done), then shares: 50 MiB left at
+  // 50 MiB/s -> done at 1.5. Second: 50 MiB shared (0.5s..1.5s), then the
+  // remaining 50 MiB at the full 100 MiB/s -> done at 2.0.
+  EXPECT_NEAR(a, 1.5, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(DiskModelTest, ActiveRequestCount) {
+  Fixture f;
+  f.disk.Read(2, MiB(100), [] {});
+  f.disk.Write(2, MiB(100), [] {});
+  EXPECT_EQ(f.disk.active_requests(2), 2);
+  EXPECT_EQ(f.disk.active_requests(0), 0);
+  f.sim.Run();
+  EXPECT_EQ(f.disk.active_requests(2), 0);
+}
+
+TEST(DiskModelTest, InvalidNodeThrows) {
+  Fixture f;
+  EXPECT_THROW(f.disk.Read(3, 1, [] {}), CheckFailure);
+  EXPECT_THROW(f.disk.Write(-1, 1, [] {}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,193 @@
+#include "exec/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+
+RddPtr Source(RddId id, int partitions = 2) {
+  std::vector<SourceRdd::Partition> parts(partitions);
+  for (int p = 0; p < partitions; ++p) {
+    parts[p].records = MakeRecords(
+        {{"k" + std::to_string(p), std::int64_t{p * 10}}});
+    parts[p].node = p;
+    parts[p].bytes = 10;
+  }
+  return std::make_shared<SourceRdd>(id, "src", std::move(parts));
+}
+
+MapPartitionsRdd::Fn AddOne() {
+  return [](int, const std::vector<Record>& in) {
+    std::vector<Record> out;
+    for (const Record& r : in) {
+      out.push_back({r.key, std::get<std::int64_t>(r.value) + 1});
+    }
+    return out;
+  };
+}
+
+TEST(EvaluatorTest, EvaluatesNarrowChainFromSource) {
+  RddPtr src = Source(0);
+  auto m1 = std::make_shared<MapPartitionsRdd>(1, "m1", src, AddOne());
+  auto m2 = std::make_shared<MapPartitionsRdd>(2, "m2", m1, AddOne());
+
+  EvalStart start;
+  start.rdd = src.get();
+  start.partition = 1;
+  start.records = {{"k1", std::int64_t{10}}};
+  EvalResult result = Evaluate(*m2, 1, std::move(start));
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(result.records[0].value), 12);
+  EXPECT_TRUE(result.cache_fills.empty());
+}
+
+TEST(EvaluatorTest, PartitionIndexIsVisibleToFn) {
+  RddPtr src = Source(0, 3);
+  auto tagger = std::make_shared<MapPartitionsRdd>(
+      1, "tag", src, [](int p, const std::vector<Record>& in) {
+        std::vector<Record> out = in;
+        for (Record& r : out) r.key = "p" + std::to_string(p);
+        return out;
+      });
+  EvalStart start;
+  start.rdd = src.get();
+  start.partition = 2;
+  start.records = {{"x", std::int64_t{0}}};
+  EvalResult result = Evaluate(*tagger, 2, std::move(start));
+  EXPECT_EQ(result.records[0].key, "p2");
+}
+
+TEST(EvaluatorTest, ShuffledBoundaryAppliesProcessShard) {
+  ShuffleInfo info;
+  info.id = 0;
+  info.partitioner = std::make_shared<HashPartitioner>(2);
+  info.reduce_combine = SumInt64();
+  auto s = std::make_shared<ShuffledRdd>(1, "s", Source(0), info);
+
+  EvalStart start;
+  start.rdd = s.get();
+  start.partition = 0;
+  start.records = {{"a", std::int64_t{1}}, {"a", std::int64_t{2}}};
+  EvalResult result = Evaluate(*s, 0, std::move(start));
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(result.records[0].value), 3);
+}
+
+TEST(EvaluatorTest, CacheHitSkipsProcessShard) {
+  ShuffleInfo info;
+  info.id = 0;
+  info.partitioner = std::make_shared<HashPartitioner>(2);
+  info.reduce_combine = SumInt64();
+  auto s = std::make_shared<ShuffledRdd>(1, "s", Source(0), info);
+  s->set_cached(true);
+
+  EvalStart start;
+  start.rdd = s.get();
+  start.partition = 0;
+  start.records = {{"a", std::int64_t{3}}};  // already combined
+  start.already_processed = true;
+  EvalResult result = Evaluate(*s, 0, std::move(start));
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(result.records[0].value), 3);
+  // A cache hit must not re-cache.
+  EXPECT_TRUE(result.cache_fills.empty());
+}
+
+TEST(EvaluatorTest, CachedIntermediateProducesCacheFill) {
+  RddPtr src = Source(0);
+  auto m1 = std::make_shared<MapPartitionsRdd>(1, "m1", src, AddOne());
+  m1->set_cached(true);
+  auto m2 = std::make_shared<MapPartitionsRdd>(2, "m2", m1, AddOne());
+
+  EvalStart start;
+  start.rdd = src.get();
+  start.partition = 0;
+  start.records = {{"k0", std::int64_t{0}}};
+  EvalResult result = Evaluate(*m2, 0, std::move(start));
+  ASSERT_EQ(result.cache_fills.size(), 1u);
+  EXPECT_EQ(result.cache_fills[0].rdd, 1);
+  EXPECT_EQ(result.cache_fills[0].partition, 0);
+  EXPECT_EQ(std::get<std::int64_t>((*result.cache_fills[0].records)[0].value),
+            1);
+  EXPECT_EQ(std::get<std::int64_t>(result.records[0].value), 2);
+}
+
+TEST(EvaluatorTest, UnionRoutesToCorrectParent) {
+  RddPtr a = Source(0, 2);
+  RddPtr b = Source(1, 2);
+  auto u = std::make_shared<UnionRdd>(2, "u", std::vector<RddPtr>{a, b});
+  auto m = std::make_shared<MapPartitionsRdd>(3, "m", u, AddOne());
+
+  EvalStart start;
+  start.rdd = b.get();
+  start.partition = 1;
+  start.records = {{"k1", std::int64_t{100}}};
+  EvalResult result = Evaluate(*m, 3, std::move(start));
+  EXPECT_EQ(std::get<std::int64_t>(result.records[0].value), 101);
+}
+
+TEST(EvaluatorTest, WrongBoundaryThrows) {
+  RddPtr src = Source(0);
+  auto m = std::make_shared<MapPartitionsRdd>(1, "m", src, AddOne());
+  EvalStart start;
+  start.rdd = m.get();  // claiming the map is the boundary
+  start.partition = 0;
+  start.records = {};
+  // Evaluating the map itself from "its own" records is fine...
+  EXPECT_NO_THROW(Evaluate(*m, 0, start));
+  // ...but evaluating from a *different* boundary that is never reached
+  // must throw (partition mismatch or unvisited boundary).
+  EvalStart bad;
+  bad.rdd = src.get();
+  bad.partition = 1;  // task partition 0 resolves to source partition 0
+  bad.records = {};
+  EXPECT_THROW(Evaluate(*m, 0, std::move(bad)), CheckFailure);
+}
+
+TEST(FindEvalCutTest, FindsLeafWithoutCaches) {
+  BlockManager blocks(4);
+  RddPtr src = Source(0);
+  auto m = std::make_shared<MapPartitionsRdd>(1, "m", src, AddOne());
+  EvalCut cut = FindEvalCut(*m, 1, blocks);
+  EXPECT_EQ(cut.rdd, src.get());
+  EXPECT_EQ(cut.partition, 1);
+  EXPECT_FALSE(cut.is_cached_cut);
+}
+
+TEST(FindEvalCutTest, PrefersHighestCachedCut) {
+  BlockManager blocks(4);
+  RddPtr src = Source(0);
+  auto m1 = std::make_shared<MapPartitionsRdd>(1, "m1", src, AddOne());
+  m1->set_cached(true);
+  auto m2 = std::make_shared<MapPartitionsRdd>(2, "m2", m1, AddOne());
+  m2->set_cached(true);
+  auto m3 = std::make_shared<MapPartitionsRdd>(3, "m3", m2, AddOne());
+
+  // Only m1 cached -> cut at m1.
+  blocks.Put(0, BlockId::Cached(1, 0), MakeRecords({{"k", std::int64_t{1}}}));
+  EvalCut cut = FindEvalCut(*m3, 0, blocks);
+  EXPECT_EQ(cut.rdd, m1.get());
+  EXPECT_TRUE(cut.is_cached_cut);
+
+  // m2 also cached -> the higher cut wins.
+  blocks.Put(0, BlockId::Cached(2, 0), MakeRecords({{"k", std::int64_t{2}}}));
+  cut = FindEvalCut(*m3, 0, blocks);
+  EXPECT_EQ(cut.rdd, m2.get());
+}
+
+TEST(FindEvalCutTest, CacheIsPerPartition) {
+  BlockManager blocks(4);
+  RddPtr src = Source(0);
+  auto m1 = std::make_shared<MapPartitionsRdd>(1, "m1", src, AddOne());
+  m1->set_cached(true);
+  blocks.Put(0, BlockId::Cached(1, 0), MakeRecords({{"k", std::int64_t{1}}}));
+  // Partition 1 has no cached block -> falls through to the source.
+  EvalCut cut = FindEvalCut(*m1, 1, blocks);
+  EXPECT_EQ(cut.rdd, src.get());
+  EXPECT_FALSE(cut.is_cached_cut);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+namespace {
+
+Topology SmallTopo() {
+  Topology topo;
+  topo.AddDatacenter("a");
+  topo.AddDatacenter("b");
+  topo.AddNode({"a0", 0, 2, MiB(10)});
+  topo.AddNode({"b0", 1, 2, MiB(10)});
+  topo.AddWanLink({0, 1, MiB(1), MiB(1), MiB(1), Millis(100)});
+  topo.AddWanLink({1, 0, MiB(1), MiB(1), MiB(1), Millis(100)});
+  return topo;
+}
+
+NetworkConfig Quiet() {
+  NetworkConfig cfg;
+  cfg.jitter_interval = 0;
+  cfg.wan_flow_efficiency_min = 1.0;
+  cfg.wan_stall_prob = 0;
+  return cfg;
+}
+
+TEST(FlowObserverTest, ObserverSeesCompletedFlowWithTimestamps) {
+  Simulator sim;
+  Topology topo = SmallTopo();
+  Network net(sim, topo, Quiet(), Rng(1));
+  std::vector<FlowRecord> seen;
+  net.SetFlowObserver([&seen](const FlowRecord& f) { seen.push_back(f); });
+
+  net.StartFlow(0, 1, MiB(2), FlowKind::kShufflePush, [] {});
+  sim.Run();
+
+  ASSERT_EQ(seen.size(), 1u);
+  const FlowRecord& f = seen.front();
+  EXPECT_EQ(f.src, 0);
+  EXPECT_EQ(f.dst, 1);
+  EXPECT_EQ(f.kind, FlowKind::kShufflePush);
+  EXPECT_EQ(f.bytes, MiB(2));
+  EXPECT_DOUBLE_EQ(f.started, 0.0);
+  EXPECT_NEAR(f.finished, 2.0 + 0.05, 1e-6);
+}
+
+TEST(FlowObserverTest, CancelledFlowIsNotObserved) {
+  Simulator sim;
+  Topology topo = SmallTopo();
+  Network net(sim, topo, Quiet(), Rng(1));
+  int observed = 0;
+  net.SetFlowObserver([&observed](const FlowRecord&) { ++observed; });
+  FlowId id = net.StartFlow(0, 1, MiB(100), FlowKind::kOther, [] {});
+  sim.Schedule(0.5, [&] { net.CancelFlow(id); });
+  sim.Run();
+  EXPECT_EQ(observed, 0);
+}
+
+TEST(FlowObserverTest, LoopbackFlowsAreNotObserved) {
+  Simulator sim;
+  Topology topo = SmallTopo();
+  Network net(sim, topo, Quiet(), Rng(1));
+  int observed = 0;
+  net.SetFlowObserver([&observed](const FlowRecord&) { ++observed; });
+  bool done = false;
+  net.StartFlow(0, 0, MiB(5), FlowKind::kOther, [&done] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(observed, 0);
+}
+
+TEST(FlowObserverTest, ObservesEveryFlowOnce) {
+  Simulator sim;
+  Topology topo = SmallTopo();
+  Network net(sim, topo, Quiet(), Rng(1));
+  int observed = 0;
+  net.SetFlowObserver([&observed](const FlowRecord&) { ++observed; });
+  for (int i = 0; i < 7; ++i) {
+    net.StartFlow(i % 2, 1 - i % 2, KiB(64), FlowKind::kOther, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(observed, 7);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,78 @@
+// Property tests with ALL noise sources enabled (jitter, per-flow TCP
+// ceilings, stalls): liveness and conservation must survive the full
+// production configuration, not just the quiet one.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "netsim/network.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+namespace {
+
+class NoisyNetworkPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoisyNetworkPropertyTest, AllFlowsCompleteUnderFullNoise) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Simulator sim;
+  Topology topo = Ec2SixRegionTopology(100);
+  NetworkConfig cfg;  // defaults: jitter + ceilings + stalls all on
+  Network net(sim, topo, cfg, rng.Split("net"));
+
+  const int flows = static_cast<int>(rng.UniformInt(5, 60));
+  int completed = 0;
+  Bytes total = 0;
+  for (int i = 0; i < flows; ++i) {
+    NodeIndex src = static_cast<NodeIndex>(rng.UniformInt(0, 23));
+    NodeIndex dst = static_cast<NodeIndex>(rng.UniformInt(0, 23));
+    Bytes bytes = KiB(rng.UniformInt(0, 2048));
+    if (src != dst) total += bytes;
+    double start = rng.Uniform(0, 20);
+    sim.Schedule(start, [&net, &completed, src, dst, bytes] {
+      net.StartFlow(src, dst, bytes, FlowKind::kOther,
+                    [&completed] { ++completed; });
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, flows) << "a flow starved under noise";
+  EXPECT_EQ(net.active_flows(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u) << "jitter must stop with the flows";
+
+  Bytes metered = 0;
+  for (DcIndex a = 0; a < 6; ++a) {
+    for (DcIndex b = 0; b < 6; ++b) {
+      metered += net.meter().pair_bytes(a, b);  // intra-DC pairs included
+    }
+  }
+  EXPECT_EQ(metered, total);
+}
+
+TEST_P(NoisyNetworkPropertyTest, CancellationUnderNoiseIsClean) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  Simulator sim;
+  Topology topo = Ec2SixRegionTopology(100);
+  Network net(sim, topo, NetworkConfig{}, rng.Split("net"));
+
+  std::vector<FlowId> ids;
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    NodeIndex src = static_cast<NodeIndex>(rng.UniformInt(0, 23));
+    NodeIndex dst = static_cast<NodeIndex>((src + 1 + rng.UniformInt(0, 22)) % 24);
+    ids.push_back(net.StartFlow(src, dst, MiB(10), FlowKind::kOther,
+                                [&completed] { ++completed; }));
+  }
+  // Cancel half mid-flight at random times.
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    FlowId id = ids[i];
+    sim.Schedule(rng.Uniform(0.1, 5.0), [&net, id] { net.CancelFlow(id); });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(net.active_flows(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoisyNetworkPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,77 @@
+#include "netsim/pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+namespace gs {
+namespace {
+
+TEST(WanPricingTest, UniformRate) {
+  WanPricing pricing = WanPricing::Uniform(3, 0.10);
+  EXPECT_DOUBLE_EQ(pricing.CostUsd(0, 1, GiB(2)), 0.20);
+  EXPECT_DOUBLE_EQ(pricing.CostUsd(2, 0, kGiB / 2), 0.05);
+}
+
+TEST(WanPricingTest, IntraRegionIsFree) {
+  WanPricing pricing = WanPricing::Uniform(3, 0.10);
+  EXPECT_DOUBLE_EQ(pricing.CostUsd(1, 1, GiB(100)), 0.0);
+}
+
+TEST(WanPricingTest, PerRegionRatesChargeTheSource) {
+  WanPricing pricing({0.09, 0.16});
+  EXPECT_DOUBLE_EQ(pricing.CostUsd(0, 1, GiB(1)), 0.09);
+  EXPECT_DOUBLE_EQ(pricing.CostUsd(1, 0, GiB(1)), 0.16);
+}
+
+TEST(WanPricingTest, Ec2TariffShape) {
+  WanPricing tariff = WanPricing::Ec2SixRegionTariff();
+  EXPECT_DOUBLE_EQ(tariff.egress_rate(0), 0.09);  // Virginia
+  EXPECT_GT(tariff.egress_rate(2), tariff.egress_rate(0));  // Sao Paulo
+}
+
+TEST(WanPricingTest, MeterCostSumsPairs) {
+  Topology topo;
+  topo.AddDatacenter("a");
+  topo.AddDatacenter("b");
+  TrafficMeter meter(2);
+  meter.Record(0, 1, FlowKind::kShufflePush, GiB(1));
+  meter.Record(1, 0, FlowKind::kShuffleFetch, GiB(2));
+  meter.Record(0, 0, FlowKind::kOther, GiB(50));  // free
+  WanPricing pricing({0.10, 0.20});
+  EXPECT_DOUBLE_EQ(pricing.CostUsd(meter, topo), 0.10 + 0.40);
+}
+
+TEST(WanPricingTest, NegativeRateThrows) {
+  EXPECT_THROW(WanPricing({0.09, -0.01}), CheckFailure);
+}
+
+TEST(WanPricingTest, AggShuffleIsCheaperThanSparkEndToEnd) {
+  // The dollar view of Fig. 8: same job, priced traffic.
+  auto cost_of = [](Scheme scheme) {
+    RunConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 3;
+    cfg.cost = CostModel{}.Scaled(100);
+    GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+    std::vector<Record> records;
+    for (int i = 0; i < 1000; ++i) {
+      records.push_back({"k" + std::to_string(i % 37),
+                         std::string(50, 'a' + static_cast<char>(i % 26))});
+    }
+    (void)cluster.Parallelize("d", records, 2)
+        .ReduceByKey(ConcatStrings(','), 8)
+        .Save();
+    return WanPricing::Ec2SixRegionTariff().CostUsd(
+        cluster.network().meter(), cluster.topology());
+  };
+  double spark = cost_of(Scheme::kSpark);
+  double agg = cost_of(Scheme::kAggShuffle);
+  EXPECT_GT(spark, 0);
+  EXPECT_LT(agg, spark);
+}
+
+}  // namespace
+}  // namespace gs

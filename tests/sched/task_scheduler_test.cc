@@ -1,0 +1,230 @@
+#include "sched/task_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+namespace {
+
+// Two datacenters with two 2-core workers each, plus a driver.
+Topology TestTopo() {
+  Topology topo;
+  topo.AddDatacenter("dc0");
+  topo.AddDatacenter("dc1");
+  topo.AddNode({"a0", 0, 2, Gbps(1)});
+  topo.AddNode({"a1", 0, 2, Gbps(1)});
+  topo.AddNode({"b0", 1, 2, Gbps(1)});
+  topo.AddNode({"b1", 1, 2, Gbps(1)});
+  topo.AddNode({"driver", 0, 4, Gbps(1), /*worker=*/false});
+  return topo;
+}
+
+struct Assignment {
+  NodeIndex node = kNoNode;
+  LocalityLevel locality{};
+  double at = -1;
+  bool assigned = false;
+};
+
+TaskRequest Req(Assignment* slot, Simulator* sim,
+                std::vector<NodeIndex> preferred = {},
+                PlacementPolicy policy = PlacementPolicy::kAnyAfterWait) {
+  TaskRequest r;
+  r.preferred = std::move(preferred);
+  r.policy = policy;
+  r.on_assigned = [slot, sim](NodeIndex node, LocalityLevel locality) {
+    slot->node = node;
+    slot->locality = locality;
+    slot->at = sim->Now();
+    slot->assigned = true;
+  };
+  return r;
+}
+
+TEST(TaskSchedulerTest, InitialSlotsExcludeDriver) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  EXPECT_EQ(sched.free_slots(0), 2);
+  EXPECT_EQ(sched.free_slots(4), 0);  // driver hosts no tasks
+}
+
+TEST(TaskSchedulerTest, PrefersExactNode) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  Assignment a;
+  sched.Submit(Req(&a, &sim, {1}));
+  sim.Run();
+  EXPECT_EQ(a.node, 1);
+  EXPECT_EQ(a.locality, LocalityLevel::kNodeLocal);
+}
+
+TEST(TaskSchedulerTest, FallsBackToSameDatacenter) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  // Fill node 1 completely.
+  Assignment fillers[2];
+  sched.Submit(Req(&fillers[0], &sim, {1}));
+  sched.Submit(Req(&fillers[1], &sim, {1}));
+  Assignment a;
+  sched.Submit(Req(&a, &sim, {1}));
+  sim.Run();
+  EXPECT_EQ(a.node, 0) << "should fall back to the other dc0 worker";
+  EXPECT_EQ(a.locality, LocalityLevel::kDcLocal);
+}
+
+TEST(TaskSchedulerTest, DelaySchedulingWaitsBeforeGoingAnywhere) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskSchedulerConfig cfg;
+  cfg.locality_wait = 3.0;
+  TaskScheduler sched(sim, topo, cfg);
+  // Fill all of dc0.
+  Assignment fillers[4];
+  for (auto& f : fillers) sched.Submit(Req(&f, &sim, {0, 1}));
+  Assignment a;
+  sched.Submit(Req(&a, &sim, {0}));
+  sim.Run();
+  EXPECT_TRUE(a.assigned);
+  EXPECT_EQ(a.locality, LocalityLevel::kAny);
+  EXPECT_GE(a.at, 3.0) << "must wait out the locality delay";
+  EXPECT_EQ(topo.dc_of(a.node), 1);
+}
+
+TEST(TaskSchedulerTest, FreedPreferredSlotBeatsTheWait) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskSchedulerConfig cfg;
+  cfg.locality_wait = 30.0;
+  TaskScheduler sched(sim, topo, cfg);
+  Assignment fillers[4];
+  for (auto& f : fillers) sched.Submit(Req(&f, &sim, {0, 1}));
+  Assignment a;
+  sched.Submit(Req(&a, &sim, {0}));
+  sim.Schedule(1.0, [&] { sched.ReleaseSlot(0); });
+  sim.Run();
+  EXPECT_EQ(a.node, 0);
+  EXPECT_NEAR(a.at, 1.0, 1e-9);
+  EXPECT_EQ(a.locality, LocalityLevel::kNodeLocal);
+}
+
+TEST(TaskSchedulerTest, DcOnlyPolicyNeverLeaves) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskSchedulerConfig cfg;
+  cfg.locality_wait = 1.0;
+  TaskScheduler sched(sim, topo, cfg);
+  Assignment fillers[4];
+  for (auto& f : fillers) sched.Submit(Req(&f, &sim, {0, 1}));
+  Assignment a;
+  sched.Submit(Req(&a, &sim, {0}, PlacementPolicy::kDcOnly));
+  sim.RunUntil(10.0);
+  EXPECT_FALSE(a.assigned) << "kDcOnly must not spill to dc1";
+  sched.ReleaseSlot(1);
+  sim.Run();
+  EXPECT_TRUE(a.assigned);
+  EXPECT_EQ(topo.dc_of(a.node), 0);
+}
+
+TEST(TaskSchedulerTest, NodeOnlyPolicyWaitsForExactNode) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  Assignment fillers[2];
+  sched.Submit(Req(&fillers[0], &sim, {2}));
+  sched.Submit(Req(&fillers[1], &sim, {2}));
+  Assignment a;
+  sched.Submit(Req(&a, &sim, {2}, PlacementPolicy::kNodeOnly));
+  sim.RunUntil(10.0);
+  EXPECT_FALSE(a.assigned);
+  sched.ReleaseSlot(2);
+  sim.Run();
+  EXPECT_EQ(a.node, 2);
+}
+
+TEST(TaskSchedulerTest, NoPreferenceGoesToLeastLoaded) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  Assignment first;
+  sched.Submit(Req(&first, &sim, {0}));
+  sim.Run();
+  Assignment a;
+  sched.Submit(Req(&a, &sim));
+  sim.Run();
+  EXPECT_NE(a.node, kNoNode);
+  EXPECT_NE(a.node, 0) << "node 0 has fewer free slots";
+  EXPECT_EQ(a.locality, LocalityLevel::kNoPreference);
+}
+
+TEST(TaskSchedulerTest, QueueDrainsInSubmissionOrderPerSlot) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  // Fill node 0.
+  Assignment fillers[2];
+  sched.Submit(Req(&fillers[0], &sim, {0}, PlacementPolicy::kNodeOnly));
+  sched.Submit(Req(&fillers[1], &sim, {0}, PlacementPolicy::kNodeOnly));
+  Assignment q1, q2;
+  sched.Submit(Req(&q1, &sim, {0}, PlacementPolicy::kNodeOnly));
+  sched.Submit(Req(&q2, &sim, {0}, PlacementPolicy::kNodeOnly));
+  sim.Run();
+  EXPECT_FALSE(q1.assigned);
+  sched.ReleaseSlot(0);
+  sim.Run();
+  EXPECT_TRUE(q1.assigned);
+  EXPECT_FALSE(q2.assigned) << "FIFO among equal preferences";
+}
+
+TEST(TaskSchedulerTest, NoHeadOfLineBlocking) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  Assignment fillers[2];
+  sched.Submit(Req(&fillers[0], &sim, {0}, PlacementPolicy::kNodeOnly));
+  sched.Submit(Req(&fillers[1], &sim, {0}, PlacementPolicy::kNodeOnly));
+  Assignment blocked, free_task;
+  sched.Submit(Req(&blocked, &sim, {0}, PlacementPolicy::kNodeOnly));
+  sched.Submit(Req(&free_task, &sim, {1}));
+  sim.Run();
+  EXPECT_FALSE(blocked.assigned);
+  EXPECT_TRUE(free_task.assigned) << "a later satisfiable task must not "
+                                     "wait behind an unsatisfiable one";
+}
+
+TEST(TaskSchedulerTest, BusySlotAccounting) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  Assignment a, b;
+  sched.Submit(Req(&a, &sim, {0}));
+  sched.Submit(Req(&b, &sim, {2}));
+  sim.Run();
+  EXPECT_EQ(sched.busy_slots_in(0), 1);
+  EXPECT_EQ(sched.busy_slots_in(1), 1);
+  sched.ReleaseSlot(a.node);
+  EXPECT_EQ(sched.busy_slots_in(0), 0);
+}
+
+TEST(TaskSchedulerTest, OverReleaseThrows) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  EXPECT_THROW(sched.ReleaseSlot(0), CheckFailure);
+  EXPECT_THROW(sched.ReleaseSlot(4), CheckFailure);  // driver
+}
+
+TEST(TaskSchedulerTest, BadPreferredNodeThrows) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  Assignment a;
+  EXPECT_THROW(sched.Submit(Req(&a, &sim, {99})), CheckFailure);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,113 @@
+// Property tests of the paper's traffic analysis (Sec. III-B).
+//
+// Eq. (1): a reducer placed in datacenter i fetches at least (S - s_i)/N
+// bytes across datacenters, minimized by the largest-s datacenter.
+// Eq. (2): total cross-datacenter shuffle traffic D >= S - s1.
+//
+// Verified on real executions over randomized input placements: the
+// measured cross-datacenter shuffle traffic of the fetch-based scheme
+// always respects the bound, and Push/Aggregate (which aggregates into the
+// largest-input datacenter) approaches it.
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "workloads/input_gen.h"
+
+namespace gs {
+namespace {
+
+RunConfig QuietConfig(Scheme scheme, std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = seed;
+  cfg.cost = CostModel{}.Scaled(100);
+  cfg.net.jitter_interval = 0;
+  cfg.net.wan_stall_prob = 0;
+  cfg.net.wan_flow_efficiency_min = 1.0;
+  cfg.cost.straggler_sigma = 0;
+  cfg.cost.straggler_prob = 0;
+  return cfg;
+}
+
+// Random per-datacenter input weights.
+std::vector<double> RandomWeights(Rng& rng, int dcs) {
+  std::vector<double> w(dcs);
+  double sum = 0;
+  for (double& v : w) {
+    v = rng.Uniform(0.05, 1.0);
+    sum += v;
+  }
+  for (double& v : w) v /= sum;
+  return w;
+}
+
+struct ShuffleObservation {
+  Bytes S = 0;       // total shuffle input
+  Bytes s1 = 0;      // largest per-datacenter share
+  Bytes cross = 0;   // measured cross-DC shuffle traffic (fetch + push)
+};
+
+ShuffleObservation RunShuffleJob(Scheme scheme, std::uint64_t seed) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), QuietConfig(scheme, seed));
+  Rng rng(seed);
+  // Sort-like payload: no combine, so shuffle input is substantial.
+  std::vector<Record> records =
+      MakeKeyValueRecords(2000, 40, rng, kHexAlphabet, nullptr);
+  std::vector<std::vector<Record>> parts(24);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    parts[i % 24].push_back(std::move(records[i]));
+  }
+  Dataset input = cluster.CreateSource(
+      "input", PlacePartitions(cluster.topology(), std::move(parts),
+                               RandomWeights(rng, 6)));
+  (void)input.SortByKey(UniformBoundaries(8, kHexAlphabet)).Save();
+
+  ShuffleObservation obs;
+  const MapOutputTracker& tracker = cluster.tracker();
+  // In AggShuffle mode the tracker holds post-transfer locations; compute
+  // S from shard sizes (identical across schemes) and s1 from where the
+  // *producing* tasks ran — approximated by input placement. To keep the
+  // bound exact, measure s1 in Spark mode where map output stays put.
+  obs.S = tracker.TotalBytes(0);
+  auto per_dc = tracker.BytesPerDc(0, cluster.topology());
+  obs.s1 = *std::max_element(per_dc.begin(), per_dc.end());
+  const JobMetrics& m = cluster.last_job_metrics();
+  obs.cross = m.cross_dc_fetch_bytes + m.cross_dc_push_bytes;
+  return obs;
+}
+
+class TrafficBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrafficBoundTest, FetchTrafficRespectsEqTwoLowerBound) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  ShuffleObservation spark = RunShuffleJob(Scheme::kSpark, seed);
+  ASSERT_GT(spark.S, 0);
+  // D >= S - s1 (Eq. 2). Spark-mode tracker reflects mapper placement, so
+  // s1 here is the true largest fraction. The paper's derivation assumes
+  // all shards of a partition are equal-sized ("for the sake of load
+  // balancing"); hash/range partitioning makes them near-equal, so a small
+  // tolerance absorbs the residual imbalance.
+  EXPECT_GE(spark.cross,
+            (spark.S - spark.s1) - (spark.S - spark.s1) / 20)
+      << "S=" << spark.S << " s1=" << spark.s1;
+}
+
+TEST_P(TrafficBoundTest, PushAggregateApproachesTheBound) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  ShuffleObservation spark = RunShuffleJob(Scheme::kSpark, seed);
+  ShuffleObservation agg = RunShuffleJob(Scheme::kAggShuffle, seed);
+  // The push volume equals S - s_agg where s_agg is the aggregator's own
+  // share: exactly the Eq. 2 minimum for this placement.
+  EXPECT_GE(agg.cross, spark.S - spark.s1 - spark.S / 100)
+      << "push cannot beat the information-theoretic bound";
+  EXPECT_LE(agg.cross, spark.S - spark.s1 + spark.S / 20)
+      << "push should approach the bound (small slack for rounding)";
+  // And aggregation never moves more than fetch-based shuffle.
+  EXPECT_LE(agg.cross, spark.cross * 11 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrafficBoundTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,143 @@
+#include "simcore/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace gs {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.Schedule(5.0, [&] {
+    sim.Schedule(-1.0, [&] {
+      ran = true;
+      EXPECT_EQ(sim.Now(), 5.0);
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.Schedule(5.0, [&] {
+    EXPECT_THROW(sim.ScheduleAt(4.0, [] {}), CheckFailure);
+  });
+  sim.Run();
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.Schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int runs = 0;
+  EventHandle h = sim.Schedule(1.0, [&] { ++runs; });
+  sim.Run();
+  h.Cancel();  // must not crash or corrupt
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(SimulatorTest, DefaultHandleIsSafe) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.Cancel();
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.Schedule(1.0, recurse);
+  };
+  sim.Schedule(1.0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.RunUntil(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.Now(), 2.5);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, RunUntilExecutesEventAtExactDeadline) {
+  Simulator sim;
+  bool ran = false;
+  sim.Schedule(2.0, [&] { ran = true; });
+  sim.RunUntil(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1.0, [&] { ++count; });
+  sim.Schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, CountsExecutedAndPending) {
+  Simulator sim;
+  EventHandle h = sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  h.Cancel();
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.Schedule(1.0, nullptr), CheckFailure);
+}
+
+}  // namespace
+}  // namespace gs

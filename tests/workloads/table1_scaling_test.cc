@@ -1,0 +1,89 @@
+// Table I scaling: generated inputs hit the paper's specified volumes
+// divided by the scale factor.
+#include <gtest/gtest.h>
+
+#include "workloads/hibench.h"
+#include "workloads/input_gen.h"
+
+namespace gs {
+namespace {
+
+// Exercises a workload's full generation + execution path at a scale.
+void RunAtScale(const std::string& name, double scale) {
+  RunConfig cfg;
+  cfg.scheme = Scheme::kSpark;
+  cfg.seed = 31;
+  cfg.scale = scale;
+  cfg.cost = CostModel{}.Scaled(scale);
+  GeoCluster cluster(Ec2SixRegionTopology(scale), cfg);
+  WorkloadParams params;
+  params.scale = scale;
+  params.map_partitions = 24;
+  auto wl = MakeWorkload(name, params);
+  JobResult r = wl->Run(cluster, 55);
+  EXPECT_GT(r.metrics.jct(), 0) << name << " @ " << scale;
+}
+
+TEST(Table1ScalingTest, WordCountTextVolume) {
+  Rng rng(1);
+  auto vocab = MakeVocabulary(5000, rng);
+  ZipfSampler zipf(vocab.size(), 1.1);
+  const double scale = 1000;
+  const Bytes target = static_cast<Bytes>(GiB(3.2) / scale);
+  Bytes total = 0;
+  for (int p = 0; p < 24; ++p) {
+    total += SerializedSize(
+        MakeTextLines(target / 24, 20, vocab, zipf, rng));
+  }
+  EXPECT_GE(total, target * 95 / 100);
+  EXPECT_LE(total, target * 110 / 100);
+}
+
+TEST(Table1ScalingTest, SortRecordCount) {
+  // 320 MB at ~116 bytes/record.
+  Rng rng(2);
+  const double scale = 1000;
+  const Bytes target = static_cast<Bytes>(MiB(320) / scale);
+  auto records = MakeKeyValueRecords(
+      static_cast<std::size_t>(target / 116), 90, rng, kHexAlphabet, nullptr);
+  Bytes total = SerializedSize(records);
+  EXPECT_GE(total, target * 90 / 100);
+  EXPECT_LE(total, target * 110 / 100);
+}
+
+TEST(Table1ScalingTest, TeraSortHundredByteRecords) {
+  Rng rng(3);
+  auto records = MakeKeyValueRecords(100, 90, rng, kPrintableAlphabet,
+                                     nullptr);
+  for (const Record& r : records) {
+    // 10-byte key + 90-byte value, the gensort record layout.
+    EXPECT_EQ(r.key.size() + std::get<std::string>(r.value).size(), 100u);
+  }
+}
+
+TEST(Table1ScalingTest, PageRankPageCount) {
+  Rng rng(4);
+  EXPECT_EQ(MakeWebGraph(500000 / 1000, 12.0, rng).size(), 500u);
+}
+
+TEST(Table1ScalingTest, NaiveBayesHundredClasses) {
+  Rng rng(5);
+  auto vocab = MakeVocabulary(100, rng);
+  ZipfSampler zipf(vocab.size(), 1.1);
+  auto docs = MakeLabelledDocs(100000 / 1000, 100, 20, vocab, zipf, rng);
+  EXPECT_EQ(docs.size(), 100u);
+  for (const Record& d : docs) {
+    int cls = std::stoi(d.key.substr(5));
+    EXPECT_GE(cls, 0);
+    EXPECT_LT(cls, 100);
+  }
+}
+
+TEST(Table1ScalingTest, WorkloadsRunAtMultipleScales) {
+  RunAtScale("Sort", 1000.0);
+  RunAtScale("Sort", 4000.0);
+  RunAtScale("PageRank", 4000.0);
+}
+
+}  // namespace
+}  // namespace gs

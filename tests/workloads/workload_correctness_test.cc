@@ -1,0 +1,156 @@
+// End-to-end workload correctness: each HiBench workload computes the same
+// results under Spark, Centralized and AggShuffle — the shuffle mechanism
+// must never change semantics, only placement and timing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "workloads/hibench.h"
+
+namespace gs {
+namespace {
+
+// Tiny scale so the full matrix stays fast.
+constexpr double kTestScale = 2000;
+
+RunConfig TestConfig(Scheme scheme) {
+  RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 5;
+  cfg.scale = kTestScale;
+  cfg.cost = CostModel{}.Scaled(kTestScale);
+  return cfg;
+}
+
+WorkloadParams TestParams() {
+  WorkloadParams params;
+  params.scale = kTestScale;
+  params.map_partitions = 12;
+  params.reduce_tasks = 4;
+  params.collect_results = true;
+  return params;
+}
+
+std::vector<Record> SortedRecords(std::vector<Record> records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.key < b.key;
+                   });
+  return records;
+}
+
+JobResult RunWorkload(const std::string& name, Scheme scheme) {
+  GeoCluster cluster(Ec2SixRegionTopology(kTestScale), TestConfig(scheme));
+  auto wl = MakeWorkload(name, TestParams());
+  return wl->Run(cluster, /*data_seed=*/42);
+}
+
+class WorkloadEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadEquivalenceTest, AllSchemesProduceIdenticalResults) {
+  auto spark = SortedRecords(RunWorkload(GetParam(), Scheme::kSpark).records);
+  auto centralized =
+      SortedRecords(RunWorkload(GetParam(), Scheme::kCentralized).records);
+  auto agg =
+      SortedRecords(RunWorkload(GetParam(), Scheme::kAggShuffle).records);
+  ASSERT_FALSE(spark.empty());
+  EXPECT_EQ(spark, centralized);
+  EXPECT_EQ(spark, agg);
+}
+
+INSTANTIATE_TEST_SUITE_P(HiBench, WorkloadEquivalenceTest,
+                         ::testing::ValuesIn(AllWorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadCorrectnessTest, WordCountTotalsMatchInputWordCount) {
+  JobResult r = RunWorkload("WordCount", Scheme::kAggShuffle);
+  std::int64_t total = 0;
+  for (const Record& rec : r.records) {
+    total += std::get<std::int64_t>(rec.value);
+  }
+  EXPECT_GT(total, 0);
+  // Re-running with the same data seed reproduces the exact total.
+  JobResult again = RunWorkload("WordCount", Scheme::kSpark);
+  std::int64_t total2 = 0;
+  for (const Record& rec : again.records) {
+    total2 += std::get<std::int64_t>(rec.value);
+  }
+  EXPECT_EQ(total, total2);
+}
+
+TEST(WorkloadCorrectnessTest, SortOutputIsGloballySorted) {
+  JobResult r = RunWorkload("Sort", Scheme::kAggShuffle);
+  ASSERT_GT(r.records.size(), 100u);
+  for (std::size_t i = 1; i < r.records.size(); ++i) {
+    EXPECT_LE(r.records[i - 1].key, r.records[i].key) << "at " << i;
+  }
+}
+
+TEST(WorkloadCorrectnessTest, TeraSortOutputSortedAndBloated) {
+  JobResult r = RunWorkload("TeraSort", Scheme::kSpark);
+  ASSERT_GT(r.records.size(), 100u);
+  for (std::size_t i = 1; i < r.records.size(); ++i) {
+    ASSERT_LE(r.records[i - 1].key, r.records[i].key) << "at " << i;
+  }
+  // The formatting map appended metadata to every value.
+  for (const Record& rec : r.records) {
+    EXPECT_NE(std::get<std::string>(rec.value).find("|meta="),
+              std::string::npos);
+  }
+}
+
+TEST(WorkloadCorrectnessTest, PageRankRanksAreValid) {
+  JobResult r = RunWorkload("PageRank", Scheme::kAggShuffle);
+  ASSERT_EQ(r.records.size(), 250u);  // 500k / 2000
+  double total = 0;
+  for (const Record& rec : r.records) {
+    double rank = std::get<double>(rec.value);
+    EXPECT_GE(rank, 0.15) << rec.key;
+    total += rank;
+  }
+  // Ranks roughly conserve mass: sum ~= N (damping keeps it near N).
+  EXPECT_GT(total, 0.5 * 250);
+  EXPECT_LT(total, 1.5 * 250);
+}
+
+TEST(WorkloadCorrectnessTest, NaiveBayesModelCoversAllClasses) {
+  JobResult r = RunWorkload("NaiveBayes", Scheme::kCentralized);
+  ASSERT_FALSE(r.records.empty());
+  for (const Record& rec : r.records) {
+    EXPECT_EQ(rec.key.substr(0, 5), "class");
+    const auto& model = std::get<std::vector<TermWeight>>(rec.value);
+    EXPECT_FALSE(model.empty());
+    for (const auto& [term, logp] : model) {
+      EXPECT_LT(logp, 0.0) << "log-probabilities must be negative";
+    }
+  }
+}
+
+TEST(WorkloadCorrectnessTest, SpecSummariesMentionScale) {
+  for (const std::string& name : AllWorkloadNames()) {
+    auto wl = MakeWorkload(name, TestParams());
+    EXPECT_FALSE(wl->SpecSummary().empty());
+    EXPECT_EQ(wl->name(), name);
+  }
+}
+
+TEST(WorkloadCorrectnessTest, UnknownWorkloadThrows) {
+  EXPECT_THROW(MakeWorkload("bogus", TestParams()), CheckFailure);
+}
+
+TEST(WorkloadCorrectnessTest, TeraSortExplicitTransferSameResults) {
+  WorkloadParams params = TestParams();
+  auto run = [&params](bool explicit_transfer) {
+    params.terasort_explicit_transfer = explicit_transfer;
+    GeoCluster cluster(Ec2SixRegionTopology(kTestScale),
+                       TestConfig(Scheme::kAggShuffle));
+    auto wl = MakeWorkload("TeraSort", params);
+    return SortedRecords(wl->Run(cluster, 42).records);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace gs

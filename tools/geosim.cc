@@ -1,0 +1,186 @@
+// geosim: command-line driver for the GeoShuffle simulator.
+//
+// Runs one HiBench workload under one scheme on the six-region cluster and
+// prints metrics; optionally writes a Chrome-trace JSON and/or an ASCII
+// Gantt chart of the execution (tasks, stages and WAN flows).
+//
+//   geosim --workload=pagerank --scheme=aggshuffle --runs=3
+//   geosim --workload=sort --scheme=spark --trace=trace.json --gantt
+//   geosim --help
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "engine/cluster.h"
+#include "netsim/pricing.h"
+#include "workloads/hibench.h"
+
+namespace {
+
+struct Options {
+  std::string workload = "wordcount";
+  std::string scheme = "aggshuffle";
+  int runs = 1;
+  double scale = 100.0;
+  std::uint64_t seed = 1;
+  int aggregators = 1;
+  std::string trace_path;  // Chrome-trace JSON output
+  bool gantt = false;
+  bool help = false;
+};
+
+void PrintHelp() {
+  std::cout <<
+      "geosim — wide-area shuffle simulator (ICDCS'17 Push/Aggregate)\n"
+      "\n"
+      "  --workload=NAME   wordcount | sort | terasort | pagerank |\n"
+      "                    naivebayes            (default wordcount)\n"
+      "  --scheme=NAME     spark | centralized | aggshuffle\n"
+      "                                          (default aggshuffle)\n"
+      "  --runs=N          seeds to run and summarize (default 1)\n"
+      "  --scale=X         input/rate scale divisor (default 100)\n"
+      "  --seed=N          base seed (default 1)\n"
+      "  --aggregators=K   aggregate into K datacenters (default 1)\n"
+      "  --trace=FILE      write Chrome-trace JSON of the last run\n"
+      "  --gantt           print an ASCII Gantt chart of the last run\n"
+      "  --help            this text\n";
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+bool ParseOptions(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      opts->help = true;
+    } else if (std::strcmp(argv[i], "--gantt") == 0) {
+      opts->gantt = true;
+    } else if (ParseFlag(argv[i], "workload", &opts->workload) ||
+               ParseFlag(argv[i], "scheme", &opts->scheme) ||
+               ParseFlag(argv[i], "trace", &opts->trace_path)) {
+      // parsed into the right field already
+    } else if (ParseFlag(argv[i], "runs", &value)) {
+      opts->runs = std::max(1, std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "scale", &value)) {
+      opts->scale = std::max(1.0, std::atof(value.c_str()));
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      opts->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "aggregators", &value)) {
+      opts->aggregators = std::max(1, std::atoi(value.c_str()));
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+gs::Scheme ParseScheme(const std::string& name) {
+  if (name == "spark") return gs::Scheme::kSpark;
+  if (name == "centralized") return gs::Scheme::kCentralized;
+  if (name == "aggshuffle") return gs::Scheme::kAggShuffle;
+  std::cerr << "unknown scheme '" << name << "', using aggshuffle\n";
+  return gs::Scheme::kAggShuffle;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  Options opts;
+  if (!ParseOptions(argc, argv, &opts)) {
+    PrintHelp();
+    return 2;
+  }
+  if (opts.help) {
+    PrintHelp();
+    return 0;
+  }
+
+  WorkloadParams params;
+  params.scale = opts.scale;
+
+  std::vector<double> jcts, traffic;
+  std::string last_gantt, last_json;
+  JobMetrics last;
+  double last_cost_usd = 0;
+  for (int r = 0; r < opts.runs; ++r) {
+    RunConfig cfg;
+    cfg.scheme = ParseScheme(opts.scheme);
+    cfg.seed = opts.seed + static_cast<std::uint64_t>(r);
+    cfg.scale = opts.scale;
+    cfg.cost = CostModel{}.Scaled(opts.scale);
+    cfg.aggregator_dc_count = opts.aggregators;
+    GeoCluster cluster(Ec2SixRegionTopology(opts.scale), cfg);
+    const bool want_trace =
+        (r == opts.runs - 1) && (opts.gantt || !opts.trace_path.empty());
+    if (want_trace) cluster.EnableTracing();
+
+    auto wl = MakeWorkload(opts.workload, params);
+    JobResult result = wl->Run(cluster, cfg.seed * 7919 + 13);
+    jcts.push_back(result.metrics.jct());
+    traffic.push_back(ToMiB(result.metrics.cross_dc_bytes));
+    last = result.metrics;
+    // Dollar view of the cross-region traffic (full-scale equivalent:
+    // meter bytes are 1/scale of the real volume).
+    last_cost_usd = WanPricing::Ec2SixRegionTariff().CostUsd(
+                        cluster.network().meter(), cluster.topology()) *
+                    opts.scale;
+    if (want_trace) {
+      if (opts.gantt) last_gantt = cluster.trace()->RenderGantt(110);
+      if (!opts.trace_path.empty()) {
+        last_json = cluster.trace()->ToChromeTraceJson();
+      }
+    }
+  }
+
+  Summary jct = Summarize(jcts);
+  Summary tr = Summarize(traffic);
+  TextTable table({"metric", "trimmed mean", "median", "min", "max"});
+  table.AddRow({"job completion time (s)", FmtDouble(jct.trimmed_mean, 2),
+                FmtDouble(jct.median, 2), FmtDouble(jct.min, 2),
+                FmtDouble(jct.max, 2)});
+  table.AddRow({"cross-DC traffic (MiB)", FmtDouble(tr.trimmed_mean, 2),
+                FmtDouble(tr.median, 2), FmtDouble(tr.min, 2),
+                FmtDouble(tr.max, 2)});
+  std::cout << opts.workload << " under " << opts.scheme << " ("
+            << opts.runs << " run(s), scale 1/" << opts.scale << "):\n"
+            << table.Render();
+
+  std::cout << "\nEstimated WAN egress cost at full scale (EC2-2016 "
+               "tariff): $"
+            << FmtDouble(last_cost_usd, 4) << "\n";
+  std::cout << "\nStages (last run):\n";
+  TextTable stages({"stage", "tasks", "span (s)", "failures"});
+  for (const StageMetrics& s : last.stages) {
+    stages.AddRow({std::to_string(s.id) + ":" + s.name,
+                   std::to_string(s.num_tasks), FmtDouble(s.span(), 2),
+                   std::to_string(s.task_failures)});
+  }
+  std::cout << stages.Render();
+
+  if (!last_gantt.empty()) {
+    std::cout << "\nExecution timeline (last run):\n" << last_gantt;
+  }
+  if (!opts.trace_path.empty()) {
+    std::ofstream out(opts.trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << opts.trace_path << "\n";
+      return 1;
+    }
+    out << last_json;
+    std::cout << "\nChrome trace written to " << opts.trace_path
+              << " (open in chrome://tracing or Perfetto)\n";
+  }
+  return 0;
+}
