@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_speculation.dir/bench_ablation_speculation.cc.o"
+  "CMakeFiles/bench_ablation_speculation.dir/bench_ablation_speculation.cc.o.d"
+  "bench_ablation_speculation"
+  "bench_ablation_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_terasort_explicit.dir/bench_ablation_terasort_explicit.cc.o"
+  "CMakeFiles/bench_ablation_terasort_explicit.dir/bench_ablation_terasort_explicit.cc.o.d"
+  "bench_ablation_terasort_explicit"
+  "bench_ablation_terasort_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_terasort_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

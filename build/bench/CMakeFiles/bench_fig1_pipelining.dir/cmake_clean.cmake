@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pipelining.dir/bench_fig1_pipelining.cc.o"
+  "CMakeFiles/bench_fig1_pipelining.dir/bench_fig1_pipelining.cc.o.d"
+  "bench_fig1_pipelining"
+  "bench_fig1_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_netsim.dir/bench_micro_netsim.cc.o"
+  "CMakeFiles/bench_micro_netsim.dir/bench_micro_netsim.cc.o.d"
+  "bench_micro_netsim"
+  "bench_micro_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_wordcount.dir/geo_wordcount.cpp.o"
+  "CMakeFiles/geo_wordcount.dir/geo_wordcount.cpp.o.d"
+  "geo_wordcount"
+  "geo_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_pagerank.dir/iterative_pagerank.cpp.o"
+  "CMakeFiles/iterative_pagerank.dir/iterative_pagerank.cpp.o.d"
+  "iterative_pagerank"
+  "iterative_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

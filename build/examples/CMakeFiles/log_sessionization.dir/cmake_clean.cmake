@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_sessionization.dir/log_sessionization.cpp.o"
+  "CMakeFiles/log_sessionization.dir/log_sessionization.cpp.o.d"
+  "log_sessionization"
+  "log_sessionization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_sessionization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

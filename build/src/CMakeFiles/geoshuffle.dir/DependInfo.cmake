@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/geoshuffle.dir/common/log.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/geoshuffle.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/geoshuffle.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/geoshuffle.dir/common/table.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/common/table.cc.o.d"
+  "/root/repo/src/dag/dag_scheduler.cc" "src/CMakeFiles/geoshuffle.dir/dag/dag_scheduler.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/dag/dag_scheduler.cc.o.d"
+  "/root/repo/src/data/combiner.cc" "src/CMakeFiles/geoshuffle.dir/data/combiner.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/data/combiner.cc.o.d"
+  "/root/repo/src/data/compression.cc" "src/CMakeFiles/geoshuffle.dir/data/compression.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/data/compression.cc.o.d"
+  "/root/repo/src/data/partitioner.cc" "src/CMakeFiles/geoshuffle.dir/data/partitioner.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/data/partitioner.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/CMakeFiles/geoshuffle.dir/data/record.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/data/record.cc.o.d"
+  "/root/repo/src/engine/cluster.cc" "src/CMakeFiles/geoshuffle.dir/engine/cluster.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/engine/cluster.cc.o.d"
+  "/root/repo/src/engine/dataset.cc" "src/CMakeFiles/geoshuffle.dir/engine/dataset.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/engine/dataset.cc.o.d"
+  "/root/repo/src/engine/job_runner.cc" "src/CMakeFiles/geoshuffle.dir/engine/job_runner.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/engine/job_runner.cc.o.d"
+  "/root/repo/src/engine/trace.cc" "src/CMakeFiles/geoshuffle.dir/engine/trace.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/engine/trace.cc.o.d"
+  "/root/repo/src/exec/disk.cc" "src/CMakeFiles/geoshuffle.dir/exec/disk.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/exec/disk.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/geoshuffle.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/CMakeFiles/geoshuffle.dir/netsim/network.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/netsim/network.cc.o.d"
+  "/root/repo/src/netsim/pricing.cc" "src/CMakeFiles/geoshuffle.dir/netsim/pricing.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/netsim/pricing.cc.o.d"
+  "/root/repo/src/netsim/topology.cc" "src/CMakeFiles/geoshuffle.dir/netsim/topology.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/netsim/topology.cc.o.d"
+  "/root/repo/src/rdd/rdd.cc" "src/CMakeFiles/geoshuffle.dir/rdd/rdd.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/rdd/rdd.cc.o.d"
+  "/root/repo/src/sched/task_scheduler.cc" "src/CMakeFiles/geoshuffle.dir/sched/task_scheduler.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/sched/task_scheduler.cc.o.d"
+  "/root/repo/src/simcore/simulator.cc" "src/CMakeFiles/geoshuffle.dir/simcore/simulator.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/simcore/simulator.cc.o.d"
+  "/root/repo/src/storage/block_manager.cc" "src/CMakeFiles/geoshuffle.dir/storage/block_manager.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/storage/block_manager.cc.o.d"
+  "/root/repo/src/storage/map_output_tracker.cc" "src/CMakeFiles/geoshuffle.dir/storage/map_output_tracker.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/storage/map_output_tracker.cc.o.d"
+  "/root/repo/src/workloads/hibench.cc" "src/CMakeFiles/geoshuffle.dir/workloads/hibench.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/workloads/hibench.cc.o.d"
+  "/root/repo/src/workloads/input_gen.cc" "src/CMakeFiles/geoshuffle.dir/workloads/input_gen.cc.o" "gcc" "src/CMakeFiles/geoshuffle.dir/workloads/input_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/check_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/common/check_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/common/check_test.cc.o.d"
+  "/root/repo/tests/common/log_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/common/log_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/common/log_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/common/table_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/common/units_test.cc.o.d"
+  "/root/repo/tests/dag/dag_scheduler_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/dag/dag_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/dag/dag_scheduler_test.cc.o.d"
+  "/root/repo/tests/data/combiner_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/data/combiner_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/data/combiner_test.cc.o.d"
+  "/root/repo/tests/data/compression_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/data/compression_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/data/compression_test.cc.o.d"
+  "/root/repo/tests/data/partitioner_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/data/partitioner_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/data/partitioner_test.cc.o.d"
+  "/root/repo/tests/data/record_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/data/record_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/data/record_test.cc.o.d"
+  "/root/repo/tests/engine/cache_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/cache_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/cache_test.cc.o.d"
+  "/root/repo/tests/engine/dataset_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/dataset_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/dataset_test.cc.o.d"
+  "/root/repo/tests/engine/edge_cases_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/edge_cases_test.cc.o.d"
+  "/root/repo/tests/engine/failure_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/failure_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/failure_test.cc.o.d"
+  "/root/repo/tests/engine/locality_spill_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/locality_spill_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/locality_spill_test.cc.o.d"
+  "/root/repo/tests/engine/metrics_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/metrics_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/metrics_test.cc.o.d"
+  "/root/repo/tests/engine/reduce_locality_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/reduce_locality_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/reduce_locality_test.cc.o.d"
+  "/root/repo/tests/engine/speculation_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/speculation_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/speculation_test.cc.o.d"
+  "/root/repo/tests/engine/subset_aggregation_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/subset_aggregation_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/subset_aggregation_test.cc.o.d"
+  "/root/repo/tests/engine/trace_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/trace_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/trace_test.cc.o.d"
+  "/root/repo/tests/engine/transfer_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/transfer_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/engine/transfer_test.cc.o.d"
+  "/root/repo/tests/exec/disk_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/exec/disk_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/exec/disk_test.cc.o.d"
+  "/root/repo/tests/exec/evaluator_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/exec/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/exec/evaluator_test.cc.o.d"
+  "/root/repo/tests/integration/reproduction_claims_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/integration/reproduction_claims_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/integration/reproduction_claims_test.cc.o.d"
+  "/root/repo/tests/integration/smoke_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/integration/smoke_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/integration/smoke_test.cc.o.d"
+  "/root/repo/tests/netsim/fairness_property_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/fairness_property_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/fairness_property_test.cc.o.d"
+  "/root/repo/tests/netsim/flow_observer_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/flow_observer_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/flow_observer_test.cc.o.d"
+  "/root/repo/tests/netsim/jitter_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/jitter_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/jitter_test.cc.o.d"
+  "/root/repo/tests/netsim/network_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/network_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/network_test.cc.o.d"
+  "/root/repo/tests/netsim/noisy_network_property_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/noisy_network_property_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/noisy_network_property_test.cc.o.d"
+  "/root/repo/tests/netsim/pricing_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/pricing_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/pricing_test.cc.o.d"
+  "/root/repo/tests/netsim/topology_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/topology_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/netsim/topology_test.cc.o.d"
+  "/root/repo/tests/rdd/rdd_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/rdd/rdd_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/rdd/rdd_test.cc.o.d"
+  "/root/repo/tests/sched/task_scheduler_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/sched/task_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/sched/task_scheduler_test.cc.o.d"
+  "/root/repo/tests/shuffle/traffic_lower_bound_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/shuffle/traffic_lower_bound_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/shuffle/traffic_lower_bound_test.cc.o.d"
+  "/root/repo/tests/simcore/simulator_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/simcore/simulator_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/simcore/simulator_test.cc.o.d"
+  "/root/repo/tests/storage/block_manager_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/storage/block_manager_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/storage/block_manager_test.cc.o.d"
+  "/root/repo/tests/storage/map_output_tracker_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/storage/map_output_tracker_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/storage/map_output_tracker_test.cc.o.d"
+  "/root/repo/tests/workloads/input_gen_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/workloads/input_gen_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/workloads/input_gen_test.cc.o.d"
+  "/root/repo/tests/workloads/table1_scaling_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/workloads/table1_scaling_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/workloads/table1_scaling_test.cc.o.d"
+  "/root/repo/tests/workloads/workload_correctness_test.cc" "tests/CMakeFiles/geoshuffle_tests.dir/workloads/workload_correctness_test.cc.o" "gcc" "tests/CMakeFiles/geoshuffle_tests.dir/workloads/workload_correctness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoshuffle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

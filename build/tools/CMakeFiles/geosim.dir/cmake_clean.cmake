@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosim.dir/geosim.cc.o"
+  "CMakeFiles/geosim.dir/geosim.cc.o.d"
+  "geosim"
+  "geosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for geosim.
+# This may be replaced when dependencies are built.

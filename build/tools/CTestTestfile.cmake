@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(geosim_help "/root/repo/build/tools/geosim" "--help")
+set_tests_properties(geosim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geosim_sort_aggshuffle "/root/repo/build/tools/geosim" "--workload=sort" "--scheme=aggshuffle" "--runs=1" "--scale=2000")
+set_tests_properties(geosim_sort_aggshuffle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geosim_wordcount_spark_gantt "/root/repo/build/tools/geosim" "--workload=wordcount" "--scheme=spark" "--runs=1" "--scale=2000" "--gantt")
+set_tests_properties(geosim_wordcount_spark_gantt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geosim_pagerank_centralized "/root/repo/build/tools/geosim" "--workload=pagerank" "--scheme=centralized" "--runs=2" "--scale=2000" "--aggregators=2")
+set_tests_properties(geosim_pagerank_centralized PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geosim_rejects_unknown_flag "/root/repo/build/tools/geosim" "--bogus=1")
+set_tests_properties(geosim_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geosim_writes_chrome_trace "/root/repo/build/tools/geosim" "--workload=sort" "--scheme=aggshuffle" "--runs=1" "--scale=2000" "--trace=geosim_test_trace.json")
+set_tests_properties(geosim_writes_chrome_trace PROPERTIES  PASS_REGULAR_EXPRESSION "Chrome trace written" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
