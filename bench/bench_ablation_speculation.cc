@@ -27,7 +27,7 @@ int main() {
       std::vector<double> jcts, traffic;
       for (int r = 0; r < h.runs; ++r) {
         RunConfig cfg = MakeRunConfig(h, scheme, r + 1);
-        cfg.speculation = speculate;
+        cfg.speculation.enabled = speculate;
         // Heavier stragglers than the default environment.
         cfg.cost.straggler_prob = 0.2;
         cfg.cost.straggler_factor = 5.0;

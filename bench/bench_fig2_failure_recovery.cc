@@ -42,8 +42,8 @@ int main() {
       cfg.net.wan_flow_efficiency_min = 1.0;
       cfg.cost.straggler_sigma = 0;
       cfg.cost.straggler_prob = 0;
-      cfg.reduce_failure_prob = failing ? 1.0 : 0.0;
-      cfg.failure_point = 0.5;
+      cfg.fault.reduce_failure_prob = failing ? 1.0 : 0.0;
+      cfg.fault.failure_point = 0.5;
       GeoCluster cluster(MakeTopology(h), cfg);
       auto wl = MakeWorkload("Sort", params);
       JobResult r = wl->Run(cluster, /*data_seed=*/99);

@@ -34,7 +34,7 @@ RunConfig MakeRunConfig(const HarnessConfig& h, Scheme scheme,
   // A small per-attempt reduce-task failure rate, as observed on shared
   // EC2 tenancy — the recovery-path difference (WAN re-fetch vs local
   // re-read, Fig. 2) is part of what the paper measures.
-  cfg.reduce_failure_prob = 0.08;
+  cfg.fault.reduce_failure_prob = 0.08;
   return cfg;
 }
 

@@ -3,6 +3,13 @@
 # Paper figures use 10 runs (like the paper); ablations use 5.
 cd "$(dirname "$0")"
 out=bench_output.txt
+# Benches measure timing shapes; under ASan/UBSan (GS_SANITIZE=ON) the
+# numbers are meaningless and the sweeps are painfully slow — skip.
+if grep -qs "GS_SANITIZE:BOOL=ON" build/CMakeCache.txt; then
+  echo "sanitizer build detected (GS_SANITIZE=ON); skipping benches" | tee "$out"
+  echo "ALL-BENCHES-DONE" >> "$out"
+  exit 0
+fi
 : > "$out"
 for b in build/bench/*; do
   case "$b" in

@@ -1,0 +1,12 @@
+#!/bin/bash
+# CI: configure, build and run the test suite under ASan+UBSan.
+# Equivalent to: cmake --preset asan && cmake --build --preset asan &&
+#                ctest --preset asan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGS_SANITIZE=ON
+cmake --build build-asan -j "$(nproc)"
+ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"

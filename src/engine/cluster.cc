@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "dag/dag_scheduler.h"
 #include "engine/dataset.h"
+#include "engine/fault_injector.h"
 #include "engine/job_runner.h"
 
 namespace gs {
@@ -51,6 +52,10 @@ GeoCluster::GeoCluster(Topology topo, RunConfig config)
       driver_node_ = n;
       break;
     }
+  }
+  if (!config_.fault.plan.empty()) {
+    faults_ = std::make_unique<FaultInjector>(*this, config_.fault.plan,
+                                              root_rng_.Split("faults"));
   }
 }
 
@@ -130,8 +135,40 @@ NodeIndex GeoCluster::SourceLocation(const SourceRdd& rdd,
   const std::int64_t key =
       (static_cast<std::int64_t>(rdd.id()) << 32) | partition;
   auto it = relocations_.find(key);
-  if (it != relocations_.end()) return it->second;
-  return rdd.partition(partition).node;
+  NodeIndex home =
+      it != relocations_.end() ? it->second : rdd.partition(partition).node;
+  if (scheduler_->node_up(home)) return home;
+  // The home node is down: HDFS keeps replicas within the datacenter, so
+  // read from a live worker there instead.
+  for (NodeIndex n : topo_.nodes_in(topo_.dc_of(home))) {
+    if (topo_.node(n).worker && scheduler_->node_up(n)) return n;
+  }
+  return home;  // no live replica holder; keep the original location
+}
+
+void GeoCluster::CrashNode(NodeIndex node, SimTime restart_after) {
+  GS_CHECK(node >= 0 && node < topo_.num_nodes());
+  GS_CHECK_MSG(topo_.node(node).worker, "cannot crash the driver");
+  if (!scheduler_->node_up(node)) return;  // already down
+  GS_LOG_INFO << "node crash: " << topo_.node(node).name
+              << " at t=" << sim_.Now()
+              << (restart_after > 0 ? " (will restart)" : "");
+  scheduler_->SetNodeDown(node);
+  blocks_->DropNode(node);
+  if (active_runner_ != nullptr) active_runner_->OnNodeCrashed(node);
+  if (restart_after > 0) {
+    sim_.Schedule(restart_after, [this, node] { RestartNode(node); });
+  }
+}
+
+void GeoCluster::RestartNode(NodeIndex node) {
+  GS_LOG_INFO << "node restart: " << topo_.node(node).name
+              << " at t=" << sim_.Now();
+  scheduler_->SetNodeUp(node);
+}
+
+void GeoCluster::LoseShuffleBlocks(NodeIndex node) {
+  blocks_->DropKindOnNode(node, BlockId::Kind::kShuffle);
 }
 
 RddPtr GeoCluster::MaybeRewrite(const RddPtr& final_rdd) {
@@ -183,7 +220,9 @@ JobResult GeoCluster::RunJob(const RddPtr& final_rdd, ActionKind action) {
               << ") starting at t=" << sim_.Now();
   JobRunner runner(*this, rdd, action,
                    root_rng_.Split(static_cast<std::uint64_t>(job_id) + 17));
+  active_runner_ = &runner;
   JobResult result = runner.Run();
+  active_runner_ = nullptr;
   last_metrics_ = result.metrics;
   GS_LOG_INFO << "job " << job_id << " finished in "
               << result.metrics.jct() << "s, cross-DC "

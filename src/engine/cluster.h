@@ -40,6 +40,8 @@
 namespace gs {
 
 class Dataset;
+class FaultInjector;
+class JobRunner;
 
 // How a job's result stage delivers its output.
 enum class ActionKind {
@@ -93,8 +95,24 @@ class GeoCluster {
   TraceCollector& EnableTracing();
   TraceCollector* trace() { return trace_.get(); }
 
-  // Current (possibly relocated) node of a source partition.
+  // Current (possibly relocated) node of a source partition. If the home
+  // node is down, reads fall back to a live worker in the same datacenter
+  // (HDFS keeps in-datacenter replicas).
   NodeIndex SourceLocation(const SourceRdd& rdd, int partition) const;
+
+  // --- fault injection (see engine/fault_plan.h and docs/FAULTS.md) ---
+  // Scheduled FaultPlan events (RunConfig::fault.plan) call these; tests
+  // and benches may also invoke them directly mid-run via simulator events.
+
+  // Crashes a worker: its slots and stored blocks are gone, running tasks
+  // are rescheduled, lost map outputs are discovered at fetch time. With
+  // restart_after > 0 a fresh executor rejoins that much later.
+  void CrashNode(NodeIndex node, SimTime restart_after = 0);
+  // Brings a fresh executor up on a crashed node (no blocks come back).
+  void RestartNode(NodeIndex node);
+  // Silently drops the node's shuffle blocks (disk corruption) without
+  // killing its executor.
+  void LoseShuffleBlocks(NodeIndex node);
 
  private:
   friend class JobRunner;
@@ -117,6 +135,9 @@ class GeoCluster {
   MapOutputTracker tracker_;
   std::unique_ptr<TaskScheduler> scheduler_;
   std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<FaultInjector> faults_;
+  // The runner of the job currently executing (crash notifications).
+  JobRunner* active_runner_ = nullptr;
   NodeIndex driver_node_ = 0;
 
   RddId next_rdd_id_ = 0;

@@ -91,14 +91,18 @@ Dataset Dataset::TransferTo(DcIndex target_dc) const {
   return Dataset(cluster_, std::move(rdd));
 }
 
+JobResult Dataset::Run(ActionKind action) const {
+  return cluster_->RunJob(rdd_, action);
+}
+
 std::vector<Record> Dataset::Collect() const {
-  return RunCollect().records;
+  return Run(ActionKind::kCollect).records;
 }
 
 std::int64_t Dataset::Count() const {
   // Counting materializes the dataset but only ships per-partition counts;
   // modelled as a Save-style job plus a local reduction of the counts.
-  JobResult r = cluster_->RunJob(rdd_, ActionKind::kSave);
+  JobResult r = Run(ActionKind::kSave);
   std::int64_t count = 0;
   for (const Record& rec : r.records) {
     count += std::get<std::int64_t>(rec.value);
@@ -106,14 +110,10 @@ std::int64_t Dataset::Count() const {
   return count;
 }
 
-void Dataset::Save() const { (void)cluster_->RunJob(rdd_, ActionKind::kSave); }
+void Dataset::Save() const { (void)Run(ActionKind::kSave); }
 
-JobResult Dataset::RunCollect() const {
-  return cluster_->RunJob(rdd_, ActionKind::kCollect);
-}
+JobResult Dataset::RunCollect() const { return Run(ActionKind::kCollect); }
 
-JobResult Dataset::RunSave() const {
-  return cluster_->RunJob(rdd_, ActionKind::kSave);
-}
+JobResult Dataset::RunSave() const { return Run(ActionKind::kSave); }
 
 }  // namespace gs

@@ -58,12 +58,16 @@ class Dataset {
   Dataset TransferTo(DcIndex target_dc = kNoDc) const;
 
   // ---- Actions ------------------------------------------------------------
+  // Every action funnels through Run(): one job execution path, one result
+  // type. The named actions are thin conveniences over it.
+  JobResult Run(ActionKind action) const;
+
   std::vector<Record> Collect() const;
   std::int64_t Count() const;  // records in the dataset; Save-style traffic
   void Save() const;           // materialize on workers, ack to driver
 
-  JobResult RunCollect() const;  // Collect + metrics
-  JobResult RunSave() const;     // Save + metrics
+  [[deprecated("use Run(ActionKind::kCollect)")]] JobResult RunCollect() const;
+  [[deprecated("use Run(ActionKind::kSave)")]] JobResult RunSave() const;
 
  private:
   GeoCluster* cluster_;

@@ -256,6 +256,14 @@ void JobRunner::OnStageDone(StageId id) {
     span.end = sim_.Now();
     trace->Add(std::move(span));
   }
+  // Reduce tasks parked by a fetch failure on this stage's shuffle can run
+  // again now that the missing map outputs are regenerated.
+  auto parked_it = waiting_on_stage_.find(id);
+  if (parked_it != waiting_on_stage_.end()) {
+    std::vector<TaskRun*> parked = std::move(parked_it->second);
+    waiting_on_stage_.erase(parked_it);
+    for (TaskRun* t : parked) SubmitTask(*t);
+  }
   if (id == result_stage_) {
     job_done_ = true;
     metrics_.completed = sim_.Now();
@@ -310,7 +318,15 @@ void JobRunner::SubmitTask(TaskRun& task) {
     }
   }
   TaskRun* task_ptr = &task;
-  request.on_assigned = [this, task_ptr](NodeIndex node, LocalityLevel) {
+  const int epoch = task.epoch;
+  request.on_assigned = [this, task_ptr, epoch](NodeIndex node,
+                                                LocalityLevel) {
+    if (task_ptr->epoch != epoch) {
+      // The task was restarted or parked while this assignment was in
+      // flight; give the slot back (a fresh submission is already queued).
+      cluster_.scheduler().ReleaseSlot(node);
+      return;
+    }
     OnAssigned(*task_ptr, node);
   };
   cluster_.scheduler().Submit(std::move(request));
@@ -318,6 +334,12 @@ void JobRunner::SubmitTask(TaskRun& task) {
 
 void JobRunner::OnAssigned(TaskRun& task, NodeIndex node) {
   StageRun& sr = stage_run(task.stage);
+  if (!cluster_.scheduler().node_up(node)) {
+    // The node crashed between the slot grant and its delivery; the slot
+    // died with the executor. Queue the task again.
+    SubmitTask(task);
+    return;
+  }
   task.node = node;
   task.assigned = true;
   task.assigned_at = sim_.Now();
@@ -339,8 +361,11 @@ void JobRunner::OnAssigned(TaskRun& task, NodeIndex node) {
     return;
   }
   TaskRun* task_ptr = &task;
-  sim_.Schedule(config_.cost.task_launch_overhead,
-                [this, task_ptr] { StartGather(*task_ptr); });
+  const int epoch = task.epoch;
+  sim_.Schedule(config_.cost.task_launch_overhead, [this, task_ptr, epoch] {
+    if (task_ptr->epoch != epoch) return;
+    StartGather(*task_ptr);
+  });
 }
 
 void JobRunner::StartGather(TaskRun& task) {
@@ -350,20 +375,30 @@ void JobRunner::StartGather(TaskRun& task) {
   task.cut_rdd = cut.rdd;
   task.cut_partition = cut.partition;
   task.gathered.clear();
+  task.gather_srcs.clear();
   task.in_bytes = 0;
   task.gather_is_processed = false;
+  task.fetch_failed_sid = -1;
+  task.fetch_failed_maps.clear();
   task.pending_gathers = 1;  // released at the end of this function
   TaskRun* t = &task;
+  const int epoch = task.epoch;
 
   auto add_disk_read = [&](Bytes bytes) {
     ++task.pending_gathers;
-    cluster_.disk().Read(task.node, bytes,
-                         [this, t] { GatherArrived(*t); });
+    cluster_.disk().Read(task.node, bytes, [this, t, epoch] {
+      if (t->epoch != epoch) return;
+      GatherArrived(*t);
+    });
   };
   auto add_flow = [&](NodeIndex from, Bytes bytes, FlowKind kind) {
     ++task.pending_gathers;
+    task.gather_srcs.push_back(from);
     cluster_.network().StartFlow(from, task.node, bytes, kind,
-                                 [this, t] { GatherArrived(*t); });
+                                 [this, t, epoch] {
+                                   if (t->epoch != epoch) return;
+                                   GatherArrived(*t);
+                                 });
   };
 
   if (cut.is_cached_cut) {
@@ -402,17 +437,42 @@ void JobRunner::StartGather(TaskRun& task) {
     const ShuffleId sid = s.shuffle().id;
     const int shard = cut.partition;
     const int num_maps = cluster_.tracker().num_map_partitions(sid);
+    // Fetch-failure detection (Spark semantics): lost map outputs — a
+    // crashed node's shuffle files, or outputs another reducer already
+    // invalidated — are discovered here, while building the fetch list.
+    std::vector<int> missing;
+    for (int m = 0; m < num_maps; ++m) {
+      const MapOutputLocation& out = cluster_.tracker().Output(sid, m, shard);
+      if (out.node == kNoNode ||
+          !cluster_.blocks().Has(out.node, BlockId::Shuffle(sid, m, shard))) {
+        missing.push_back(m);
+      }
+    }
+    if (!missing.empty()) {
+      // The attempt is doomed, but the fetch still runs for the blocks
+      // that exist: concurrent fetches from healthy nodes have moved their
+      // bytes by the time the dead server surfaces, and a restarted
+      // reducer discards and re-fetches everything. Over the WAN that
+      // waste is exactly the paper's Fig. 2 penalty for fetch-based
+      // shuffle; under Push/Aggregate the same waste stays
+      // datacenter-local. GatherArrived fails the task once the partial
+      // gather lands.
+      task.fetch_failed_sid = sid;
+      task.fetch_failed_maps = missing;
+    }
+    const bool doomed = !missing.empty();
     std::unordered_map<NodeIndex, Bytes> remote_bytes;
     Bytes local_bytes = 0;
     for (int m = 0; m < num_maps; ++m) {
       const MapOutputLocation& out = cluster_.tracker().Output(sid, m, shard);
-      GS_CHECK_MSG(out.node != kNoNode, "shuffle " << sid << " map output "
-                                                   << m << " missing");
+      if (out.node == kNoNode) continue;
       std::optional<Block> block = cluster_.blocks().Get(
           out.node, BlockId::Shuffle(sid, m, shard));
-      GS_CHECK(block.has_value());
-      task.gathered.insert(task.gathered.end(), block->records->begin(),
-                           block->records->end());
+      if (!block.has_value()) continue;  // lost with its node
+      if (!doomed) {
+        task.gathered.insert(task.gathered.end(), block->records->begin(),
+                             block->records->end());
+      }
       task.in_bytes += out.bytes;
       if (out.node == task.node) {
         local_bytes += out.bytes;
@@ -438,7 +498,16 @@ void JobRunner::StartGather(TaskRun& task) {
 
 void JobRunner::GatherArrived(TaskRun& task) {
   GS_CHECK(task.pending_gathers > 0);
-  if (--task.pending_gathers == 0) OnGatherDone(task);
+  if (--task.pending_gathers > 0) return;
+  if (!task.fetch_failed_maps.empty()) {
+    const ShuffleId sid = task.fetch_failed_sid;
+    const std::vector<int> missing = std::move(task.fetch_failed_maps);
+    task.fetch_failed_maps.clear();
+    task.fetch_failed_sid = -1;
+    HandleFetchFailure(task, sid, missing);
+    return;
+  }
+  OnGatherDone(task);
 }
 
 void JobRunner::OnGatherDone(TaskRun& task) {
@@ -466,14 +535,17 @@ void JobRunner::OnGatherDone(TaskRun& task) {
 
   // Store cache fills on this node once the compute finishes.
   TaskRun* t = &task;
+  const int epoch = task.epoch;
 
   // Failure injection (Sec. V, Fig. 2): reduce tasks may fail partway
   // through their first attempt.
   const bool may_fail = IsReducerStage(sr) && task.attempt == 0 &&
-                        config_.reduce_failure_prob > 0;
-  if (may_fail && rng_.Bernoulli(config_.reduce_failure_prob)) {
-    sim_.Schedule(cpu * config_.failure_point,
-                  [this, t] { OnTaskFailed(*t); });
+                        config_.fault.reduce_failure_prob > 0;
+  if (may_fail && rng_.Bernoulli(config_.fault.reduce_failure_prob)) {
+    sim_.Schedule(cpu * config_.fault.failure_point, [this, t, epoch] {
+      if (t->epoch != epoch) return;
+      OnTaskFailed(*t);
+    });
     return;
   }
 
@@ -486,10 +558,12 @@ void JobRunner::OnGatherDone(TaskRun& task) {
       sr.stage.transfer_consumer >= 0) {
     StageRun* producer_sr = &sr;
     sim_.Schedule(cpu * kEarlyPushFraction,
-                  [this, t, producer_sr, records]() mutable {
+                  [this, t, epoch, producer_sr, records]() mutable {
+                    if (t->epoch != epoch) return;
                     NotifyReceiver(*producer_sr, *t, std::move(records));
                   });
-    sim_.Schedule(cpu, [this, t, fills = std::move(eval.cache_fills)] {
+    sim_.Schedule(cpu, [this, t, epoch, fills = std::move(eval.cache_fills)] {
+      if (t->epoch != epoch) return;
       for (auto& fill : fills) {
         cluster_.blocks().Put(t->node,
                               BlockId::Cached(fill.rdd, fill.partition),
@@ -500,8 +574,9 @@ void JobRunner::OnGatherDone(TaskRun& task) {
     return;
   }
 
-  auto commit = [this, t, records = std::move(records),
+  auto commit = [this, t, epoch, records = std::move(records),
                  fills = std::move(eval.cache_fills)]() mutable {
+    if (t->epoch != epoch) return;
     for (auto& fill : fills) {
       cluster_.blocks().Put(t->node, BlockId::Cached(fill.rdd, fill.partition),
                             fill.records);
@@ -518,6 +593,7 @@ void JobRunner::OnTaskFailed(TaskRun& task) {
   GS_LOG_INFO << "task " << sr.stage.id << "/" << task.partition
               << " failed on " << topo_.node(task.node).name << ", retrying";
   cluster_.scheduler().ReleaseSlot(task.node);
+  ++task.epoch;
   ++task.attempt;
   task.assigned = false;
   task.node = kNoNode;
@@ -527,6 +603,7 @@ void JobRunner::OnTaskFailed(TaskRun& task) {
 void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
   StageRun& sr = stage_run(task.stage);
   TaskRun* t = &task;
+  const int epoch = task.epoch;
 
   switch (sr.stage.output) {
     case StageOutputKind::kResult: {
@@ -545,8 +622,10 @@ void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
       }
       results_[task.partition] = std::move(records);
       cluster_.network().StartFlow(task.node, cluster_.driver_node(), bytes,
-                                   FlowKind::kCollect,
-                                   [this, t] { FinishTask(*t); });
+                                   FlowKind::kCollect, [this, t, epoch] {
+                                     if (t->epoch != epoch) return;
+                                     FinishTask(*t);
+                                   });
       break;
     }
     case StageOutputKind::kShuffleWrite: {
@@ -571,8 +650,9 @@ void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
       const int map_partition = task.partition;
       cluster_.disk().Write(
           task.node, total,
-          [this, t, map_partition, sid = info.id,
+          [this, t, epoch, map_partition, sid = info.id,
            shards = std::move(shards), shard_bytes]() mutable {
+            if (t->epoch != epoch) return;
             for (int k = 0; k < static_cast<int>(shards.size()); ++k) {
               cluster_.blocks().PutWithSize(
                   t->node, BlockId::Shuffle(sid, map_partition, k),
@@ -630,7 +710,7 @@ void JobRunner::FinishTask(TaskRun& task) {
 }
 
 void JobRunner::MaybeSpeculate(StageRun& sr) {
-  if (!config_.speculation || sr.done) return;
+  if (!config_.speculation.enabled || sr.done) return;
   // Transfer pairs (producer or receiver) keep their one-to-one pairing;
   // only plain map/reduce/result stages speculate, like Spark excludes
   // custom-committed outputs.
@@ -639,13 +719,13 @@ void JobRunner::MaybeSpeculate(StageRun& sr) {
     return;
   }
   const int total = static_cast<int>(sr.tasks.size());
-  if (sr.tasks_done < config_.speculation_quantile * total) return;
+  if (sr.tasks_done < config_.speculation.quantile * total) return;
 
   std::vector<double> durations = sr.completed_durations;
   std::sort(durations.begin(), durations.end());
   const double median = durations[durations.size() / 2];
   const double threshold =
-      std::max(config_.speculation_multiplier * median, Millis(100));
+      std::max(config_.speculation.multiplier * median, Millis(100));
 
   for (auto& task : sr.tasks) {
     if (task->done || !task->assigned || task->has_backup ||
@@ -687,6 +767,281 @@ void JobRunner::MaybeSpeculate(StageRun& sr) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------------
+
+void JobRunner::OnNodeCrashed(NodeIndex node) {
+  if (job_done_) return;
+  ++metrics_.node_crashes;
+  for (auto& srp : stage_runs_) {
+    StageRun& sr = *srp;
+    if (sr.skipped || !sr.submitted) continue;
+    const bool receiver_stage = sr.stage.starts_at_transfer && !sr.standalone;
+    auto handle = [&](TaskRun& task) {
+      if (receiver_stage) {
+        // Completed receivers lose their written shuffle blocks with the
+        // node; that is discovered lazily at fetch time like any map loss.
+        if (task.done || task.node != node) return;
+        ++sr.metrics.task_failures;
+        ++metrics_.task_failures;
+        RecoverReceiver(task);
+        return;
+      }
+      if (task.done) {
+        // Finished transfer producer whose push is still in flight from
+        // this node: the buffered output died with the executor, so the
+        // producer task itself must be re-run (its receiver is reset by
+        // RestartTask/ResubmitCompletedTask). Finished *map* outputs stay
+        // registered until a fetch failure (lazy detection).
+        if (sr.stage.output == StageOutputKind::kTransferProduce &&
+            sr.stage.transfer_consumer >= 0 && task.node == node) {
+          TaskRun& recv =
+              *stage_run(sr.stage.transfer_consumer).tasks[task.partition];
+          if (!recv.done && recv.producer_done && !recv.data_landed &&
+              recv.producer_node == node) {
+            ++recv.epoch;
+            recv.producer_done = false;
+            recv.receiver_started = false;
+            recv.inbox.reset();
+            recv.inbox_bytes = 0;
+            ResubmitCompletedTask(sr, task);
+          }
+        }
+        return;
+      }
+      if (!task.assigned) return;  // queued tasks simply avoid the node
+      const bool hit =
+          task.node == node ||
+          std::find(task.gather_srcs.begin(), task.gather_srcs.end(), node) !=
+              task.gather_srcs.end();
+      if (!hit) return;
+      ++sr.metrics.task_failures;
+      ++metrics_.task_failures;
+      RestartTask(task);
+    };
+    for (auto& t : sr.tasks) handle(*t);
+    for (auto& t : sr.backups) handle(*t);
+  }
+}
+
+void JobRunner::RestartTask(TaskRun& task) {
+  StageRun& sr = stage_run(task.stage);
+  GS_CHECK(!task.done);
+  GS_LOG_INFO << "restarting task " << sr.stage.id << "/" << task.partition
+              << " (attempt " << task.attempt + 1 << ")";
+  ++task.epoch;
+  // A running transfer producer that already pushed: if the push has not
+  // landed, it dies with this node — reset the receiver so the re-run's
+  // push is accepted.
+  if (sr.stage.output == StageOutputKind::kTransferProduce &&
+      sr.stage.transfer_consumer >= 0) {
+    TaskRun& recv =
+        *stage_run(sr.stage.transfer_consumer).tasks[task.partition];
+    if (!recv.done && recv.producer_done && !recv.data_landed &&
+        recv.producer_node == task.node) {
+      ++recv.epoch;
+      recv.producer_done = false;
+      recv.receiver_started = false;
+      recv.inbox.reset();
+      recv.inbox_bytes = 0;
+    }
+  }
+  // No-op if the node is down (the slot died with it); releases the held
+  // slot when the task is restarted because a gather *source* died.
+  cluster_.scheduler().ReleaseSlot(task.node);
+  ++task.attempt;
+  task.assigned = false;
+  task.node = kNoNode;
+  task.gather_srcs.clear();
+  task.gathered.clear();
+  task.pending_gathers = 0;
+  task.in_bytes = 0;
+  SubmitTask(task);
+}
+
+void JobRunner::ResubmitCompletedTask(StageRun& sr, TaskRun& task) {
+  GS_CHECK(task.done);
+  task.done = false;
+  --sr.tasks_done;
+  sr.partition_done[task.partition] = false;
+  // The stage will re-fire OnStageDone when the re-run completes.
+  sr.done = false;
+  ++task.epoch;
+  ++task.attempt;
+  if (sr.stage.starts_at_transfer && !sr.standalone) {
+    // Re-run of a receiver: re-push the retained inbox to a fresh node in
+    // the aggregator subset (recovery stays datacenter-local there).
+    GS_CHECK(task.producer_done && task.inbox != nullptr);
+    task.assigned = false;
+    task.receiver_started = false;
+    task.data_landed = false;
+    task.node = PickReceiverNode(sr, kNoNode);
+    if (!cluster_.scheduler().node_up(task.producer_node)) {
+      // The push source died too: recompute the producer, which re-pushes.
+      task.producer_done = false;
+      task.inbox.reset();
+      task.inbox_bytes = 0;
+      StageRun& producer_sr = stage_run(sr.stage.transfer_producer);
+      TaskRun& pt = *producer_sr.tasks[task.partition];
+      if (pt.done) {
+        ResubmitCompletedTask(producer_sr, pt);
+      } else if (pt.assigned) {
+        RestartTask(pt);
+      }
+      return;
+    }
+    TryDeliver(task);
+    return;
+  }
+  task.assigned = false;
+  task.node = kNoNode;
+  task.gather_srcs.clear();
+  task.gathered.clear();
+  task.pending_gathers = 0;
+  SubmitTask(task);
+}
+
+void JobRunner::HandleFetchFailure(TaskRun& task, ShuffleId sid,
+                                   const std::vector<int>& missing) {
+  StageRun& sr = stage_run(task.stage);
+  ++metrics_.fetch_failures;
+  ++sr.metrics.task_failures;
+  ++metrics_.task_failures;
+  GS_LOG_INFO << "fetch failure: stage " << sr.stage.id << "/"
+              << task.partition << " is missing " << missing.size()
+              << " map output(s) of shuffle " << sid;
+  // Fail this attempt: give the slot back and park until the parent stage
+  // regenerates the lost outputs. The eventual retry re-fetches the whole
+  // shard — over the WAN under fetch-based shuffle, within the aggregator
+  // datacenter under Push/Aggregate (the paper's Fig. 2 asymmetry).
+  cluster_.scheduler().ReleaseSlot(task.node);
+  ++task.epoch;
+  ++task.attempt;
+  task.assigned = false;
+  task.node = kNoNode;
+  task.gathered.clear();
+  task.gather_srcs.clear();
+
+  for (int m : missing) cluster_.tracker().InvalidateMapOutput(sid, m);
+
+  const StageId parent_id = StageWritingShuffle(sid);
+  StageRun& parent = stage_run(parent_id);
+  GS_CHECK_MSG(!parent.skipped,
+               "lost a shuffle written by a pruned (cache-covered) stage");
+  // Resubmit exactly the missing map partitions — unless an earlier fetch
+  // failure already did (their tasks are then marked not-done).
+  int resubmitted = 0;
+  for (int p = 0; p < parent.stage.num_tasks(); ++p) {
+    if (cluster_.tracker().MapOutputRegistered(sid, p)) continue;
+    TaskRun& mt = *parent.tasks[p];
+    if (!mt.done) continue;
+    ResubmitCompletedTask(parent, mt);
+    ++resubmitted;
+  }
+  metrics_.map_resubmissions += resubmitted;
+  if (parent.done) {
+    // The parent already re-completed (recovery raced ahead of this
+    // reducer); retry immediately.
+    SubmitTask(task);
+  } else {
+    waiting_on_stage_[parent_id].push_back(&task);
+  }
+}
+
+void JobRunner::RecoverReceiver(TaskRun& receiver) {
+  StageRun& consumer = stage_run(receiver.stage);
+  ++receiver.epoch;
+  receiver.receiver_started = false;
+  receiver.data_landed = false;
+  if (!receiver.producer_done) {
+    // Nothing pushed yet: just re-place; the producer's push will follow
+    // the new destination.
+    receiver.node = PickReceiverNode(consumer, receiver.node);
+    return;
+  }
+  if (!cluster_.scheduler().node_up(receiver.producer_node)) {
+    // Double fault: the push source died too, so the retained output is
+    // gone — recompute the producer, which will re-notify.
+    receiver.producer_done = false;
+    receiver.inbox.reset();
+    receiver.inbox_bytes = 0;
+    receiver.node = PickReceiverNode(consumer, kNoNode);
+    StageRun& producer_sr = stage_run(consumer.stage.transfer_producer);
+    TaskRun& pt = *producer_sr.tasks[receiver.partition];
+    if (pt.done) {
+      ResubmitCompletedTask(producer_sr, pt);
+    } else if (pt.assigned) {
+      RestartTask(pt);
+    }
+    return;
+  }
+  if (receiver.push_retries >= config_.fault.max_push_retries) {
+    // Retries exhausted: degrade the push to the producer's own node — a
+    // co-located no-op write, after which downstream reducers *fetch* that
+    // partition (push falls back to fetch).
+    receiver.push_fallback = true;
+    ++metrics_.push_fallbacks;
+    receiver.node = receiver.producer_node;
+    GS_LOG_INFO << "push fallback: stage " << consumer.stage.id << "/"
+                << receiver.partition << " degrades to fetch from "
+                << topo_.node(receiver.node).name;
+    TryDeliver(receiver);
+    return;
+  }
+  ++receiver.push_retries;
+  ++metrics_.push_retries;
+  receiver.node = PickReceiverNode(consumer, kNoNode);
+  const SimTime backoff =
+      config_.fault.push_retry_backoff *
+      std::pow(config_.fault.push_backoff_factor, receiver.push_retries - 1);
+  GS_LOG_INFO << "push retry " << receiver.push_retries << " for stage "
+              << consumer.stage.id << "/" << receiver.partition << " to "
+              << topo_.node(receiver.node).name << " after " << backoff
+              << "s";
+  TaskRun* r = &receiver;
+  const int epoch = receiver.epoch;
+  sim_.Schedule(backoff, [this, r, epoch] {
+    if (r->epoch != epoch) return;
+    TryDeliver(*r);
+  });
+}
+
+NodeIndex JobRunner::PickReceiverNode(StageRun& consumer, NodeIndex exclude) {
+  GS_CHECK(!consumer.aggregator_dcs.empty());
+  std::vector<NodeIndex> candidates;
+  for (DcIndex dc : consumer.aggregator_dcs) {
+    for (NodeIndex n : topo_.nodes_in(dc)) {
+      if (topo_.node(n).worker && cluster_.scheduler().node_up(n) &&
+          n != exclude) {
+        candidates.push_back(n);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    // Aggregator subset fully down: spill to any live worker.
+    for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
+      if (topo_.node(n).worker && cluster_.scheduler().node_up(n) &&
+          n != exclude) {
+        candidates.push_back(n);
+      }
+    }
+  }
+  GS_CHECK_MSG(!candidates.empty(), "no live worker to host a receiver");
+  return candidates[consumer.rr_next++ % candidates.size()];
+}
+
+StageId JobRunner::StageWritingShuffle(ShuffleId sid) const {
+  for (const auto& sr : stage_runs_) {
+    if (sr->stage.output == StageOutputKind::kShuffleWrite &&
+        sr->stage.consumer_shuffle->shuffle().id == sid) {
+      return sr->stage.id;
+    }
+  }
+  GS_CHECK_MSG(false, "no stage writes shuffle " << sid);
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
 // Transfer (push) path
 // ---------------------------------------------------------------------------
 
@@ -723,7 +1078,9 @@ void JobRunner::NotifyReceiver(StageRun& producer_sr, TaskRun& producer_task,
   GS_CHECK(producer_sr.stage.transfer_consumer >= 0);
   StageRun& consumer = stage_run(producer_sr.stage.transfer_consumer);
   TaskRun& receiver = *consumer.tasks[producer_task.partition];
-  GS_CHECK(!receiver.producer_done);
+  // A restarted producer re-notifies; if the first attempt's push already
+  // made it out (data landed, or still flowing from a live node), keep it.
+  if (receiver.producer_done) return;
   // Pushed data is serialized and compressed like any shuffle stream.
   receiver.inbox_bytes = CompressedSize(records);
   receiver.inbox = MakeRecords(std::move(records));
@@ -739,13 +1096,20 @@ void JobRunner::TryDeliver(TaskRun& receiver) {
   }
   receiver.receiver_started = true;
   TaskRun* r = &receiver;
+  const int epoch = receiver.epoch;
   if (receiver.producer_node == receiver.node) {
     // Co-located: the transferTo task is transparent (Sec. IV-C2).
-    sim_.Schedule(kLocalHandoff, [this, r] { ReceiverGotData(*r); });
+    sim_.Schedule(kLocalHandoff, [this, r, epoch] {
+      if (r->epoch != epoch) return;
+      ReceiverGotData(*r);
+    });
   } else {
     cluster_.network().StartFlow(receiver.producer_node, receiver.node,
                                  receiver.inbox_bytes, FlowKind::kShufflePush,
-                                 [this, r] { ReceiverGotData(*r); });
+                                 [this, r, epoch] {
+                                   if (r->epoch != epoch) return;
+                                   ReceiverGotData(*r);
+                                 });
   }
 }
 
@@ -753,6 +1117,7 @@ void JobRunner::ReceiverGotData(TaskRun& receiver) {
   // The pushed bytes are on receiver.node; acquire a slot there for the
   // receive/write work (receivers consume aggregator-datacenter compute,
   // Sec. IV-E).
+  receiver.data_landed = true;
   SubmitTask(receiver);
 }
 
@@ -765,8 +1130,9 @@ void JobRunner::ExecuteReceiver(TaskRun& receiver) {
   EvalStart start;
   start.rdd = leaf.leaf;
   start.partition = leaf.partition;
+  // Copy, don't consume: the inbox is retained so a crash of this node can
+  // be recovered by re-pushing instead of recomputing the producer.
   start.records = *receiver.inbox;
-  receiver.inbox.reset();
   receiver.in_bytes = receiver.inbox_bytes;
 
   EvalResult eval = Evaluate(*sr.stage.output_rdd, receiver.partition,
@@ -780,8 +1146,10 @@ void JobRunner::ExecuteReceiver(TaskRun& receiver) {
   const SimTime cpu = config_.cost.CpuTime(0, out_bytes / 4);
 
   TaskRun* r = &receiver;
-  sim_.Schedule(cpu, [this, r, records = std::move(records),
+  const int epoch = receiver.epoch;
+  sim_.Schedule(cpu, [this, r, epoch, records = std::move(records),
                       fills = std::move(eval.cache_fills)]() mutable {
+    if (r->epoch != epoch) return;
     for (auto& fill : fills) {
       cluster_.blocks().Put(r->node, BlockId::Cached(fill.rdd, fill.partition),
                             fill.records);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -33,11 +34,21 @@ class JobRunner {
   // Runs the job to completion (drains the simulator) and returns results.
   JobResult Run();
 
+  // Fault notification from GeoCluster::CrashNode: the node's executor and
+  // blocks are already gone; restart every affected in-flight task and
+  // recover receivers whose pushed data was lost (see docs/FAULTS.md).
+  void OnNodeCrashed(NodeIndex node);
+
  private:
   struct TaskRun {
     StageId stage = -1;
     int partition = -1;
     int attempt = 0;
+    // Bumped every time this task is restarted or recovered. Every async
+    // continuation captures the epoch at schedule time and no-ops if the
+    // task moved on — this is how a crash "kills" callbacks belonging to a
+    // dead attempt without tracking them individually.
+    int epoch = 0;
     NodeIndex node = kNoNode;
     bool assigned = false;
     bool done = false;
@@ -48,14 +59,28 @@ class JobRunner {
     // Gather state.
     int pending_gathers = 0;
     std::vector<Record> gathered;
+    std::vector<NodeIndex> gather_srcs;  // remote nodes being read from
     Bytes in_bytes = 0;
     bool gather_is_processed = false;  // records came from a cache hit
     const Rdd* cut_rdd = nullptr;
     int cut_partition = -1;
+    // Missing map outputs discovered while building this shard's fetch
+    // list. The gather still runs for the blocks that exist — by the time
+    // a reducer notices a dead server, its concurrent fetches from healthy
+    // nodes have already moved (and wasted) their bytes — and the attempt
+    // fails once the partial gather lands.
+    ShuffleId fetch_failed_sid = -1;
+    std::vector<int> fetch_failed_maps;
 
-    // Receiver state (stages starting at a TransferredRdd).
+    // Receiver state (stages starting at a TransferredRdd). The inbox is
+    // retained after execution so a lost receiver node can be re-pushed
+    // without recomputing the producer (the producer keeps its transfer
+    // output buffered until the receiver stage completes).
     bool producer_done = false;
     bool receiver_started = false;
+    bool data_landed = false;   // pushed bytes arrived on `node`
+    int push_retries = 0;
+    bool push_fallback = false;  // degraded to producer-local placement
     RecordsPtr inbox;
     Bytes inbox_bytes = 0;
     NodeIndex producer_node = kNoNode;
@@ -107,6 +132,26 @@ class JobRunner {
   void OnComputeDone(TaskRun& task, std::vector<Record> records);
   void OnTaskFailed(TaskRun& task);
   void FinishTask(TaskRun& task);
+
+  // --- fault recovery ---
+  // A reducer found map outputs of `sid` missing while building its fetch
+  // list: fail the attempt, invalidate the lost outputs (epoch bump),
+  // resubmit exactly the missing partitions of the parent stage, and park
+  // the reducer until the parent re-completes (Spark's fetch-failure path).
+  void HandleFetchFailure(TaskRun& task, ShuffleId sid,
+                          const std::vector<int>& missing);
+  // Restarts a running task whose node died or whose gather source died.
+  void RestartTask(TaskRun& task);
+  // Re-runs a finished task (lost output that must be regenerated). Undoes
+  // the stage's completion bookkeeping; the stage re-fires OnStageDone when
+  // the re-run finishes.
+  void ResubmitCompletedTask(StageRun& sr, TaskRun& task);
+  // The receiver's node died: re-place it and re-push the retained inbox
+  // after an exponential backoff, falling back to the producer's own node
+  // (push degrades to fetch) once retries are exhausted.
+  void RecoverReceiver(TaskRun& receiver);
+  NodeIndex PickReceiverNode(StageRun& consumer, NodeIndex exclude);
+  StageId StageWritingShuffle(ShuffleId sid) const;
   // Launches backup copies of stragglers once enough of the stage is done
   // (spark.speculation); only plain map/reduce/result stages speculate.
   void MaybeSpeculate(StageRun& sr);
@@ -142,6 +187,10 @@ class JobRunner {
   std::vector<std::unique_ptr<StageRun>> stage_runs_;
   StageId result_stage_ = -1;
   bool job_done_ = false;
+
+  // Reduce tasks parked by a fetch failure, keyed by the parent stage they
+  // wait on; resubmitted when that stage re-completes.
+  std::unordered_map<StageId, std::vector<TaskRun*>> waiting_on_stage_;
 
   std::vector<std::vector<Record>> results_;  // per result partition
   JobMetrics metrics_;

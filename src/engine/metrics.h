@@ -36,6 +36,13 @@ struct JobMetrics {
 
   int task_failures = 0;
 
+  // Fault-recovery accounting (see docs/FAULTS.md).
+  int fetch_failures = 0;      // reducer gathers hitting a missing output
+  int node_crashes = 0;        // node crashes observed during the job
+  int map_resubmissions = 0;   // parent-stage map partitions re-run
+  int push_retries = 0;        // transfer pushes retried after receiver loss
+  int push_fallbacks = 0;      // pushes degraded to producer-local (fetch)
+
   SimTime jct() const { return completed - started; }
 };
 

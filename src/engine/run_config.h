@@ -1,9 +1,18 @@
 // Run configuration: scheme selection and engine knobs.
+//
+// Layout note (migration): failure and speculation knobs used to live flat
+// on RunConfig (`reduce_failure_prob`, `failure_point`, `speculation`,
+// `speculation_quantile`, `speculation_multiplier`). They are now grouped
+// into the nested FaultConfig / SpeculationConfig structs below —
+// `cfg.fault.reduce_failure_prob`, `cfg.speculation.enabled`, ... — and
+// FaultConfig additionally carries the FaultPlan of scheduled
+// infrastructure faults (see engine/fault_plan.h and docs/FAULTS.md).
 #pragma once
 
 #include <cstdint>
 
 #include "common/ids.h"
+#include "engine/fault_plan.h"
 #include "exec/cost_model.h"
 #include "netsim/network.h"
 #include "sched/task_scheduler.h"
@@ -26,6 +35,41 @@ enum class AggregatorPolicy { kLargestInput, kRandom, kSmallestInput };
 
 const char* AggregatorPolicyName(AggregatorPolicy policy);
 
+// Fault injection and the recovery knobs that answer it.
+struct FaultConfig {
+  // Probability that a reduce task fails on its first attempt, and the
+  // fraction of its compute phase after which the failure strikes
+  // (the paper's Fig. 2 experiment).
+  double reduce_failure_prob = 0.0;
+  double failure_point = 0.5;
+
+  // Scheduled/random infrastructure faults (node crashes, WAN link flaps,
+  // block losses). Empty by default.
+  FaultPlan plan;
+
+  // Transfer-push recovery: when a receiver's node dies, the push is
+  // retried against a fresh node in the aggregator datacenter after an
+  // exponential backoff (base * factor^(attempt-1)). Once max_push_retries
+  // is exhausted the transfer degrades to the producer's own node — a
+  // co-located no-op — and downstream reducers fall back to fetching that
+  // partition over the WAN (push -> fetch fallback).
+  int max_push_retries = 4;
+  SimTime push_retry_backoff = Seconds(1);
+  double push_backoff_factor = 2.0;
+};
+
+// Speculative execution (spark.speculation, off by default as in Spark):
+// once `quantile` of a stage's tasks finished, a running task slower than
+// `multiplier` x the median duration gets a backup copy; the first attempt
+// to finish wins. Interacts with the shuffle mechanism: a speculated
+// *reducer* re-fetches its input — over the WAN under fetch-based shuffle,
+// locally under Push/Aggregate.
+struct SpeculationConfig {
+  bool enabled = false;
+  double quantile = 0.75;
+  double multiplier = 1.5;
+};
+
 struct RunConfig {
   Scheme scheme = Scheme::kSpark;
   std::uint64_t seed = 1;
@@ -46,20 +90,8 @@ struct RunConfig {
   // calls in application code take effect.
   bool auto_aggregation = true;
 
-  // Probability that a reduce task fails on its first attempt, and the
-  // fraction of its compute phase after which the failure strikes.
-  double reduce_failure_prob = 0.0;
-  double failure_point = 0.5;
-
-  // Speculative execution (spark.speculation, off by default as in Spark):
-  // once `speculation_quantile` of a stage's tasks finished, a running task
-  // slower than `speculation_multiplier` x the median duration gets a
-  // backup copy; the first attempt to finish wins. Interacts with the
-  // shuffle mechanism: a speculated *reducer* re-fetches its input — over
-  // the WAN under fetch-based shuffle, locally under Push/Aggregate.
-  bool speculation = false;
-  double speculation_quantile = 0.75;
-  double speculation_multiplier = 1.5;
+  FaultConfig fault;
+  SpeculationConfig speculation;
 
   // Centralized: destination datacenter; kNoDc = the one already holding
   // the most input bytes.

@@ -78,6 +78,7 @@ Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
     capacity_[DownlinkRes(n)] = topo_.node(n).nic_rate;
   }
   wan_current_.resize(topo_.num_wan_links());
+  degrade_.assign(topo_.num_wan_links(), 1.0);
   for (int l = 0; l < topo_.num_wan_links(); ++l) {
     wan_current_[l] = topo_.wan_link(l).base_rate;
     capacity_[WanRes(l)] = wan_current_[l];
@@ -163,7 +164,18 @@ Rate Network::wan_capacity(DcIndex src, DcIndex dst) {
   CatchUpJitter();
   int link = topo_.wan_link_index(src, dst);
   GS_CHECK(link >= 0);
-  return wan_current_[link];
+  return wan_current_[link] * degrade_[link];
+}
+
+void Network::SetWanDegradation(DcIndex src, DcIndex dst, double factor) {
+  GS_CHECK(factor >= 0);
+  int link = topo_.wan_link_index(src, dst);
+  GS_CHECK_MSG(link >= 0, "no WAN link " << src << "->" << dst);
+  degrade_[link] = factor;
+  capacity_[WanRes(link)] = wan_current_[link] * factor;
+  // Re-share bandwidth right away: flows on the link slow down (or stall
+  // at factor 0) and their completion events move accordingly.
+  Reconfigure();
 }
 
 void Network::ComputeMaxMinRates() {
@@ -286,7 +298,7 @@ void Network::CatchUpJitter() {
       next = std::clamp(next, static_cast<double>(spec.min_rate),
                         static_cast<double>(spec.max_rate));
       wan_current_[l] = next;
-      capacity_[WanRes(l)] = next;
+      capacity_[WanRes(l)] = next * degrade_[l];
     }
   }
 }

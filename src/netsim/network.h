@@ -125,8 +125,16 @@ class Network {
   // Instantaneous max-min rate of a flow; 0 if unknown or still in setup.
   Rate flow_rate(FlowId id) const;
 
-  // Current (possibly jittered) capacity of a directed WAN link.
+  // Current (possibly jittered and degraded) capacity of a directed WAN
+  // link.
   Rate wan_capacity(DcIndex src, DcIndex dst);
+
+  // Degrades a directed WAN link to `factor` x its jittered capacity until
+  // the next call (fault injection: congestion events, link flaps).
+  // factor = 1 restores the link; factor = 0 is a full outage — flows on
+  // the link stall in place and resume when capacity returns. In-flight
+  // progress is preserved and all rates are recomputed immediately.
+  void SetWanDegradation(DcIndex src, DcIndex dst, double factor);
 
   const TrafficMeter& meter() const { return meter_; }
   TrafficMeter& meter() { return meter_; }
@@ -183,8 +191,9 @@ class Network {
   Rng jitter_rng_;
   TrafficMeter meter_;
 
-  std::vector<Rate> capacity_;      // per resource, current
+  std::vector<Rate> capacity_;      // per resource, current (incl. degrade)
   std::vector<Rate> wan_current_;   // per WAN link, jittered capacity
+  std::vector<double> degrade_;     // per WAN link, fault-injected factor
   SimTime last_resample_ = 0;       // trace evaluated up to this time
   EventHandle resample_event_;
   std::unordered_map<FlowId, Flow> flows_;

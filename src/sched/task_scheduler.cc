@@ -9,7 +9,11 @@ namespace gs {
 
 TaskScheduler::TaskScheduler(Simulator& sim, const Topology& topo,
                              TaskSchedulerConfig config)
-    : sim_(sim), topo_(topo), config_(config), free_(topo.num_nodes(), 0) {
+    : sim_(sim),
+      topo_(topo),
+      config_(config),
+      free_(topo.num_nodes(), 0),
+      up_(topo.num_nodes(), true) {
   for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
     free_[n] = topo_.node(n).worker ? topo_.node(n).cores : 0;
   }
@@ -37,9 +41,31 @@ void TaskScheduler::Submit(TaskRequest request) {
 void TaskScheduler::ReleaseSlot(NodeIndex node) {
   GS_CHECK(node >= 0 && node < topo_.num_nodes());
   GS_CHECK_MSG(topo_.node(node).worker, "released slot on non-worker");
+  if (!up_[node]) return;  // executor crashed: the slot died with it
   ++free_[node];
   GS_CHECK(free_[node] <= topo_.node(node).cores);
   Pump();
+}
+
+void TaskScheduler::SetNodeDown(NodeIndex node) {
+  GS_CHECK(node >= 0 && node < topo_.num_nodes());
+  GS_CHECK_MSG(topo_.node(node).worker, "crashed a non-worker");
+  up_[node] = false;
+  free_[node] = 0;
+}
+
+void TaskScheduler::SetNodeUp(NodeIndex node) {
+  GS_CHECK(node >= 0 && node < topo_.num_nodes());
+  GS_CHECK_MSG(topo_.node(node).worker, "restarted a non-worker");
+  if (up_[node]) return;
+  up_[node] = true;
+  free_[node] = topo_.node(node).cores;
+  Pump();
+}
+
+bool TaskScheduler::node_up(NodeIndex node) const {
+  GS_CHECK(node >= 0 && node < topo_.num_nodes());
+  return up_[node];
 }
 
 int TaskScheduler::free_slots(NodeIndex node) const {
@@ -50,7 +76,7 @@ int TaskScheduler::free_slots(NodeIndex node) const {
 int TaskScheduler::busy_slots_in(DcIndex dc) const {
   int busy = 0;
   for (NodeIndex n : topo_.nodes_in(dc)) {
-    if (topo_.node(n).worker) busy += topo_.node(n).cores - free_[n];
+    if (topo_.node(n).worker && up_[n]) busy += topo_.node(n).cores - free_[n];
   }
   return busy;
 }

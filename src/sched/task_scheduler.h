@@ -60,7 +60,17 @@ class TaskScheduler {
 
   // Releases the slot a task was holding and assigns queued tasks.
   // A failed task is Submit()ed again by the caller after release.
+  // Releasing a slot on a crashed node is a no-op: its executor (and every
+  // slot it held) is already gone.
   void ReleaseSlot(NodeIndex node);
+
+  // Marks a worker's executor as crashed: all of its slots (free and busy)
+  // disappear and no task is assigned to it until SetNodeUp. The caller is
+  // responsible for resubmitting tasks that were running there.
+  void SetNodeDown(NodeIndex node);
+  // Brings a fresh executor up on the node with its full slot count.
+  void SetNodeUp(NodeIndex node);
+  bool node_up(NodeIndex node) const;
 
   int free_slots(NodeIndex node) const;
   int queued_tasks() const { return static_cast<int>(queue_.size()); }
@@ -83,6 +93,7 @@ class TaskScheduler {
   const Topology& topo_;
   TaskSchedulerConfig config_;
   std::vector<int> free_;  // free slots per node (0 for non-workers)
+  std::vector<bool> up_;   // executor liveness per node
   std::deque<Pending> queue_;
   bool pumping_ = false;
 };

@@ -89,6 +89,23 @@ void BlockManager::RemoveAllOfKind(BlockId::Kind kind) {
   }
 }
 
+void BlockManager::DropNode(NodeIndex node) {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  std::vector<BlockId> ids;
+  ids.reserve(stores_[node].size());
+  for (const auto& [id, block] : stores_[node]) ids.push_back(id);
+  for (const BlockId& id : ids) Remove(node, id);
+}
+
+void BlockManager::DropKindOnNode(NodeIndex node, BlockId::Kind kind) {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  std::vector<BlockId> ids;
+  for (const auto& [id, block] : stores_[node]) {
+    if (id.kind == kind) ids.push_back(id);
+  }
+  for (const BlockId& id : ids) Remove(node, id);
+}
+
 Bytes BlockManager::BytesOnNode(NodeIndex node) const {
   GS_CHECK(node >= 0 && node < num_nodes());
   Bytes total = 0;

@@ -43,6 +43,13 @@ class BlockManager {
   // Drops every block of the given kind (e.g. all shuffle output of a job).
   void RemoveAllOfKind(BlockId::Kind kind);
 
+  // Drops every block stored on a node (node crash: its disks are gone).
+  void DropNode(NodeIndex node);
+
+  // Drops the node's blocks of one kind only (e.g. a shuffle-service wipe
+  // loses shuffle files but keeps cached inputs).
+  void DropKindOnNode(NodeIndex node, BlockId::Kind kind);
+
   Bytes BytesOnNode(NodeIndex node) const;
   int num_nodes() const { return static_cast<int>(stores_.size()); }
 

@@ -48,6 +48,31 @@ void MapOutputTracker::RegisterMapOutput(
   }
 }
 
+void MapOutputTracker::InvalidateMapOutput(ShuffleId shuffle,
+                                           int map_partition) {
+  auto it = shuffles_.find(shuffle);
+  GS_CHECK_MSG(it != shuffles_.end(), "unknown shuffle " << shuffle);
+  ShuffleStatus& s = it->second;
+  GS_CHECK(map_partition >= 0 && map_partition < s.num_map_partitions);
+  if (!s.map_done[map_partition]) return;  // already invalidated
+  for (int k = 0; k < s.num_shards; ++k) {
+    auto& out = s.outputs[static_cast<std::size_t>(map_partition) *
+                              s.num_shards + k];
+    out.node = kNoNode;
+    out.bytes = 0;
+  }
+  s.map_done[map_partition] = false;
+  --s.registered;
+  ++epoch_;
+}
+
+bool MapOutputTracker::MapOutputRegistered(ShuffleId shuffle,
+                                           int map_partition) const {
+  const ShuffleStatus& s = StatusOf(shuffle);
+  GS_CHECK(map_partition >= 0 && map_partition < s.num_map_partitions);
+  return s.map_done[map_partition];
+}
+
 bool MapOutputTracker::HasShuffle(ShuffleId shuffle) const {
   return shuffles_.count(shuffle) > 0;
 }

@@ -35,6 +35,20 @@ class MapOutputTracker {
   // Re-registration after the output moved (e.g. pushed by transferTo).
   // Same signature as RegisterMapOutput; simply overwrites the location.
 
+  // Forgets one map partition's output (its blocks were lost: node crash or
+  // shuffle-file corruption, discovered via a reducer's fetch failure). The
+  // shuffle drops back to incomplete so the parent stage resubmits exactly
+  // the missing partitions, and the tracker epoch advances so stale task
+  // attempts can detect they raced with a recovery. No-op (and no epoch
+  // bump) if the partition was not registered.
+  void InvalidateMapOutput(ShuffleId shuffle, int map_partition);
+
+  // True if the given map partition's output is currently registered.
+  bool MapOutputRegistered(ShuffleId shuffle, int map_partition) const;
+
+  // Bumped by every successful InvalidateMapOutput.
+  int epoch() const { return epoch_; }
+
   bool HasShuffle(ShuffleId shuffle) const;
   int num_map_partitions(ShuffleId shuffle) const;
   int num_shards(ShuffleId shuffle) const;
@@ -78,6 +92,7 @@ class MapOutputTracker {
   const ShuffleStatus& StatusOf(ShuffleId shuffle) const;
 
   std::unordered_map<ShuffleId, ShuffleStatus> shuffles_;
+  int epoch_ = 0;
 };
 
 }  // namespace gs

@@ -410,7 +410,7 @@ class NaiveBayes final : public Workload {
               }
               return Record{cls.key, std::move(model)};
             });
-    return model.RunCollect();
+    return model.Run(ActionKind::kCollect);
   }
 
  private:

@@ -57,8 +57,8 @@ class Workload {
 
   // Runs the final action: Save by default, Collect when requested.
   JobResult Finish(const Dataset& dataset) const {
-    return params_.collect_results ? dataset.RunCollect()
-                                   : dataset.RunSave();
+    return dataset.Run(params_.collect_results ? ActionKind::kCollect
+                                               : ActionKind::kSave);
   }
 
  private:

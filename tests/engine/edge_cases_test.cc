@@ -134,7 +134,7 @@ TEST(EdgeCaseTest, ExplicitTransferChainedThroughMap) {
 
 TEST(EdgeCaseTest, ZeroFailureProbabilityNeverFails) {
   RunConfig cfg = Cfg(Scheme::kSpark);
-  cfg.reduce_failure_prob = 0.0;
+  cfg.fault.reduce_failure_prob = 0.0;
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
   (void)cluster.Parallelize("d", Keyed(300, 9), 1)
       .ReduceByKey(SumInt64(), 8)

@@ -21,7 +21,7 @@ RunConfig FailingConfig(Scheme scheme, double prob) {
   cfg.net.wan_flow_efficiency_min = 1.0;
   cfg.cost.straggler_sigma = 0;
   cfg.cost.straggler_prob = 0;
-  cfg.reduce_failure_prob = prob;
+  cfg.fault.reduce_failure_prob = prob;
   return cfg;
 }
 

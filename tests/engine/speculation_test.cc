@@ -20,7 +20,7 @@ RunConfig Cfg(bool speculate, std::uint64_t seed = 12) {
   cfg.cost.straggler_factor = 6.0;
   cfg.net.jitter_interval = 0;
   cfg.net.wan_stall_prob = 0;
-  cfg.speculation = speculate;
+  cfg.speculation.enabled = speculate;
   return cfg;
 }
 
@@ -72,7 +72,7 @@ TEST(SpeculationTest, BackupsAppearInTraceAndHelpOrAreNeutral) {
 
 TEST(SpeculationTest, OffByDefaultMatchesSpark) {
   RunConfig cfg;
-  EXPECT_FALSE(cfg.speculation);
+  EXPECT_FALSE(cfg.speculation.enabled);
 }
 
 TEST(SpeculationTest, WorksUnderAggShuffle) {

@@ -30,6 +30,10 @@ struct Options {
   std::string trace_path;  // Chrome-trace JSON output
   bool gantt = false;
   bool help = false;
+  // Fault injection: crash one worker mid-run and watch recovery.
+  int crash_node = -1;          // worker index to crash (-1 = none)
+  double crash_at = 0.0;        // sim-time of the crash, seconds
+  double restart_after = 0.0;   // restart delay; 0 = stays dead
 };
 
 void PrintHelp() {
@@ -46,6 +50,9 @@ void PrintHelp() {
       "  --aggregators=K   aggregate into K datacenters (default 1)\n"
       "  --trace=FILE      write Chrome-trace JSON of the last run\n"
       "  --gantt           print an ASCII Gantt chart of the last run\n"
+      "  --crash-node=N    crash worker node N mid-run (fault injection)\n"
+      "  --crash-at=T      crash time in sim-seconds (default 0)\n"
+      "  --restart-after=T restart the node T seconds later (0 = stays dead)\n"
       "  --help            this text\n";
 }
 
@@ -77,6 +84,12 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       opts->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "aggregators", &value)) {
       opts->aggregators = std::max(1, std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "crash-node", &value)) {
+      opts->crash_node = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "crash-at", &value)) {
+      opts->crash_at = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "restart-after", &value)) {
+      opts->restart_after = std::atof(value.c_str());
     } else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return false;
@@ -121,6 +134,13 @@ int main(int argc, char** argv) {
     cfg.scale = opts.scale;
     cfg.cost = CostModel{}.Scaled(opts.scale);
     cfg.aggregator_dc_count = opts.aggregators;
+    if (opts.crash_node >= 0) {
+      NodeCrashEvent crash;
+      crash.at = opts.crash_at;
+      crash.node = opts.crash_node;
+      crash.restart_after = opts.restart_after;
+      cfg.fault.plan.node_crashes.push_back(crash);
+    }
     GeoCluster cluster(Ec2SixRegionTopology(opts.scale), cfg);
     const bool want_trace =
         (r == opts.runs - 1) && (opts.gantt || !opts.trace_path.empty());
@@ -168,6 +188,16 @@ int main(int argc, char** argv) {
                    std::to_string(s.task_failures)});
   }
   std::cout << stages.Render();
+
+  if (last.node_crashes > 0 || last.fetch_failures > 0 ||
+      last.push_retries > 0 || last.push_fallbacks > 0) {
+    std::cout << "\nFault recovery (last run): " << last.node_crashes
+              << " crash(es), " << last.fetch_failures
+              << " fetch failure(s), " << last.map_resubmissions
+              << " map resubmission(s), " << last.push_retries
+              << " push retry(ies), " << last.push_fallbacks
+              << " push fallback(s)\n";
+  }
 
   if (!last_gantt.empty()) {
     std::cout << "\nExecution timeline (last run):\n" << last_gantt;
