@@ -1,0 +1,305 @@
+// Wall-clock baseline of the per-record data path (docs/PERF.md).
+//
+// Unlike the figure benches, which report *simulated* time, this bench
+// measures *real elapsed* time of the compute primitives the engine runs
+// per task — evaluate, combine, single-pass shuffle partitioning, shard
+// sort, size accounting — on Table-I-sized batches, plus the map-phase
+// pipeline through the compute ThreadPool at 1/2/4/8 threads.
+//
+// Two references are included for before/after comparison:
+//  * "legacy:*" rows re-implement the pre-optimization algorithms
+//    (std::hash-based combine map, two-pass partition split with
+//    unreserved push_back growth and a second full size walk) so the
+//    single-thread hot-path gain is measured, not asserted;
+//  * the threads sweep shows how task compute scales with pool width
+//    (on a single-core host all widths collapse to ~1x, by design).
+//
+// Output: a human-readable table on stdout and, when GS_BENCH_JSON names
+// a path, the raw measurements as JSON (run_benches.sh writes
+// BENCH_datapath.json).
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/threadpool.h"
+#include "data/combiner.h"
+#include "data/compression.h"
+#include "data/partitioner.h"
+#include "exec/task_compute.h"
+#include "harness.h"
+#include "rdd/rdd.h"
+
+namespace {
+
+using namespace gs;
+using bench::WallMeasurement;
+using bench::WallSeconds;
+
+// TeraSort shape (Table I): 32M records x 100 bytes at paper scale,
+// divided by GS_SCALE and spread over the paper's 48 map partitions.
+std::vector<Record> TerasortBatch(Rng& rng, std::size_t n) {
+  std::vector<Record> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key(10, '\0');
+    for (char& c : key) {
+      c = static_cast<char>(' ' + rng.UniformInt(0, 94));
+    }
+    std::string value(90, '\0');
+    for (char& c : value) {
+      c = static_cast<char>(' ' + rng.UniformInt(0, 94));
+    }
+    batch.push_back(Record{std::move(key), std::move(value)});
+  }
+  return batch;
+}
+
+// WordCount shape (Table I): term/count pairs drawn from a Zipf-ish
+// vocabulary, the input of the map-side combine.
+std::vector<Record> WordcountBatch(Rng& rng, std::size_t n) {
+  std::vector<Record> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Smaller ids repeat heavily like frequent words do.
+    const std::int64_t bucket = rng.UniformInt(0, 9);
+    const std::int64_t id =
+        bucket < 7 ? rng.UniformInt(0, 499) : rng.UniformInt(0, 49999);
+    batch.push_back(Record{"word-" + std::to_string(id),
+                           static_cast<std::int64_t>(1)});
+  }
+  return batch;
+}
+
+// The production map-task compute: evaluate + optional combine +
+// single-pass shuffle split, exactly as the engine submits it. The batch
+// is moved in, like the engine moves a task's gathered records.
+TaskComputeResult RunMapCompute(const Rdd& source, int partition,
+                                std::vector<Record> batch,
+                                const ShuffleInfo& info,
+                                const CombineFn* combine) {
+  TaskComputeSpec spec;
+  spec.output_rdd = &source;
+  spec.partition = partition;
+  spec.start.rdd = &source;
+  spec.start.partition = partition;
+  spec.start.records = std::move(batch);
+  spec.combine = combine;
+  spec.output = StageOutputKind::kShuffleWrite;
+  spec.consumer_shuffle = &info;
+  return ComputeTask(std::move(spec));
+}
+
+// Pre-optimization reference: per-key std::hash map combine (the shape of
+// the old CombineByKey), kept only for the before/after measurement.
+std::vector<Record> LegacyCombine(const std::vector<Record>& records,
+                                  const CombineFn& fn) {
+  std::vector<Record> out;
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(records.size());
+  for (const Record& r : records) {
+    auto [it, inserted] = index.emplace(r.key, out.size());
+    if (inserted) {
+      out.push_back(r);
+    } else {
+      Record& existing = out[it->second];
+      existing.value = fn(existing.value, r.value);
+    }
+  }
+  return out;
+}
+
+// Pre-optimization reference, step for step what the old engine did per
+// map task: Evaluate (which copied the boundary records), a full
+// SerializedSize walk for the cpu-time sizing, an unreserved push_back
+// split, then CompressedSize per shard (each re-walking its records for
+// the serialized size).
+std::pair<std::vector<std::vector<Record>>, Bytes> LegacyPartition(
+    std::vector<Record> batch, const Partitioner& part) {
+  std::vector<Record> records = batch;  // Evaluate's return copy
+  const Bytes out_bytes = SerializedSize(records);
+  std::vector<std::vector<Record>> shards(
+      static_cast<std::size_t>(part.num_shards()));
+  for (Record& r : records) {
+    shards[static_cast<std::size_t>(part.ShardOf(r.key))].push_back(
+        std::move(r));
+  }
+  Bytes total = 0;
+  for (const auto& shard : shards) total += CompressedSize(shard);
+  return {std::move(shards), total + (out_bytes ? 0 : 1)};
+}
+
+SourceRdd::Partition MakePartition(RecordsPtr records) {
+  SourceRdd::Partition p;
+  p.records = records;
+  p.node = 0;
+  p.bytes = SerializedSize(*records);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = [] {
+    const char* s = std::getenv("GS_SCALE");
+    return s ? std::max(1.0, std::atof(s)) : 100.0;
+  }();
+  // Table I divided by scale, spread over the paper's 48 map tasks.
+  const int kMaps = 48;
+  const std::size_t tera_records =
+      static_cast<std::size_t>(32'000'000 / scale);
+  const std::size_t tera_per_map = tera_records / kMaps;
+  const std::size_t words_total =
+      static_cast<std::size_t>(8'000'000 / scale);
+
+  std::cout << "=== Datapath wall-clock baseline (Table-I-sized inputs, "
+            << "scale " << scale << ") ===\n"
+            << "terasort: " << tera_records << " records x 100 B over "
+            << kMaps << " map tasks; wordcount combine input: "
+            << words_total << " records\n\n";
+
+  Rng rng(42);
+  std::vector<WallMeasurement> ms;
+
+  // --- single-thread primitives -----------------------------------------
+  std::vector<std::vector<Record>> tera_batches;
+  for (int m = 0; m < kMaps; ++m) {
+    tera_batches.push_back(TerasortBatch(rng, tera_per_map));
+  }
+  std::vector<Record> word_batch = WordcountBatch(rng, words_total);
+
+  ShuffleInfo info;
+  info.id = 0;
+  info.partitioner = std::make_shared<HashPartitioner>(8);
+  auto source_records = MakeRecords(tera_batches.front());
+  SourceRdd source(0, "bench-src",
+                   std::vector<SourceRdd::Partition>(
+                       static_cast<std::size_t>(kMaps),
+                       MakePartition(source_records)));
+  const CombineFn sum = SumInt64();
+
+  auto measure = [&](const std::string& name, int iters, auto fn) {
+    const double start = WallSeconds();
+    for (int i = 0; i < iters; ++i) fn(i);
+    const double elapsed = WallSeconds() - start;
+    ms.push_back(WallMeasurement{name, 1, iters, elapsed});
+    return elapsed;
+  };
+
+  // Inputs are copied before (not inside) the timed region, then moved
+  // into each call — the engine never copies gathered records.
+  std::vector<std::vector<Record>> inputs = tera_batches;
+  measure("partition", kMaps, [&](int i) {
+    TaskComputeResult r = RunMapCompute(
+        source, i, std::move(inputs[static_cast<std::size_t>(i)]), info,
+        nullptr);
+    if (r.shard_total_bytes == 0) std::abort();
+  });
+  inputs = tera_batches;
+  measure("legacy:partition", kMaps, [&](int i) {
+    auto [shards, total] =
+        LegacyPartition(std::move(inputs[static_cast<std::size_t>(i)]),
+                        *info.partitioner);
+    if (total == 0) std::abort();
+  });
+  measure("combine", 8, [&](int) {
+    std::vector<Record> out = CombineByKey(word_batch, sum);
+    if (out.empty()) std::abort();
+  });
+  measure("legacy:combine", 8, [&](int) {
+    std::vector<Record> out = LegacyCombine(word_batch, sum);
+    if (out.empty()) std::abort();
+  });
+  measure("sort", 8, [&](int) {
+    ShuffleInfo sort_info;
+    sort_info.id = 1;
+    sort_info.partitioner = info.partitioner;
+    sort_info.sort_by_key = true;
+    ShuffledRdd shuffled(1, "bench-sorted",
+                         std::make_shared<SourceRdd>(
+                             0, "s", std::vector<SourceRdd::Partition>(
+                                         1, MakePartition(source_records))),
+                         sort_info);
+    std::vector<Record> out = shuffled.ProcessShard(tera_batches.front());
+    if (out.empty()) std::abort();
+  });
+  measure("serialize", 8, [&](int) {
+    const Bytes raw = SerializedSize(tera_batches.front());
+    const Bytes z = CompressedSize(tera_batches.front(), raw);
+    if (z == 0) std::abort();
+  });
+
+  // --- map-phase pipeline at 1/2/4/8 threads ----------------------------
+  // The engine's pattern: every map task's compute submitted to the pool,
+  // results joined as they are needed. Identical outputs at every width.
+  Bytes reference_total = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const double start = WallSeconds();
+    std::vector<std::future<TaskComputeResult>> futures;
+    for (int m = 0; m < kMaps; ++m) {
+      futures.push_back(pool.Submit([&, m] {
+        return RunMapCompute(source, m,
+                             tera_batches[static_cast<std::size_t>(m)],
+                             info, nullptr);
+      }));
+    }
+    Bytes total = 0;
+    for (auto& f : futures) total += f.get().shard_total_bytes;
+    const double elapsed = WallSeconds() - start;
+    ms.push_back(WallMeasurement{"map-pipeline", threads, kMaps, elapsed});
+    if (reference_total == 0) {
+      reference_total = total;
+    } else if (total != reference_total) {
+      std::cerr << "determinism violation: shard bytes differ across "
+                   "thread counts\n";
+      return 1;
+    }
+  }
+
+  TextTable table({"measurement", "threads", "iters", "wall ms",
+                   "ms/iter"});
+  for (const WallMeasurement& m : ms) {
+    table.AddRow({m.name, std::to_string(m.threads),
+                  std::to_string(m.iters),
+                  FmtDouble(m.seconds * 1e3, 1),
+                  FmtDouble(m.seconds * 1e3 / m.iters, 2)});
+  }
+  std::cout << table.Render();
+
+  auto find = [&](const std::string& name, int threads) -> double {
+    for (const WallMeasurement& m : ms) {
+      if (m.name == name && m.threads == threads) return m.seconds;
+    }
+    return 0;
+  };
+  std::cout << "\nhot-path speedup vs legacy (single thread): partition "
+            << FmtDouble(find("legacy:partition", 1) /
+                            std::max(1e-9, find("partition", 1)), 2)
+            << "x, combine "
+            << FmtDouble(find("legacy:combine", 1) /
+                            std::max(1e-9, find("combine", 1)), 2)
+            << "x\npipeline speedup vs 1 thread: 2t "
+            << FmtDouble(find("map-pipeline", 1) /
+                            std::max(1e-9, find("map-pipeline", 2)), 2)
+            << "x, 4t "
+            << FmtDouble(find("map-pipeline", 1) /
+                            std::max(1e-9, find("map-pipeline", 4)), 2)
+            << "x, 8t "
+            << FmtDouble(find("map-pipeline", 1) /
+                            std::max(1e-9, find("map-pipeline", 8)), 2)
+            << "x (hardware concurrency: "
+            << ThreadPool::HardwareConcurrency() << ")\n";
+
+  const char* path = std::getenv("GS_BENCH_JSON");
+  if (path != nullptr && *path != '\0') {
+    bench::WriteWallMeasurementsJson(path, ms);
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

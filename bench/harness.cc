@@ -1,8 +1,12 @@
 #include "harness.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 
+#include "common/check.h"
 #include "common/table.h"
 
 namespace gs::bench {
@@ -41,14 +45,37 @@ RunConfig MakeRunConfig(const HarnessConfig& h, Scheme scheme,
 RunOutcome RunOnce(const HarnessConfig& h, const std::string& workload,
                    const WorkloadParams& params, Scheme scheme,
                    std::uint64_t seed) {
+  const double wall_start = WallSeconds();
   GeoCluster cluster(MakeTopology(h), MakeRunConfig(h, scheme, seed));
   auto wl = MakeWorkload(workload, params);
   JobResult result = wl->Run(cluster, /*data_seed=*/seed * 7919 + 13);
   RunOutcome out;
   out.jct_seconds = result.metrics.jct();
+  out.wall_seconds = WallSeconds() - wall_start;
   out.cross_dc_bytes = result.metrics.cross_dc_bytes;
   out.metrics = result.metrics;
   return out;
+}
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WriteWallMeasurementsJson(const std::string& path,
+                               const std::vector<WallMeasurement>& ms) {
+  std::ofstream out(path);
+  GS_CHECK_MSG(out.good(), "cannot write " << path);
+  out << "[\n";
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const WallMeasurement& m = ms[i];
+    out << "  {\"name\": \"" << m.name << "\", \"threads\": " << m.threads
+        << ", \"iters\": " << m.iters << ", \"seconds\": "
+        << std::setprecision(6) << std::fixed << m.seconds << "}"
+        << (i + 1 < ms.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
 }
 
 SchemeSummary RunMany(const HarnessConfig& h, const std::string& workload,

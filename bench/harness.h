@@ -29,10 +29,31 @@ struct HarnessConfig {
 
 // One measured execution.
 struct RunOutcome {
-  double jct_seconds = 0;
+  double jct_seconds = 0;       // simulated job completion time
+  double wall_seconds = 0;      // real elapsed time of the run
   Bytes cross_dc_bytes = 0;
   JobMetrics metrics;
 };
+
+// --- wall-clock measurement (docs/PERF.md) ---
+// Simulated time is what the benches report to reproduce the paper; wall
+// time is what the compute-offload work optimizes. These helpers measure
+// and publish the latter.
+
+// Monotonic wall-clock seconds (std::chrono::steady_clock).
+double WallSeconds();
+
+// One wall-clock data point of a micro bench.
+struct WallMeasurement {
+  std::string name;   // what was measured, e.g. "map+partition"
+  int threads = 1;    // compute threads used (1 for pure primitives)
+  int iters = 1;      // repetitions folded into `seconds`
+  double seconds = 0; // total elapsed wall time
+};
+
+// Writes measurements as a JSON array of objects to `path` (overwrites).
+void WriteWallMeasurementsJson(const std::string& path,
+                               const std::vector<WallMeasurement>& ms);
 
 // Builds the paper's cluster and run configuration for a scheme and seed.
 RunConfig MakeRunConfig(const HarnessConfig& h, Scheme scheme,

@@ -3,10 +3,12 @@
 # Paper figures use 10 runs (like the paper); ablations use 5.
 cd "$(dirname "$0")"
 out=bench_output.txt
-# Benches measure timing shapes; under ASan/UBSan (GS_SANITIZE=ON) the
-# numbers are meaningless and the sweeps are painfully slow — skip.
-if grep -qs "GS_SANITIZE:BOOL=ON" build/CMakeCache.txt; then
-  echo "sanitizer build detected (GS_SANITIZE=ON); skipping benches" | tee "$out"
+# Benches measure timing shapes; under sanitizers (GS_SANITIZE=ON/asan/
+# tsan) the numbers are meaningless and the sweeps are painfully slow —
+# skip. The cache entry's type varies with how the value was set.
+if grep -qsE "^GS_SANITIZE:[^=]*=(ON|on|asan|tsan|TRUE|true|1|yes)$" \
+    build/CMakeCache.txt; then
+  echo "sanitizer build detected (GS_SANITIZE set); skipping benches" | tee "$out"
   echo "ALL-BENCHES-DONE" >> "$out"
   exit 0
 fi
@@ -18,7 +20,12 @@ for b in build/bench/*; do
     *) continue ;;
   esac
   echo "### $b (GS_RUNS=$runs)" >> "$out"
-  GS_RUNS=$runs "$b" >> "$out" 2>&1
+  # The datapath bench measures wall time; publish its raw points as JSON.
+  json=
+  case "$b" in
+    */bench_micro_datapath) json=BENCH_datapath.json ;;
+  esac
+  GS_RUNS=$runs GS_BENCH_JSON=$json "$b" >> "$out" 2>&1
   echo "### exit=$? $b" >> "$out"
   echo >> "$out"
 done

@@ -1,0 +1,12 @@
+#!/bin/bash
+# CI: configure, build and run the test suite under ThreadSanitizer.
+# Exercises the compute ThreadPool offload (docs/PERF.md) for data races.
+# Equivalent to: cmake --preset tsan && cmake --build --preset tsan &&
+#                ctest --preset tsan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGS_SANITIZE=tsan
+cmake --build build-tsan -j "$(nproc)"
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" "$@"

@@ -1,0 +1,95 @@
+// Key hashing for the shuffle data plane.
+//
+// Every hot per-record structure — HashPartitioner::ShardOf, CombineByKey's
+// key index, groupByKey's index — used to hash the key independently (and
+// the map-based ones paid std::hash<std::string> plus a node allocation per
+// probe). The hot path now computes one FNV-1a hash per record and reuses
+// it everywhere; FlatKeyIndex is the shared open-addressing index that maps
+// a (hash, key) pair to a dense output slot without owning key storage.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gs {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// FNV-1a over the key bytes. `basis` folds in an optional salt exactly the
+// way HashPartitioner always did (salt XORed into the offset basis), so a
+// salt-free hash computed once per record is bit-identical to the hash the
+// partitioner would have produced.
+inline std::uint64_t Fnv1a64(std::string_view key,
+                             std::uint64_t basis = kFnvOffsetBasis) {
+  std::uint64_t h = basis;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Open-addressing hash index mapping key hashes to dense indices
+// [0, size()). The caller keeps the keyed values in its own dense array and
+// supplies an equality predicate to resolve hash collisions; the index
+// stores only (hash, dense index) pairs — no strings, no per-entry
+// allocations, no std::hash.
+class FlatKeyIndex {
+ public:
+  explicit FlatKeyIndex(std::size_t expected_keys) {
+    std::size_t cap = 16;
+    while (cap < expected_keys * 2) cap <<= 1;
+    slots_.assign(cap, Slot{});
+  }
+
+  std::size_t size() const { return size_; }
+
+  // Returns the dense index already mapped to (hash, key-equal entry), or
+  // inserts and returns `next_index`. `eq(i)` must report whether the
+  // caller's entry at dense index `i` has the probed key.
+  template <typename KeyEq>
+  std::size_t FindOrInsert(std::uint64_t hash, std::size_t next_index,
+                           const KeyEq& eq) {
+    if ((size_ + 1) * 2 > slots_.size()) Grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.hash = hash;
+        s.index = next_index;
+        ++size_;
+        return next_index;
+      }
+      if (s.hash == hash && eq(s.index)) return s.index;
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::size_t index = 0;
+    bool used = false;
+  };
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = static_cast<std::size_t>(s.hash) & mask;
+      while (slots_[i].used) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gs

@@ -1,0 +1,62 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+namespace gs {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: exit only once the queue is empty.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+      ++busy_;
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --busy_;
+      if (busy_ == 0 && queue_.empty()) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return busy_ == 0 && queue_.empty(); });
+}
+
+int ThreadPool::HardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace gs

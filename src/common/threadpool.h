@@ -1,0 +1,78 @@
+// ThreadPool: a fixed-size, FIFO, work-stealing-free compute pool.
+//
+// The simulator's event loop stays single-threaded; the pool only runs
+// *pure* compute jobs (record transformation, partitioning, size
+// accounting) whose results the loop consumes at simulated compute-done
+// events. Determinism therefore does not depend on scheduling: jobs are
+// side-effect-free functions of their captured inputs, workers pop one
+// shared FIFO queue (no stealing, no per-thread deques), and the event
+// loop blocks on a job's Future exactly at the simulated event that needs
+// its result — so event order, metrics and records are byte-identical for
+// 1 and N threads.
+//
+// Exceptions thrown by a job are captured and rethrown from Future::get()
+// (std::future semantics). The destructor drains the queue — every
+// submitted job runs before shutdown completes — then joins the workers.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gs {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers; values below 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+
+  // Drains remaining jobs, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` for execution in submission (FIFO) order. The returned
+  // future yields fn's result, or rethrows what it threw.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> Submit(Fn fn) {
+    using R = std::invoke_result_t<Fn>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  // Blocks until the queue is empty and no worker is mid-job. Used by the
+  // engine to make sure orphaned jobs (discarded task attempts) finish
+  // before the structures they reference are torn down.
+  void WaitIdle();
+
+  // Number of hardware threads, never less than 1.
+  static int HardwareConcurrency();
+
+ private:
+  void Enqueue(std::function<void()> job);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> queue_;
+  int busy_ = 0;  // workers currently executing a job
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gs

@@ -1,25 +1,31 @@
 #include "data/combiner.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace gs {
 
 std::vector<Record> CombineByKey(const std::vector<Record>& records,
-                                 const CombineFn& fn) {
+                                 const CombineFn& fn,
+                                 std::vector<std::uint64_t>* key_hashes) {
   GS_CHECK(fn != nullptr);
   std::vector<Record> out;
-  std::unordered_map<std::string, std::size_t> index;
-  index.reserve(records.size());
+  FlatKeyIndex index(records.size());
+  if (key_hashes) {
+    key_hashes->clear();
+    key_hashes->reserve(records.size());
+  }
   for (const Record& r : records) {
-    auto [it, inserted] = index.try_emplace(r.key, out.size());
-    if (inserted) {
+    const std::uint64_t h = Fnv1a64(r.key);
+    const std::size_t slot = index.FindOrInsert(
+        h, out.size(), [&](std::size_t i) { return out[i].key == r.key; });
+    if (slot == out.size()) {
       out.push_back(r);
+      if (key_hashes) key_hashes->push_back(h);
     } else {
-      Record& existing = out[it->second];
+      Record& existing = out[slot];
       existing.value = fn(existing.value, r.value);
     }
   }
@@ -38,17 +44,68 @@ CombineFn SumDouble() {
   };
 }
 
+namespace {
+
+// Returns `v` if already sorted by term (the common case: merge outputs
+// are sorted); otherwise sorts a copy into `scratch` (stable, so duplicate
+// terms keep their relative order and sum in arrival order).
+const std::vector<TermWeight>& SortedByTerm(const std::vector<TermWeight>& v,
+                                            std::vector<TermWeight>& scratch) {
+  const auto term_less = [](const TermWeight& a, const TermWeight& b) {
+    return a.first < b.first;
+  };
+  if (std::is_sorted(v.begin(), v.end(), term_less)) return v;
+  scratch = v;
+  std::stable_sort(scratch.begin(), scratch.end(), term_less);
+  return scratch;
+}
+
+// Appends the weights of one term's run to `acc` left-to-right, advancing
+// `i` past the run. Summation order matches the old std::map
+// implementation (va occurrences in order, then vb occurrences in order).
+void AccumulateRun(const std::vector<TermWeight>& v, std::size_t& i,
+                   const std::string& term, double& acc, bool& started) {
+  while (i < v.size() && v[i].first == term) {
+    if (!started) {
+      acc = v[i].second;
+      started = true;
+    } else {
+      acc += v[i].second;
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+
 CombineFn MergeTermWeights() {
+  // Sparse-vector sum as a sort-merge of (nearly always pre-sorted)
+  // vectors instead of a per-merge std::map: no node allocations, no
+  // per-element tree rebalancing, and the output stays in sorted term
+  // order like the map produced.
   return [](const Value& a, const Value& b) -> Value {
-    const auto& va = std::get<std::vector<TermWeight>>(a);
-    const auto& vb = std::get<std::vector<TermWeight>>(b);
-    // Merge by term; keep deterministic (sorted) order.
-    std::map<std::string, double> merged;
-    for (const auto& [t, w] : va) merged[t] += w;
-    for (const auto& [t, w] : vb) merged[t] += w;
+    std::vector<TermWeight> scratch_a, scratch_b;
+    const std::vector<TermWeight>& va =
+        SortedByTerm(std::get<std::vector<TermWeight>>(a), scratch_a);
+    const std::vector<TermWeight>& vb =
+        SortedByTerm(std::get<std::vector<TermWeight>>(b), scratch_b);
     std::vector<TermWeight> out;
-    out.reserve(merged.size());
-    for (auto& [t, w] : merged) out.emplace_back(t, w);
+    out.reserve(va.size() + vb.size());
+    std::size_t i = 0, j = 0;
+    while (i < va.size() || j < vb.size()) {
+      const std::string* term;
+      if (j >= vb.size() || (i < va.size() && va[i].first <= vb[j].first)) {
+        term = &va[i].first;
+      } else {
+        term = &vb[j].first;
+      }
+      double acc = 0;
+      bool started = false;
+      const std::string key = *term;
+      AccumulateRun(va, i, key, acc, started);
+      AccumulateRun(vb, j, key, acc, started);
+      out.emplace_back(std::move(key), acc);
+    }
     return out;
   };
 }

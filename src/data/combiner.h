@@ -7,6 +7,7 @@
 // transferTo() push (Sec. IV-C3) so combined, smaller data crosses the WAN.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -19,8 +20,15 @@ using CombineFn = std::function<Value(const Value&, const Value&)>;
 
 // Combines records key-wise. Output order is the first-appearance order of
 // each key, which keeps runs deterministic.
+//
+// Each key is FNV-1a-hashed exactly once; when `key_hashes` is non-null it
+// receives the hash of each output record's key (parallel to the returned
+// vector), so the shuffle-write path can partition the combined records
+// without rehashing (HashPartitioner::ShardOfHashed).
 std::vector<Record> CombineByKey(const std::vector<Record>& records,
-                                 const CombineFn& fn);
+                                 const CombineFn& fn,
+                                 std::vector<std::uint64_t>* key_hashes =
+                                     nullptr);
 
 // Common combine functions.
 CombineFn SumInt64();

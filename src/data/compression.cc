@@ -1,8 +1,8 @@
 #include "data/compression.h"
 
 #include <algorithm>
+#include <vector>
 #include <cstdint>
-#include <unordered_set>
 #include <cmath>
 #include <string>
 
@@ -52,18 +52,44 @@ double EstimateCompressionRatio(const std::vector<Record>& records) {
   // the fraction of 8-byte windows that recur in the sample approximates
   // the matchable fraction of the stream: random keys/values produce no
   // repeats (ratio ~1), word-based text repeats heavily (ratio ~0.4),
-  // constant filler collapses (ratio ~0.15).
-  std::unordered_set<std::uint64_t> windows;
-  windows.reserve(sample.size());
+  // constant filler collapses (ratio ~0.15). Recurrence is an exact
+  // distinct count of the window hashes via a linear-probe table — the
+  // same count a hash set or sort-and-dedup produces, but allocation-free
+  // and O(n); this estimator runs once per shard per map task and used to
+  // dominate the shuffle-write wall time.
+  const std::size_t total = sample.size() - 7;
+  // Power-of-two capacity at load factor <= 0.5 so probes stay short. The
+  // sample loop can overshoot kSampleBytes by one record, so size from the
+  // actual window count rather than the nominal cap.
+  std::size_t cap = 16384;
+  int shift = 50;  // 64 - log2(cap): index by the well-mixed high bits
+  while (cap < 2 * total) {
+    cap <<= 1;
+    --shift;
+  }
+  thread_local std::vector<std::uint64_t> table;
+  table.assign(cap, 0);
   std::size_t repeats = 0;
-  std::size_t total = sample.size() - 7;
+  bool seen_zero_window = false;  // 0 is the table's empty sentinel
   std::uint64_t rolling = 0;
   for (std::size_t i = 0; i < sample.size(); ++i) {
     rolling = (rolling << 8) | static_cast<unsigned char>(sample[i]);
-    if (i >= 7) {
-      // FNV-mix the window to avoid pathological collisions.
-      std::uint64_t h = rolling * 1099511628211ull;
-      if (!windows.insert(h).second) ++repeats;
+    if (i < 7) continue;
+    // FNV-mix the window to avoid pathological collisions. The multiply
+    // is a bijection (odd multiplier), so w == 0 iff the window is all
+    // zero bytes.
+    const std::uint64_t w = rolling * 1099511628211ull;
+    if (w == 0) {
+      if (seen_zero_window) ++repeats;
+      seen_zero_window = true;
+      continue;
+    }
+    std::size_t idx = (w * 0x9E3779B97F4A7C15ull) >> shift;
+    while (table[idx] != 0 && table[idx] != w) idx = (idx + 1) & (cap - 1);
+    if (table[idx] == w) {
+      ++repeats;
+    } else {
+      table[idx] = w;
     }
   }
   const double matchable = static_cast<double>(repeats) /
@@ -75,10 +101,13 @@ double EstimateCompressionRatio(const std::vector<Record>& records) {
 }
 
 Bytes CompressedSize(const std::vector<Record>& records) {
-  const Bytes raw = SerializedSize(records);
-  if (raw == 0) return 0;
+  return CompressedSize(records, SerializedSize(records));
+}
+
+Bytes CompressedSize(const std::vector<Record>& records, Bytes serialized) {
+  if (serialized == 0) return 0;
   const double ratio = EstimateCompressionRatio(records);
-  return std::max<Bytes>(1, static_cast<Bytes>(raw * ratio));
+  return std::max<Bytes>(1, static_cast<Bytes>(serialized * ratio));
 }
 
 }  // namespace gs

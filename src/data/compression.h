@@ -27,4 +27,10 @@ double EstimateCompressionRatio(const std::vector<Record>& records);
 // files and sent over push/fetch flows.
 Bytes CompressedSize(const std::vector<Record>& records);
 
+// Same, with the batch's serialized size precomputed by the caller (the
+// shuffle-write path accumulates per-shard sizes during partitioning and
+// skips the second full walk). `serialized` must equal
+// SerializedSize(records).
+Bytes CompressedSize(const std::vector<Record>& records, Bytes serialized);
+
 }  // namespace gs

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace gs {
 
@@ -16,12 +16,17 @@ HashPartitioner::HashPartitioner(int num_shards, std::uint64_t salt)
 int HashPartitioner::ShardOf(const std::string& key) const {
   // FNV-1a with a salt; std::hash is not guaranteed stable across
   // implementations and runs must be reproducible.
-  std::uint64_t h = 1469598103934665603ull ^ salt_;
-  for (unsigned char c : key) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return static_cast<int>(h % static_cast<std::uint64_t>(num_shards_));
+  return static_cast<int>(Fnv1a64(key, kFnvOffsetBasis ^ salt_) %
+                          static_cast<std::uint64_t>(num_shards_));
+}
+
+int HashPartitioner::ShardOfHashed(const std::string& key,
+                                   std::uint64_t fnv_hash) const {
+  // The salt is folded into the FNV offset basis, so a salt-free hash can
+  // only be reused when no salt is set (the engine never sets one; salted
+  // partitioners exist for ablations and pay the rehash).
+  if (salt_ != 0) return ShardOf(key);
+  return static_cast<int>(fnv_hash % static_cast<std::uint64_t>(num_shards_));
 }
 
 RangePartitioner::RangePartitioner(std::vector<std::string> boundaries)

@@ -5,6 +5,7 @@
 // default; RangePartitioner (built from sampled keys) backs sortByKey.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,21 @@ class Partitioner {
 
   // Shard index in [0, num_shards()) for a key. Must be deterministic.
   virtual int ShardOf(const std::string& key) const = 0;
+
+  // Shard index given the key and its precomputed salt-free FNV-1a hash
+  // (Fnv1a64(key)). The shuffle-write hot path hashes each key once and
+  // reuses the hash here, for combining and for grouping; partitioners
+  // that cannot use the hash fall back to ShardOf.
+  virtual int ShardOfHashed(const std::string& key,
+                            std::uint64_t fnv_hash) const {
+    (void)fnv_hash;
+    return ShardOf(key);
+  }
+
+  // True when ShardOfHashed consumes the precomputed hash. Callers that
+  // would have to hash keys solely for partitioning skip the work when
+  // this is false (e.g. RangePartitioner compares keys directly).
+  virtual bool UsesKeyHash() const { return false; }
 };
 
 class HashPartitioner final : public Partitioner {
@@ -27,6 +43,9 @@ class HashPartitioner final : public Partitioner {
 
   int num_shards() const override { return num_shards_; }
   int ShardOf(const std::string& key) const override;
+  int ShardOfHashed(const std::string& key,
+                    std::uint64_t fnv_hash) const override;
+  bool UsesKeyHash() const override { return salt_ == 0; }
 
  private:
   int num_shards_;

@@ -44,6 +44,9 @@ GeoCluster::GeoCluster(Topology topo, RunConfig config)
   disk_ = std::make_unique<DiskModel>(sim_, topo_.num_nodes(),
                                       config_.cost.disk_read_rate,
                                       config_.cost.disk_write_rate);
+  compute_pool_ = std::make_unique<ThreadPool>(
+      config_.compute_threads > 0 ? config_.compute_threads
+                                  : ThreadPool::HardwareConcurrency());
   // The driver is the first non-worker node; if all nodes are workers,
   // node 0 doubles as the driver.
   driver_node_ = 0;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "engine/metrics.h"
 #include "engine/run_config.h"
 #include "engine/trace.h"
@@ -83,6 +84,10 @@ class GeoCluster {
   MapOutputTracker& tracker() { return tracker_; }
   TaskScheduler& scheduler() { return *scheduler_; }
   DiskModel& disk() { return *disk_; }
+  // Pool executing tasks' real compute off the event loop; sized by
+  // RunConfig::compute_threads (0 = hardware concurrency). Purely a
+  // wall-clock accelerator — simulation results do not depend on it.
+  ThreadPool& compute_pool() { return *compute_pool_; }
   NodeIndex driver_node() const { return driver_node_; }
 
   // Id allocators shared by the Dataset facade and graph rewrites.
@@ -135,6 +140,7 @@ class GeoCluster {
   MapOutputTracker tracker_;
   std::unique_ptr<TaskScheduler> scheduler_;
   std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<ThreadPool> compute_pool_;
   std::unique_ptr<FaultInjector> faults_;
   // The runner of the job currently executing (crash notifications).
   JobRunner* active_runner_ = nullptr;

@@ -35,6 +35,13 @@ JobRunner::JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
       action_(action),
       rng_(std::move(rng)) {}
 
+JobRunner::~JobRunner() {
+  // Compute jobs of discarded attempts are never joined (their stale
+  // OnGatherDone no-ops); let them finish before the stage structures
+  // they reference go away.
+  cluster_.compute_pool().WaitIdle();
+}
+
 JobResult JobRunner::Run() {
   metrics_.started = sim_.Now();
   const TrafficMeter& meter = cluster_.network().meter();
@@ -493,7 +500,37 @@ void JobRunner::StartGather(TaskRun& task) {
                             << cut.rdd->name());
   }
 
+  // The gathered records are complete right here — the flows and disk
+  // reads above only simulate their cost — so the task's real compute can
+  // start now and overlap, in wall-clock time, with the simulated gather
+  // (and with every other task's compute). A doomed attempt (missing map
+  // outputs) skips the submit; it fails at GatherArrived.
+  if (task.fetch_failed_maps.empty()) SubmitCompute(task);
+
   GatherArrived(task);  // release the guard
+}
+
+void JobRunner::SubmitCompute(TaskRun& task) {
+  StageRun& sr = stage_run(task.stage);
+  TaskComputeSpec spec;
+  spec.output_rdd = sr.stage.output_rdd.get();
+  spec.partition = task.partition;
+  spec.start.rdd = task.cut_rdd;
+  spec.start.partition = task.cut_partition;
+  spec.start.records = std::move(task.gathered);
+  spec.start.already_processed = task.gather_is_processed;
+  task.gathered.clear();
+  if (sr.stage.pre_output_combine && !config_.disable_map_side_combine) {
+    spec.combine = &sr.stage.pre_output_combine;
+  }
+  spec.output = sr.stage.output;
+  if (sr.stage.consumer_shuffle != nullptr) {
+    spec.consumer_shuffle = &sr.stage.consumer_shuffle->shuffle();
+  }
+  task.compute = cluster_.compute_pool().Submit(
+      [spec = std::move(spec)]() mutable {
+        return ComputeTask(std::move(spec));
+      });
 }
 
 void JobRunner::GatherArrived(TaskRun& task) {
@@ -513,24 +550,16 @@ void JobRunner::GatherArrived(TaskRun& task) {
 void JobRunner::OnGatherDone(TaskRun& task) {
   StageRun& sr = stage_run(task.stage);
 
-  EvalStart start;
-  start.rdd = task.cut_rdd;
-  start.partition = task.cut_partition;
-  start.records = std::move(task.gathered);
-  start.already_processed = task.gather_is_processed;
-  task.gathered.clear();
-  const std::size_t in_records = start.records.size();
-
-  EvalResult eval = Evaluate(*sr.stage.output_rdd, task.partition,
-                             std::move(start));
-  std::vector<Record> records = std::move(eval.records);
-  if (sr.stage.pre_output_combine && !config_.disable_map_side_combine) {
-    records = CombineByKey(records, sr.stage.pre_output_combine);
-  }
-  const Bytes out_bytes = SerializedSize(records);
-  SimTime cpu = config_.cost.CpuTime(task.in_bytes, out_bytes) +
+  // Join the compute job submitted at StartGather. This is a wall-clock
+  // join only — in simulated time the compute "happens" over the cpu
+  // interval scheduled below, whose length needs the output sizes the job
+  // produced. Exceptions thrown by workload lambdas resurface here, on
+  // the event loop.
+  GS_CHECK(task.compute.valid());
+  TaskComputeResult out = task.compute.get();
+  SimTime cpu = config_.cost.CpuTime(task.in_bytes, out.out_bytes) +
                 config_.cost.record_cpu *
-                    static_cast<double>(in_records + records.size());
+                    static_cast<double>(out.in_records + out.out_records);
   cpu *= StragglerFactor();
 
   // Store cache fills on this node once the compute finishes.
@@ -558,11 +587,14 @@ void JobRunner::OnGatherDone(TaskRun& task) {
       sr.stage.transfer_consumer >= 0) {
     StageRun* producer_sr = &sr;
     sim_.Schedule(cpu * kEarlyPushFraction,
-                  [this, t, epoch, producer_sr, records]() mutable {
+                  [this, t, epoch, producer_sr,
+                   records = std::move(out.records),
+                   push_bytes = out.compressed_bytes]() mutable {
                     if (t->epoch != epoch) return;
-                    NotifyReceiver(*producer_sr, *t, std::move(records));
+                    NotifyReceiver(*producer_sr, *t, std::move(records),
+                                   push_bytes);
                   });
-    sim_.Schedule(cpu, [this, t, epoch, fills = std::move(eval.cache_fills)] {
+    sim_.Schedule(cpu, [this, t, epoch, fills = std::move(out.cache_fills)] {
       if (t->epoch != epoch) return;
       for (auto& fill : fills) {
         cluster_.blocks().Put(t->node,
@@ -574,14 +606,13 @@ void JobRunner::OnGatherDone(TaskRun& task) {
     return;
   }
 
-  auto commit = [this, t, epoch, records = std::move(records),
-                 fills = std::move(eval.cache_fills)]() mutable {
+  auto commit = [this, t, epoch, out = std::move(out)]() mutable {
     if (t->epoch != epoch) return;
-    for (auto& fill : fills) {
+    for (auto& fill : out.cache_fills) {
       cluster_.blocks().Put(t->node, BlockId::Cached(fill.rdd, fill.partition),
                             fill.records);
     }
-    OnComputeDone(*t, std::move(records));
+    OnComputeDone(*t, std::move(out));
   };
   sim_.Schedule(cpu, std::move(commit));
 }
@@ -600,7 +631,7 @@ void JobRunner::OnTaskFailed(TaskRun& task) {
   SubmitTask(task);
 }
 
-void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
+void JobRunner::OnComputeDone(TaskRun& task, TaskComputeResult out) {
   StageRun& sr = stage_run(task.stage);
   TaskRun* t = &task;
   const int epoch = task.epoch;
@@ -609,18 +640,17 @@ void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
     case StageOutputKind::kResult: {
       Bytes bytes;
       if (action_ == ActionKind::kCollect) {
-        bytes = SerializedSize(records);
+        bytes = out.out_bytes;
       } else {
         // Save: output persists on the workers via HDFS (replication
         // factor 3: one local write plus two in-datacenter copies); the
         // driver gets an ack with the partition's record count.
-        const Bytes out_bytes = SerializedSize(records);
-        records = {Record{std::to_string(task.partition),
-                          static_cast<std::int64_t>(records.size())}};
+        out.records = {Record{std::to_string(task.partition),
+                              static_cast<std::int64_t>(out.out_records)}};
         bytes = kSaveAckBytes;
-        cluster_.disk().Write(task.node, 3 * out_bytes, [] {});
+        cluster_.disk().Write(task.node, 3 * out.out_bytes, [] {});
       }
-      results_[task.partition] = std::move(records);
+      results_[task.partition] = std::move(out.records);
       cluster_.network().StartFlow(task.node, cluster_.driver_node(), bytes,
                                    FlowKind::kCollect, [this, t, epoch] {
                                      if (t->epoch != epoch) return;
@@ -629,29 +659,20 @@ void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
       break;
     }
     case StageOutputKind::kShuffleWrite: {
+      // The records were split per reduce shard — and each shard's
+      // compressed size measured — inside the compute job; only the
+      // simulated disk write and block registration happen here.
       const ShuffledRdd& consumer = *sr.stage.consumer_shuffle;
       const ShuffleInfo& info = consumer.shuffle();
       const int num_shards = info.partitioner->num_shards();
       const int num_maps = sr.stage.output_rdd->num_partitions();
       cluster_.tracker().RegisterShuffle(info.id, num_maps, num_shards);
-
-      std::vector<std::vector<Record>> shards(num_shards);
-      for (Record& r : records) {
-        shards[info.partitioner->ShardOf(r.key)].push_back(std::move(r));
-      }
-      // Shuffle files are compressed on disk and on the wire
-      // (spark.shuffle.compress).
-      std::vector<Bytes> shard_bytes(num_shards, 0);
-      Bytes total = 0;
-      for (int k = 0; k < num_shards; ++k) {
-        shard_bytes[k] = CompressedSize(shards[k]);
-        total += shard_bytes[k];
-      }
       const int map_partition = task.partition;
       cluster_.disk().Write(
-          task.node, total,
+          task.node, out.shard_total_bytes,
           [this, t, epoch, map_partition, sid = info.id,
-           shards = std::move(shards), shard_bytes]() mutable {
+           shards = std::move(out.shards),
+           shard_bytes = std::move(out.shard_bytes)]() mutable {
             if (t->epoch != epoch) return;
             for (int k = 0; k < static_cast<int>(shards.size()); ++k) {
               cluster_.blocks().PutWithSize(
@@ -669,7 +690,7 @@ void JobRunner::OnComputeDone(TaskRun& task, std::vector<Record> records) {
       // after this task's slot is released (pipelining: the WAN transfer
       // overlaps later map tasks, Fig. 1b). No disk write on the producer
       // (Sec. IV-B, "unnecessary disk I/O is avoided").
-      NotifyReceiver(sr, task, std::move(records));
+      NotifyReceiver(sr, task, std::move(out.records), out.compressed_bytes);
       FinishTask(task);
       break;
     }
@@ -1074,15 +1095,17 @@ void JobRunner::PlaceReceiver(StageRun& producer_sr, TaskRun& producer_task) {
 }
 
 void JobRunner::NotifyReceiver(StageRun& producer_sr, TaskRun& producer_task,
-                               std::vector<Record> records) {
+                               std::vector<Record> records,
+                               Bytes push_bytes) {
   GS_CHECK(producer_sr.stage.transfer_consumer >= 0);
   StageRun& consumer = stage_run(producer_sr.stage.transfer_consumer);
   TaskRun& receiver = *consumer.tasks[producer_task.partition];
   // A restarted producer re-notifies; if the first attempt's push already
   // made it out (data landed, or still flowing from a live node), keep it.
   if (receiver.producer_done) return;
-  // Pushed data is serialized and compressed like any shuffle stream.
-  receiver.inbox_bytes = CompressedSize(records);
+  // Pushed data is serialized and compressed like any shuffle stream;
+  // `push_bytes` is the compute job's CompressedSize of `records`.
+  receiver.inbox_bytes = push_bytes;
   receiver.inbox = MakeRecords(std::move(records));
   receiver.producer_done = true;
   receiver.producer_node = producer_task.node;
@@ -1127,34 +1150,46 @@ void JobRunner::ExecuteReceiver(TaskRun& receiver) {
   LeafRef leaf = ResolveLeaf(*sr.stage.output_rdd, receiver.partition);
   GS_CHECK(leaf.leaf->kind() == RddKind::kTransferred);
 
-  EvalStart start;
-  start.rdd = leaf.leaf;
-  start.partition = leaf.partition;
+  TaskComputeSpec spec;
+  spec.output_rdd = sr.stage.output_rdd.get();
+  spec.partition = receiver.partition;
+  spec.start.rdd = leaf.leaf;
+  spec.start.partition = leaf.partition;
   // Copy, don't consume: the inbox is retained so a crash of this node can
   // be recovered by re-pushing instead of recomputing the producer.
-  start.records = *receiver.inbox;
+  spec.start.records = *receiver.inbox;
+  // Receivers combine whenever the stage asks: disable_map_side_combine
+  // only switches off the *map-side* pass (the Sec. IV-C3 knob); the
+  // receiver's combine is the aggregation the transfer exists for.
+  if (sr.stage.pre_output_combine) {
+    spec.combine = &sr.stage.pre_output_combine;
+  }
+  spec.output = sr.stage.output;
+  if (sr.stage.consumer_shuffle != nullptr) {
+    spec.consumer_shuffle = &sr.stage.consumer_shuffle->shuffle();
+  }
   receiver.in_bytes = receiver.inbox_bytes;
 
-  EvalResult eval = Evaluate(*sr.stage.output_rdd, receiver.partition,
-                             std::move(start));
-  std::vector<Record> records = std::move(eval.records);
-  if (sr.stage.pre_output_combine) {
-    records = CombineByKey(records, sr.stage.pre_output_combine);
-  }
+  // One compute path for every task kind: receivers run through the pool
+  // too, with an immediate join (their write phase is entered with the
+  // output size in hand, so there is no gather window to overlap).
+  TaskComputeResult out = cluster_.compute_pool()
+                              .Submit([spec = std::move(spec)]() mutable {
+                                return ComputeTask(std::move(spec));
+                              })
+                              .get();
   // Receiving is I/O-bound; charge a nominal CPU cost for deserialization.
-  const Bytes out_bytes = SerializedSize(records);
-  const SimTime cpu = config_.cost.CpuTime(0, out_bytes / 4);
+  const SimTime cpu = config_.cost.CpuTime(0, out.out_bytes / 4);
 
   TaskRun* r = &receiver;
   const int epoch = receiver.epoch;
-  sim_.Schedule(cpu, [this, r, epoch, records = std::move(records),
-                      fills = std::move(eval.cache_fills)]() mutable {
+  sim_.Schedule(cpu, [this, r, epoch, out = std::move(out)]() mutable {
     if (r->epoch != epoch) return;
-    for (auto& fill : fills) {
+    for (auto& fill : out.cache_fills) {
       cluster_.blocks().Put(r->node, BlockId::Cached(fill.rdd, fill.partition),
                             fill.records);
     }
-    OnComputeDone(*r, std::move(records));
+    OnComputeDone(*r, std::move(out));
   });
 }
 

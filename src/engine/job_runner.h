@@ -16,6 +16,7 @@
 //    fetch-based shuffles wait for the stage barrier (Fig. 1a).
 #pragma once
 
+#include <future>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "common/rng.h"
 #include "dag/stage.h"
 #include "engine/cluster.h"
+#include "exec/task_compute.h"
 
 namespace gs {
 
@@ -30,6 +32,10 @@ class JobRunner {
  public:
   JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
             Rng rng);
+  // Blocks until the compute pool is idle: attempts discarded by crash
+  // recovery may still be computing jobs that reference this runner's
+  // stage structures.
+  ~JobRunner();
 
   // Runs the job to completion (drains the simulator) and returns results.
   JobResult Run();
@@ -71,6 +77,11 @@ class JobRunner {
     // fails once the partial gather lands.
     ShuffleId fetch_failed_sid = -1;
     std::vector<int> fetch_failed_maps;
+
+    // In-flight compute: submitted to the pool when the gather starts,
+    // joined at the simulated gather-done event (docs/PERF.md). A restart
+    // simply overwrites the future; the orphaned job's result is dropped.
+    std::future<TaskComputeResult> compute;
 
     // Receiver state (stages starting at a TransferredRdd). The inbox is
     // retained after execution so a lost receiver node can be re-pushed
@@ -128,8 +139,11 @@ class JobRunner {
   void OnAssigned(TaskRun& task, NodeIndex node);
   void StartGather(TaskRun& task);
   void GatherArrived(TaskRun& task);  // one gather op finished
+  // Packages the gathered records into a pure compute job and submits it
+  // to the cluster's ThreadPool; the future lands in task.compute.
+  void SubmitCompute(TaskRun& task);
   void OnGatherDone(TaskRun& task);
-  void OnComputeDone(TaskRun& task, std::vector<Record> records);
+  void OnComputeDone(TaskRun& task, TaskComputeResult out);
   void OnTaskFailed(TaskRun& task);
   void FinishTask(TaskRun& task);
 
@@ -162,7 +176,7 @@ class JobRunner {
   // the receiver only acquires an executor slot for its write phase.
   void PlaceReceiver(StageRun& producer_sr, TaskRun& producer_task);
   void NotifyReceiver(StageRun& producer_sr, TaskRun& producer_task,
-                      std::vector<Record> records);
+                      std::vector<Record> records, Bytes push_bytes);
   void TryDeliver(TaskRun& receiver);
   void ReceiverGotData(TaskRun& receiver);  // data landed: request a slot
   void ExecuteReceiver(TaskRun& receiver);  // slot acquired: run the chain

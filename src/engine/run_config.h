@@ -114,6 +114,14 @@ struct RunConfig {
   // Skip map-side combining before shuffle writes and transfer pushes
   // (Sec. IV-C3); results stay correct via the reduce-side combine.
   bool disable_map_side_combine = false;
+
+  // Worker threads of the compute ThreadPool that executes tasks' real
+  // record transformations off the (single-threaded) event loop. 0 picks
+  // the host's hardware concurrency. Results, event order, and metrics
+  // are identical for every value — compute jobs are pure and joined at
+  // fixed simulation events (docs/PERF.md) — so this only changes how
+  // fast a run finishes in wall-clock time.
+  int compute_threads = 0;
 };
 
 }  // namespace gs

@@ -8,7 +8,11 @@ namespace gs {
 namespace {
 
 // Recursively evaluates `rdd` partition `p`, bottoming out at `start`.
-std::vector<Record> Eval(const Rdd& rdd, int p, const EvalStart& start,
+// Exactly one recursion path reaches `start` (map chains are linear and a
+// union resolves to one parent), so the boundary records are moved out —
+// Evaluate owns `start` — instead of copied; for wide partitions that copy
+// used to dominate the task's compute.
+std::vector<Record> Eval(const Rdd& rdd, int p, EvalStart& start,
                          EvalResult& result) {
   if (&rdd == start.rdd) {
     GS_CHECK_MSG(p == start.partition, "boundary partition mismatch: " << p
@@ -16,9 +20,10 @@ std::vector<Record> Eval(const Rdd& rdd, int p, const EvalStart& start,
     if (rdd.kind() == RddKind::kShuffled && !start.already_processed) {
       // `start.records` are raw gathered shard records; apply the reduce
       // side's combine/group/sort.
-      return static_cast<const ShuffledRdd&>(rdd).ProcessShard(start.records);
+      return static_cast<const ShuffledRdd&>(rdd).ProcessShard(
+          std::move(start.records));
     }
-    return start.records;
+    return std::move(start.records);
   }
 
   std::vector<Record> out;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.h"
+
 namespace gs {
 
 Rdd::Rdd(RddId id, RddKind kind, int num_partitions, std::string name)
@@ -99,17 +101,21 @@ std::vector<Record> ShuffledRdd::ProcessShard(
   if (info_.reduce_combine) {
     records = CombineByKey(records, info_.reduce_combine);
   } else if (info_.group_values) {
-    // Gather string values per key, in arrival order.
+    // Gather string values per key, in arrival order. Keys are hashed once
+    // into a flat index — no std::hash<std::string>, no per-key nodes.
     std::vector<Record> grouped;
-    std::unordered_map<std::string, std::size_t> index;
+    FlatKeyIndex index(records.size());
     for (Record& r : records) {
-      auto [it, inserted] = index.try_emplace(r.key, grouped.size());
-      if (inserted) {
+      const std::size_t slot = index.FindOrInsert(
+          Fnv1a64(r.key), grouped.size(),
+          [&](std::size_t i) { return grouped[i].key == r.key; });
+      if (slot == grouped.size()) {
         grouped.push_back(
-            Record{r.key, std::vector<std::string>{
-                              std::get<std::string>(std::move(r.value))}});
+            Record{std::move(r.key),
+                   std::vector<std::string>{
+                       std::get<std::string>(std::move(r.value))}});
       } else {
-        std::get<std::vector<std::string>>(grouped[it->second].value)
+        std::get<std::vector<std::string>>(grouped[slot].value)
             .push_back(std::get<std::string>(std::move(r.value)));
       }
     }

@@ -1,0 +1,146 @@
+// Thread-count determinism of the compute offload (docs/PERF.md): the
+// event loop submits compute jobs at task-start events and consumes their
+// results at the (simulated) compute-done events, so simulation outputs
+// are a function of the seed alone — RunConfig::compute_threads must not
+// change a single record or metric. Verified fault-free and under a
+// FaultPlan mid-map node crash (where discarded task attempts leave
+// orphaned pool jobs behind), for every scheme.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "data/combiner.h"
+#include "data/record.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "storage/block.h"
+
+namespace gs {
+namespace {
+
+constexpr int kMaps = 48;  // two waves over the 24 workers
+constexpr int kShards = 8;
+
+RunConfig BaseConfig(Scheme scheme, int compute_threads) {
+  RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 7;
+  cfg.scale = 100;
+  cfg.cost = CostModel{}.Scaled(100);
+  cfg.compute_threads = compute_threads;
+  // Keep stochastic knobs ON: determinism must come from the simulation's
+  // own RNG, not from disabling randomness.
+  return cfg;
+}
+
+Dataset MakeInput(GeoCluster& cluster) {
+  const Topology& topo = cluster.topology();
+  std::vector<NodeIndex> workers;
+  for (NodeIndex n = 0; n < topo.num_nodes(); ++n) {
+    if (topo.node(n).worker) workers.push_back(n);
+  }
+  std::vector<SourceRdd::Partition> parts;
+  for (int p = 0; p < kMaps; ++p) {
+    std::vector<Record> records;
+    records.reserve(300);
+    for (int i = 0; i < 300; ++i) {
+      records.push_back(
+          {"key" + std::to_string((p * 131 + i) % 257), std::int64_t{1}});
+    }
+    SourceRdd::Partition part;
+    part.records = MakeRecords(std::move(records));
+    part.node = workers[p % workers.size()];
+    part.bytes = SerializedSize(*part.records);
+    parts.push_back(std::move(part));
+  }
+  return cluster.CreateSource("determinism-input", std::move(parts));
+}
+
+struct RunSnapshot {
+  std::vector<Record> records;
+  JobMetrics metrics;
+};
+
+RunSnapshot RunWith(RunConfig cfg) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  RunSnapshot snap;
+  snap.records =
+      MakeInput(cluster).ReduceByKey(SumInt64(), kShards).Collect();
+  snap.metrics = cluster.last_job_metrics();
+  return snap;
+}
+
+// Byte-for-byte identity of everything a run produces. Record order is
+// part of the claim: no sorting before comparison.
+void ExpectIdentical(const RunSnapshot& a, const RunSnapshot& b) {
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.metrics.started, b.metrics.started);
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_EQ(a.metrics.cross_dc_bytes, b.metrics.cross_dc_bytes);
+  EXPECT_EQ(a.metrics.cross_dc_fetch_bytes, b.metrics.cross_dc_fetch_bytes);
+  EXPECT_EQ(a.metrics.cross_dc_push_bytes, b.metrics.cross_dc_push_bytes);
+  EXPECT_EQ(a.metrics.cross_dc_centralize_bytes,
+            b.metrics.cross_dc_centralize_bytes);
+  EXPECT_EQ(a.metrics.task_failures, b.metrics.task_failures);
+  EXPECT_EQ(a.metrics.fetch_failures, b.metrics.fetch_failures);
+  EXPECT_EQ(a.metrics.node_crashes, b.metrics.node_crashes);
+  EXPECT_EQ(a.metrics.map_resubmissions, b.metrics.map_resubmissions);
+  EXPECT_EQ(a.metrics.push_retries, b.metrics.push_retries);
+  EXPECT_EQ(a.metrics.push_fallbacks, b.metrics.push_fallbacks);
+  ASSERT_EQ(a.metrics.stages.size(), b.metrics.stages.size());
+  for (std::size_t i = 0; i < a.metrics.stages.size(); ++i) {
+    EXPECT_EQ(a.metrics.stages[i].submitted, b.metrics.stages[i].submitted);
+    EXPECT_EQ(a.metrics.stages[i].completed, b.metrics.stages[i].completed);
+  }
+}
+
+class ComputeThreadsTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(ComputeThreadsTest, OneAndEightThreadsAreByteIdentical) {
+  ExpectIdentical(RunWith(BaseConfig(GetParam(), 1)),
+                  RunWith(BaseConfig(GetParam(), 8)));
+}
+
+// Sim-time 60% of the way through the kMaps-task map stage of a healthy
+// run: the crash lands while map compute jobs are in flight, so restarted
+// attempts orphan their predecessors' pool jobs.
+SimTime MidMapCrashTime(Scheme scheme) {
+  RunSnapshot probe = RunWith(BaseConfig(scheme, 1));
+  for (const StageMetrics& s : probe.metrics.stages) {
+    if (s.num_tasks == kMaps) {
+      return s.submitted + 0.6 * (s.completed - s.submitted);
+    }
+  }
+  ADD_FAILURE() << "no " << kMaps << "-task map stage found";
+  return 0;
+}
+
+TEST_P(ComputeThreadsTest, IdenticalUnderAMidMapNodeCrash) {
+  NodeCrashEvent crash;
+  crash.at = MidMapCrashTime(GetParam());
+  crash.node = 20;  // a DC5 worker — never the aggregator
+  crash.restart_after = 0;
+
+  RunConfig one = BaseConfig(GetParam(), 1);
+  one.fault.plan.node_crashes.push_back(crash);
+  RunConfig eight = BaseConfig(GetParam(), 8);
+  eight.fault.plan.node_crashes.push_back(crash);
+
+  const RunSnapshot a = RunWith(one);
+  const RunSnapshot b = RunWith(eight);
+  EXPECT_EQ(a.metrics.node_crashes, 1);
+  ExpectIdentical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ComputeThreadsTest,
+                         ::testing::Values(Scheme::kSpark,
+                                           Scheme::kCentralized,
+                                           Scheme::kAggShuffle),
+                         [](const auto& info) {
+                           return SchemeName(info.param);
+                         });
+
+}  // namespace
+}  // namespace gs

@@ -27,6 +27,7 @@ struct Options {
   double scale = 100.0;
   std::uint64_t seed = 1;
   int aggregators = 1;
+  int threads = 0;  // compute pool size; 0 = hardware concurrency
   std::string trace_path;  // Chrome-trace JSON output
   bool gantt = false;
   bool help = false;
@@ -48,6 +49,8 @@ void PrintHelp() {
       "  --scale=X         input/rate scale divisor (default 100)\n"
       "  --seed=N          base seed (default 1)\n"
       "  --aggregators=K   aggregate into K datacenters (default 1)\n"
+      "  --threads=N       compute-pool threads; results are identical\n"
+      "                    for every N (default: hardware concurrency)\n"
       "  --trace=FILE      write Chrome-trace JSON of the last run\n"
       "  --gantt           print an ASCII Gantt chart of the last run\n"
       "  --crash-node=N    crash worker node N mid-run (fault injection)\n"
@@ -84,6 +87,8 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       opts->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "aggregators", &value)) {
       opts->aggregators = std::max(1, std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "threads", &value)) {
+      opts->threads = std::max(0, std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "crash-node", &value)) {
       opts->crash_node = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "crash-at", &value)) {
@@ -134,6 +139,7 @@ int main(int argc, char** argv) {
     cfg.scale = opts.scale;
     cfg.cost = CostModel{}.Scaled(opts.scale);
     cfg.aggregator_dc_count = opts.aggregators;
+    cfg.compute_threads = opts.threads;
     if (opts.crash_node >= 0) {
       NodeCrashEvent crash;
       crash.at = opts.crash_at;
