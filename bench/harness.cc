@@ -5,9 +5,11 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/table.h"
+#include "netsim/pricing.h"
 
 namespace gs::bench {
 
@@ -39,6 +41,7 @@ RunConfig MakeRunConfig(const HarnessConfig& h, Scheme scheme,
   // EC2 tenancy — the recovery-path difference (WAN re-fetch vs local
   // re-read, Fig. 2) is part of what the paper measures.
   cfg.fault.reduce_failure_prob = 0.08;
+  cfg.observe.egress_usd_per_gib = WanPricing::Ec2SixRegionTariff().rates();
   return cfg;
 }
 
@@ -54,6 +57,15 @@ RunOutcome RunOnce(const HarnessConfig& h, const std::string& workload,
   out.wall_seconds = WallSeconds() - wall_start;
   out.cross_dc_bytes = result.metrics.cross_dc_bytes;
   out.metrics = result.metrics;
+  out.report = std::move(result.report);
+  out.report.label = workload + "/" + SchemeName(scheme);
+  if (const char* path = std::getenv("GS_BENCH_REPORT")) {
+    if (*path != '\0') {
+      std::ofstream rep(path);
+      GS_CHECK_MSG(rep.good(), "cannot write " << path);
+      rep << out.report.ToJson() << "\n";
+    }
+  }
   return out;
 }
 

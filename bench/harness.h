@@ -5,8 +5,11 @@
 // iterative runs), summarizes with the paper's statistics (10% trimmed
 // mean, median, interquartile range) and prints a table shaped like the
 // figure. Environment variables tune effort:
-//   GS_RUNS   — runs per configuration (default 10, like the paper)
-//   GS_SCALE  — input/rate scale divisor (default 100)
+//   GS_RUNS         — runs per configuration (default 10, like the paper)
+//   GS_SCALE        — input/rate scale divisor (default 100)
+//   GS_BENCH_REPORT — if set, RunOnce writes each run's RunReport JSON
+//                     there (overwriting; the file ends up holding the
+//                     bench's last run — see docs/OBSERVABILITY.md)
 #pragma once
 
 #include <string>
@@ -33,6 +36,7 @@ struct RunOutcome {
   double wall_seconds = 0;      // real elapsed time of the run
   Bytes cross_dc_bytes = 0;
   JobMetrics metrics;
+  RunReport report;  // full observability report (docs/OBSERVABILITY.md)
 };
 
 // --- wall-clock measurement (docs/PERF.md) ---

@@ -78,13 +78,13 @@ int main() {
     Dataset tokens = text.FlatMap("tokenize", TokenizeCount);
     if (v.explicit_dc != kNoDc) tokens = tokens.TransferTo(v.explicit_dc);
     Dataset counts = tokens.ReduceByKey(SumInt64(), 8);
-    std::vector<Record> result = counts.Collect();
+    RunResult run = counts.Run(ActionKind::kCollect);
 
-    const JobMetrics& m = cluster.last_job_metrics();
+    const JobMetrics& m = run.metrics;
     table.AddRow({v.label, FmtDouble(m.jct(), 2) + "s",
                   FmtMiB(m.cross_dc_bytes), FmtMiB(m.cross_dc_fetch_bytes),
                   FmtMiB(m.cross_dc_push_bytes),
-                  std::to_string(result.size())});
+                  std::to_string(run.records.size())});
   }
   std::cout << "Wide-area word count over six EC2 regions (16 MiB of text, "
                "scaled 1/100):\n"

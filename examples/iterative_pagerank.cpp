@@ -97,8 +97,7 @@ std::pair<double, double> RunPageRank(gs::Scheme scheme, int iterations) {
                        return Record{r.key, std::move(next)};
                      });
   }
-  state.Save();
-  const gs::JobMetrics& m = cluster.last_job_metrics();
+  const gs::JobMetrics m = state.Run(gs::ActionKind::kSave).metrics;
   return {gs::ToMiB(m.cross_dc_bytes), m.jct()};
 }
 

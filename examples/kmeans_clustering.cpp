@@ -95,9 +95,10 @@ void Run(gs::Scheme scheme, gs::TextTable& table) {
               "c" + std::to_string(best),
               std::vector<gs::TermWeight>{{"sx", x}, {"sy", y}, {"n", 1}}};
         });
-    auto sums =
-        assigned.ReduceByKey(gs::MergeTermWeights(), kClusters).Collect();
-    total_jct += cluster.last_job_metrics().jct();
+    gs::RunResult run = assigned.ReduceByKey(gs::MergeTermWeights(), kClusters)
+                            .Run(gs::ActionKind::kCollect);
+    const auto& sums = run.records;
+    total_jct += run.metrics.jct();
     for (const gs::Record& s : sums) {
       int k = std::stoi(s.key.substr(1));
       const auto& v = std::get<std::vector<gs::TermWeight>>(s.value);

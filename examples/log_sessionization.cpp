@@ -76,10 +76,10 @@ int main() {
         sessions.Filter("long-sessions", [](const Record& r) {
           return std::get<std::vector<std::string>>(r.value).size() >= 20;
         });
-    std::vector<Record> result = heavy.Collect();
+    RunResult run = heavy.Run(ActionKind::kCollect);
 
-    const JobMetrics& m = cluster.last_job_metrics();
-    table.AddRow({SchemeName(scheme), std::to_string(result.size()),
+    const JobMetrics& m = run.metrics;
+    table.AddRow({SchemeName(scheme), std::to_string(run.records.size()),
                   FmtDouble(m.jct(), 2) + "s", FmtMiB(m.cross_dc_bytes),
                   FmtMiB(m.cross_dc_fetch_bytes),
                   FmtMiB(m.cross_dc_push_bytes)});

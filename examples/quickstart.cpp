@@ -59,14 +59,14 @@ int main() {
                      })
             .ReduceByKey(gs::SumInt64(), /*num_shards=*/8);
 
-    std::vector<gs::Record> result = counts.Collect();
-    const gs::JobMetrics& m = cluster.last_job_metrics();
+    gs::RunResult run = counts.Run(gs::ActionKind::kCollect);
+    const gs::JobMetrics& m = run.metrics;
 
     std::int64_t total_words = 0;
-    for (const auto& r : result) {
+    for (const auto& r : run.records) {
       total_words += std::get<std::int64_t>(r.value);
     }
-    std::cout << gs::SchemeName(scheme) << ": " << result.size()
+    std::cout << gs::SchemeName(scheme) << ": " << run.records.size()
               << " distinct words, " << total_words << " total; job took "
               << m.jct() << "s, cross-DC traffic "
               << gs::ToMiB(m.cross_dc_bytes) << " MiB over " << m.stages.size()

@@ -19,13 +19,21 @@ for b in build/bench/*; do
     */bench_*) runs=5 ;;
     *) continue ;;
   esac
+  # An external GS_RUNS overrides the per-bench default (CI uses 1).
+  runs=${GS_RUNS:-$runs}
   echo "### $b (GS_RUNS=$runs)" >> "$out"
   # The datapath bench measures wall time; publish its raw points as JSON.
   json=
   case "$b" in
     */bench_micro_datapath) json=BENCH_datapath.json ;;
   esac
-  GS_RUNS=$runs GS_BENCH_JSON=$json "$b" >> "$out" 2>&1
+  # Figure/table benches also emit one observability RunReport each
+  # (the bench's last run — see docs/OBSERVABILITY.md).
+  report=
+  case "$b" in
+    */bench_fig*|*/bench_table1*) report=REPORT_$(basename "$b" | sed 's/^bench_//').json ;;
+  esac
+  GS_RUNS=$runs GS_BENCH_JSON=$json GS_BENCH_REPORT=$report "$b" >> "$out" 2>&1
   echo "### exit=$? $b" >> "$out"
   echo >> "$out"
 done

@@ -1,0 +1,123 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integral values within the int64 range print without a fraction, so
+  // whole sim-seconds and byte counts read naturally.
+  if (v == std::floor(v) && std::abs(v) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted its "," and ":"
+  }
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_ << ",";
+    has_sibling_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ << "{";
+  has_sibling_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  has_sibling_.pop_back();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ << "[";
+  has_sibling_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  has_sibling_.pop_back();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_ << ",";
+    has_sibling_.back() = true;
+  }
+  out_ << "\"" << JsonEscape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  Separate();
+  out_ << "\"" << JsonEscape(v) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  Separate();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t v) {
+  Separate();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Separate();
+  out_ << JsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Separate();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace gs

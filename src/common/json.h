@@ -1,0 +1,52 @@
+// Minimal streaming JSON writer with deterministic number formatting.
+//
+// RunReport (engine/run_report.h) serializes through this writer; the PR 2
+// determinism invariant extends to reports, so the same in-memory values
+// must always produce the same bytes. Integers print exactly; doubles
+// print as integers when they are integral (sim times are often whole
+// bucket multiples) and with %.12g otherwise — both are pure functions of
+// the bit pattern.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gs {
+
+// Escapes `s` for inclusion in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+// Deterministic number token for a double (never NaN/Inf: those become 0).
+std::string JsonNumber(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value inside an object.
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Separate();  // writes "," between siblings
+  std::ostringstream out_;
+  // One entry per open container: whether a value was already written.
+  std::vector<bool> has_sibling_;
+  bool pending_key_ = false;
+};
+
+}  // namespace gs

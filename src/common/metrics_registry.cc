@@ -1,0 +1,106 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  GS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; past-the-end = overflow.
+  const std::size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      int count) {
+  GS_CHECK(start > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GS_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+               "metric '" << name << "' already registered as another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GS_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+               "metric '" << name << "' already registered as another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GS_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+               "metric '" << name << "' already registered as another kind");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.value = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.value = g->value();
+    s.max = g->max_value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.bounds = h->bounds();
+    s.buckets.reserve(s.bounds.size() + 1);
+    for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.buckets.push_back(h->bucket_count(i));
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace gs

@@ -1,0 +1,130 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms.
+//
+// The registry is the backbone of the observability subsystem
+// (docs/OBSERVABILITY.md): components grab metric handles once at
+// construction and update them lock-free on the hot path. Handles are
+// stable for the registry's lifetime, so a disabled registry costs callers
+// exactly one null-pointer check.
+//
+// Thread-safety and determinism: every update is an atomic on a
+// pre-registered cell, safe from any thread (the PR 2 compute pool
+// included). Determinism of *reported values* is a property of the call
+// sites, not the registry: everything exported into a RunReport is updated
+// only from the single-threaded event loop, whose order is a function of
+// the seed alone — which is why reports are byte-identical for any
+// RunConfig::compute_threads. Wall-clock-domain quantities (pool queue
+// depths, real elapsed times) are deliberately kept out of the registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gs {
+
+// Monotonically increasing event count (flows started, tasks finished...).
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Instantaneous level with a high-watermark (queue depth, bytes stored).
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    BumpMax(v);
+  }
+  void Add(std::int64_t d) {
+    BumpMax(v_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void BumpMax(std::int64_t v) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+// Distribution over fixed, ascending upper-bound buckets (cumulative style
+// is left to exporters; cells here are per-bucket). An implicit overflow
+// bucket catches observations above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::int64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// `count` upper bounds starting at `start`, each `factor` x the previous —
+// the conventional shape for byte-size and latency histograms.
+std::vector<double> ExponentialBounds(double start, double factor, int count);
+
+// Point-in-time export of one metric, used by RunReport::ToJson.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;  // counter total / gauge level
+  std::int64_t max = 0;    // gauge high-watermark
+  std::int64_t count = 0;  // histogram observations
+  double sum = 0;          // histogram sum
+  std::vector<double> bounds;
+  std::vector<std::int64_t> buckets;  // bounds.size() + 1 (overflow last)
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the metric registered under `name`, creating it on first use.
+  // A name identifies exactly one kind; re-registering it as another kind
+  // is a programming error. For histograms, the first registration fixes
+  // the bucket bounds. Handles stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // All metrics, sorted by name (deterministic export order).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gs

@@ -10,6 +10,7 @@
 #include "engine/dataset.h"
 #include "engine/fault_injector.h"
 #include "engine/job_runner.h"
+#include "netsim/pricing.h"
 
 namespace gs {
 
@@ -36,14 +37,25 @@ GeoCluster::GeoCluster(Topology topo, RunConfig config)
       config_(config),
       root_rng_(config.seed) {
   GS_CHECK(topo_.num_nodes() > 0);
+  if (config_.observe.metrics) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    sim_.AttachMetrics(&registry_->counter("simcore.events_scheduled"),
+                       &registry_->counter("simcore.events_executed"));
+  }
   network_ = std::make_unique<Network>(sim_, topo_, config_.net,
-                                       root_rng_.Split("net-jitter"));
-  blocks_ = std::make_unique<BlockManager>(topo_.num_nodes());
-  scheduler_ =
-      std::make_unique<TaskScheduler>(sim_, topo_, config_.sched);
+                                       root_rng_.Split("net-jitter"),
+                                       registry_.get());
+  if (registry_ != nullptr && config_.observe.utilization_bucket > 0) {
+    network_->EnableUtilization(config_.observe.utilization_bucket);
+  }
+  blocks_ =
+      std::make_unique<BlockManager>(topo_.num_nodes(), registry_.get());
+  scheduler_ = std::make_unique<TaskScheduler>(sim_, topo_, config_.sched,
+                                               registry_.get());
   disk_ = std::make_unique<DiskModel>(sim_, topo_.num_nodes(),
                                       config_.cost.disk_read_rate,
-                                      config_.cost.disk_write_rate);
+                                      config_.cost.disk_write_rate,
+                                      registry_.get());
   compute_pool_ = std::make_unique<ThreadPool>(
       config_.compute_threads > 0 ? config_.compute_threads
                                   : ThreadPool::HardwareConcurrency());
@@ -60,6 +72,7 @@ GeoCluster::GeoCluster(Topology topo, RunConfig config)
     faults_ = std::make_unique<FaultInjector>(*this, config_.fault.plan,
                                               root_rng_.Split("faults"));
   }
+  if (config_.observe.trace) StartTraceRecording();
 }
 
 GeoCluster::~GeoCluster() = default;
@@ -111,6 +124,12 @@ Dataset GeoCluster::Parallelize(std::string name,
 }
 
 TraceCollector& GeoCluster::EnableTracing() {
+  legacy_trace_ = true;
+  StartTraceRecording();
+  return *trace_;
+}
+
+void GeoCluster::StartTraceRecording() {
   if (!trace_) {
     trace_ = std::make_unique<TraceCollector>();
     network_->SetFlowObserver([this](const FlowRecord& f) {
@@ -130,7 +149,6 @@ TraceCollector& GeoCluster::EnableTracing() {
       trace_->Add(std::move(span));
     });
   }
-  return *trace_;
 }
 
 NodeIndex GeoCluster::SourceLocation(const SourceRdd& rdd,
@@ -216,7 +234,7 @@ DcIndex GeoCluster::ChooseCentralDc(const RddPtr& final_rdd) const {
   return best;
 }
 
-JobResult GeoCluster::RunJob(const RddPtr& final_rdd, ActionKind action) {
+RunResult GeoCluster::RunJob(const RddPtr& final_rdd, ActionKind action) {
   RddPtr rdd = MaybeRewrite(final_rdd);
   const int job_id = next_job_id_++;
   GS_LOG_INFO << "job " << job_id << " (" << SchemeName(config_.scheme)
@@ -224,13 +242,83 @@ JobResult GeoCluster::RunJob(const RddPtr& final_rdd, ActionKind action) {
   JobRunner runner(*this, rdd, action,
                    root_rng_.Split(static_cast<std::uint64_t>(job_id) + 17));
   active_runner_ = &runner;
-  JobResult result = runner.Run();
+  RunResult result = runner.Run();
   active_runner_ = nullptr;
   last_metrics_ = result.metrics;
+  if (trace_) {
+    if (legacy_trace_) {
+      // EnableTracing() callers read the cluster-owned collector, which
+      // accumulates across jobs; the result gets a copy of what exists.
+      result.trace = std::make_unique<TraceCollector>(*trace_);
+    } else {
+      result.trace = std::make_unique<TraceCollector>(std::move(*trace_));
+      trace_->Clear();
+    }
+  }
+  result.report = BuildReport(result.metrics, result.trace.get());
   GS_LOG_INFO << "job " << job_id << " finished in "
               << result.metrics.jct() << "s, cross-DC "
               << ToMiB(result.metrics.cross_dc_bytes) << " MiB";
   return result;
+}
+
+RunReport GeoCluster::BuildReport(const JobMetrics& job,
+                                  const TraceCollector* trace) const {
+  RunReport report;
+  report.scheme = SchemeName(config_.scheme);
+  report.seed = config_.seed;
+  report.scale = config_.scale;
+  report.num_datacenters = topo_.num_datacenters();
+  report.num_nodes = topo_.num_nodes();
+  report.job = job;
+
+  if (registry_ != nullptr) {
+    report.metrics_enabled = true;
+    report.metrics = registry_->Snapshot();
+  }
+
+  const LinkUtilization* util = network_->utilization();
+  if (util != nullptr) {
+    report.utilization_bucket = util->bucket_width();
+    for (int l = 0; l < util->num_links(); ++l) {
+      if (util->total(l) == 0) continue;
+      const WanLinkSpec& spec = topo_.wan_link(l);
+      RunReport::LinkSeries series;
+      series.src_dc = spec.src;
+      series.dst_dc = spec.dst;
+      series.src_name = topo_.datacenter(spec.src).name;
+      series.dst_name = topo_.datacenter(spec.dst).name;
+      series.base_rate = spec.base_rate;
+      series.total_bytes = util->total(l);
+      series.buckets = util->buckets(l);
+      report.links.push_back(std::move(series));
+    }
+  }
+
+  const auto& rates = config_.observe.egress_usd_per_gib;
+  const WanPricing pricing =
+      rates.size() == static_cast<std::size_t>(topo_.num_datacenters())
+          ? WanPricing(rates)
+          : WanPricing::Uniform(topo_.num_datacenters());
+  report.cost_usd = pricing.CostUsd(network_->meter(), topo_);
+  report.cost_usd_full_scale = report.cost_usd * config_.scale;
+
+  if (trace != nullptr) {
+    report.trace.enabled = true;
+    for (const TraceSpan& s : trace->spans()) {
+      ++report.trace.spans;
+      switch (s.kind) {
+        case TraceSpan::Kind::kTask: ++report.trace.task_spans; break;
+        case TraceSpan::Kind::kStage: ++report.trace.stage_spans; break;
+        case TraceSpan::Kind::kFlow:
+          ++report.trace.flow_spans;
+          report.trace.flow_bytes += s.bytes;
+          break;
+        case TraceSpan::Kind::kPhase: ++report.trace.phase_spans; break;
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace gs

@@ -12,11 +12,12 @@
 //   gs::RunConfig cfg;
 //   cfg.scheme = gs::Scheme::kAggShuffle;
 //   cfg.cost = gs::CostModel{}.Scaled(scale);
+//   cfg.observe.trace = true;  // optional: record spans
 //   gs::GeoCluster cluster(topo, cfg);
 //   gs::Dataset text = cluster.CreateSource("text", partitions);
 //   auto counts = text.FlatMap(tokenize).ReduceByKey(gs::SumInt64(), 8);
-//   std::vector<gs::Record> result = counts.Collect();
-//   gs::JobMetrics m = cluster.last_job_metrics();
+//   gs::RunResult result = counts.Run(gs::ActionKind::kCollect);
+//   // result.records, result.metrics, result.trace, result.report
 #pragma once
 
 #include <memory>
@@ -24,10 +25,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/threadpool.h"
 #include "engine/metrics.h"
 #include "engine/run_config.h"
+#include "engine/run_report.h"
 #include "engine/trace.h"
 #include "exec/disk.h"
 #include "netsim/network.h"
@@ -50,10 +53,22 @@ enum class ActionKind {
   kSave,     // output persists on the workers; only a small ack is sent
 };
 
-struct JobResult {
+// Everything one action produces. Move-only (the trace is owned).
+struct RunResult {
   std::vector<Record> records;  // empty for kSave
-  JobMetrics metrics;
+  JobMetrics metrics;           // this job only
+  // Spans recorded during the run; null unless RunConfig::observe.trace
+  // (or the deprecated EnableTracing()) turned tracing on.
+  std::unique_ptr<TraceCollector> trace;
+  // Metrics snapshot, WAN-link utilization timeseries, cost and trace
+  // summary. The registry/utilization/cost sections are cumulative over
+  // the cluster's lifetime; `report.job` mirrors `metrics`.
+  RunReport report;
 };
+
+// Deprecated spelling of RunResult, kept so pre-observability callers
+// (`JobResult r = cluster.RunJob(...)`) keep compiling.
+using JobResult = RunResult;
 
 class GeoCluster {
  public:
@@ -73,9 +88,14 @@ class GeoCluster {
                       int partitions_per_dc = 1);
 
   // Runs a job computing `final`; called by Dataset actions.
-  JobResult RunJob(const RddPtr& final_rdd, ActionKind action);
+  RunResult RunJob(const RddPtr& final_rdd, ActionKind action);
 
-  const JobMetrics& last_job_metrics() const { return last_metrics_; }
+  // Deprecated: read `metrics` off the RunResult an action returns.
+  [[deprecated("use the RunResult returned by the action instead")]]
+  const JobMetrics& last_job_metrics() const {
+    return last_metrics_;
+  }
+
   const Topology& topology() const { return topo_; }
   const RunConfig& config() const { return config_; }
   Simulator& simulator() { return sim_; }
@@ -90,14 +110,29 @@ class GeoCluster {
   ThreadPool& compute_pool() { return *compute_pool_; }
   NodeIndex driver_node() const { return driver_node_; }
 
+  // Registry all components report into; nullptr when
+  // RunConfig::observe.metrics is false.
+  MetricsRegistry* metrics_registry() { return registry_.get(); }
+
+  // Builds a report of everything observed so far, with `job` as the
+  // per-job section. RunJob attaches one to every RunResult; call this
+  // directly for a mid-workload or whole-workload snapshot.
+  RunReport BuildReport(const JobMetrics& job,
+                        const TraceCollector* trace) const;
+
   // Id allocators shared by the Dataset facade and graph rewrites.
   RddId NextRddId() { return next_rdd_id_++; }
   ShuffleId NextShuffleId() { return next_shuffle_id_++; }
 
-  // Starts recording task/stage/flow spans (Sec. IV-E's WebUI-style
-  // visualization); returns the collector to read after the run. Tracing
-  // stays on for the lifetime of the cluster.
+  // Deprecated: set RunConfig::observe.trace and read RunResult::trace.
+  // Starts recording task/stage/flow spans into a cluster-owned collector
+  // that accumulates across jobs (the pre-observability contract); results
+  // additionally receive a copy of the spans recorded so far.
+  [[deprecated("set RunConfig::observe.trace; read RunResult::trace")]]
   TraceCollector& EnableTracing();
+
+  // Live collector spans are recorded into, or nullptr when tracing is
+  // off. Internal: JobRunner adds task/stage spans through this.
   TraceCollector* trace() { return trace_.get(); }
 
   // Current (possibly relocated) node of a source partition. If the home
@@ -131,10 +166,16 @@ class GeoCluster {
   // datacenter (once), measuring the flows as part of the job.
   void CentralizeInputs(const RddPtr& final_rdd);
 
+  // Installs the flow observer feeding trace_ (shared by observe.trace and
+  // the deprecated EnableTracing()).
+  void StartTraceRecording();
+
   Topology topo_;
   RunConfig config_;
   Simulator sim_;
   Rng root_rng_;
+  // Declared before the components that hold handles into it.
+  std::unique_ptr<MetricsRegistry> registry_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<BlockManager> blocks_;
   MapOutputTracker tracker_;
@@ -152,6 +193,9 @@ class GeoCluster {
 
   JobMetrics last_metrics_;
   std::unique_ptr<TraceCollector> trace_;
+  // EnableTracing() contract: the cluster-owned collector accumulates
+  // across jobs, so results get copies instead of the spans moving out.
+  bool legacy_trace_ = false;
   std::unordered_map<const Rdd*, RddPtr> rewrite_memo_;
   // (source rdd id, partition) -> relocated node (Centralized scheme).
   std::unordered_map<std::int64_t, NodeIndex> relocations_;

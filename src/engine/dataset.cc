@@ -91,7 +91,7 @@ Dataset Dataset::TransferTo(DcIndex target_dc) const {
   return Dataset(cluster_, std::move(rdd));
 }
 
-JobResult Dataset::Run(ActionKind action) const {
+RunResult Dataset::Run(ActionKind action) const {
   return cluster_->RunJob(rdd_, action);
 }
 
@@ -102,7 +102,7 @@ std::vector<Record> Dataset::Collect() const {
 std::int64_t Dataset::Count() const {
   // Counting materializes the dataset but only ships per-partition counts;
   // modelled as a Save-style job plus a local reduction of the counts.
-  JobResult r = Run(ActionKind::kSave);
+  RunResult r = Run(ActionKind::kSave);
   std::int64_t count = 0;
   for (const Record& rec : r.records) {
     count += std::get<std::int64_t>(rec.value);
@@ -112,8 +112,8 @@ std::int64_t Dataset::Count() const {
 
 void Dataset::Save() const { (void)Run(ActionKind::kSave); }
 
-JobResult Dataset::RunCollect() const { return Run(ActionKind::kCollect); }
+RunResult Dataset::RunCollect() const { return Run(ActionKind::kCollect); }
 
-JobResult Dataset::RunSave() const { return Run(ActionKind::kSave); }
+RunResult Dataset::RunSave() const { return Run(ActionKind::kSave); }
 
 }  // namespace gs

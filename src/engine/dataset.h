@@ -59,15 +59,16 @@ class Dataset {
 
   // ---- Actions ------------------------------------------------------------
   // Every action funnels through Run(): one job execution path, one result
-  // type. The named actions are thin conveniences over it.
-  JobResult Run(ActionKind action) const;
+  // type carrying records, metrics, trace and report (engine/cluster.h).
+  // The named actions are thin conveniences over it.
+  RunResult Run(ActionKind action) const;
 
   std::vector<Record> Collect() const;
   std::int64_t Count() const;  // records in the dataset; Save-style traffic
   void Save() const;           // materialize on workers, ack to driver
 
-  [[deprecated("use Run(ActionKind::kCollect)")]] JobResult RunCollect() const;
-  [[deprecated("use Run(ActionKind::kSave)")]] JobResult RunSave() const;
+  [[deprecated("use Run(ActionKind::kCollect)")]] RunResult RunCollect() const;
+  [[deprecated("use Run(ActionKind::kSave)")]] RunResult RunSave() const;
 
  private:
   GeoCluster* cluster_;

@@ -42,7 +42,7 @@ JobRunner::~JobRunner() {
   cluster_.compute_pool().WaitIdle();
 }
 
-JobResult JobRunner::Run() {
+RunResult JobRunner::Run() {
   metrics_.started = sim_.Now();
   const TrafficMeter& meter = cluster_.network().meter();
   meter_before_total_ = meter.cross_dc_total();
@@ -91,7 +91,17 @@ JobResult JobRunner::Run() {
       meter.cross_dc_of_kind(FlowKind::kCentralize) -
       meter_before_centralize_;
 
-  JobResult result;
+  if (MetricsRegistry* reg = cluster_.metrics_registry()) {
+    reg->counter("engine.jobs_completed").Add(1);
+    reg->counter("engine.task_failures").Add(metrics_.task_failures);
+    reg->counter("engine.fetch_failures").Add(metrics_.fetch_failures);
+    reg->counter("engine.node_crashes").Add(metrics_.node_crashes);
+    reg->counter("engine.map_resubmissions").Add(metrics_.map_resubmissions);
+    reg->counter("engine.push_retries").Add(metrics_.push_retries);
+    reg->counter("engine.push_fallbacks").Add(metrics_.push_fallbacks);
+  }
+
+  RunResult result;
   result.metrics = metrics_;
   for (auto& partition_records : results_) {
     result.records.insert(result.records.end(),
@@ -706,6 +716,11 @@ void JobRunner::FinishTask(TaskRun& task) {
   if (sr.partition_done[task.partition]) return;
   sr.partition_done[task.partition] = true;
   sr.completed_durations.push_back(sim_.Now() - task.assigned_at);
+  if (MetricsRegistry* reg = cluster_.metrics_registry()) {
+    // 0.1s .. ~6500s in x3 steps — spans quick maps to straggler reducers.
+    reg->histogram("engine.task_duration_s", ExponentialBounds(0.1, 3, 11))
+        .Observe(sim_.Now() - task.assigned_at);
+  }
   if (TraceCollector* trace = cluster_.trace()) {
     TraceSpan span;
     span.kind = TraceSpan::Kind::kTask;

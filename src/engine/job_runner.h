@@ -38,7 +38,8 @@ class JobRunner {
   ~JobRunner();
 
   // Runs the job to completion (drains the simulator) and returns results.
-  JobResult Run();
+  // The trace and report slots are filled in by GeoCluster::RunJob.
+  RunResult Run();
 
   // Fault notification from GeoCluster::CrashNode: the node's executor and
   // blocks are already gone; restart every affected in-flight task and

@@ -7,9 +7,20 @@
 // `cfg.fault.reduce_failure_prob`, `cfg.speculation.enabled`, ... — and
 // FaultConfig additionally carries the FaultPlan of scheduled
 // infrastructure faults (see engine/fault_plan.h and docs/FAULTS.md).
+//
+// Observability followed the same move: tracing used to be switched on
+// through the GeoCluster::EnableTracing() side channel and read back via
+// cluster.trace()/last_job_metrics(). It is now configured up front on the
+// nested ObservabilityConfig — `cfg.observe.trace = true`,
+// `cfg.observe.metrics`, `cfg.observe.utilization_bucket` — and the
+// recorded data comes back on the RunResult every action returns
+// (result.trace, result.report; see engine/cluster.h and
+// docs/OBSERVABILITY.md). EnableTracing()/last_job_metrics() survive as
+// deprecated shims.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/ids.h"
 #include "engine/fault_plan.h"
@@ -70,6 +81,32 @@ struct SpeculationConfig {
   double multiplier = 1.5;
 };
 
+// What a run records and reports (docs/OBSERVABILITY.md). All collection
+// happens on the single-threaded event loop, so everything here is
+// deterministic in the seed and independent of compute_threads.
+struct ObservabilityConfig {
+  // Registry-backed counters/gauges/histograms across simcore, netsim,
+  // sched, storage and engine, exported into RunResult::report. Cheap
+  // (atomic bumps); with metrics off, instrumented call sites reduce to a
+  // null-pointer check.
+  bool metrics = true;
+
+  // Record task/stage/flow spans into RunResult::trace (the WebUI-style
+  // visualization of Sec. IV-E).
+  bool trace = false;
+
+  // Bucket width of the per-WAN-link bandwidth-utilization timeseries in
+  // RunResult::report. <= 0 disables the timeseries; it is only collected
+  // while `metrics` is true.
+  SimTime utilization_bucket = Seconds(1);
+
+  // Per-region egress $/GiB for the report's cost section, indexed by
+  // DcIndex. Empty (or wrongly sized) falls back to a uniform 0.09 $/GiB
+  // (WanPricing::Uniform); geosim and the bench harness install
+  // WanPricing::Ec2SixRegionTariff().
+  std::vector<double> egress_usd_per_gib;
+};
+
 struct RunConfig {
   Scheme scheme = Scheme::kSpark;
   std::uint64_t seed = 1;
@@ -92,6 +129,7 @@ struct RunConfig {
 
   FaultConfig fault;
   SpeculationConfig speculation;
+  ObservabilityConfig observe;
 
   // Centralized: destination datacenter; kNoDc = the one already holding
   // the most input bytes.

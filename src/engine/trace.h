@@ -8,9 +8,11 @@
 // Perfetto; one process per datacenter, one track per node/link) or a
 // plain-text Gantt rendering for terminals.
 //
-// Enable via RunConfig is not needed: tracing is opt-in per cluster with
-// GeoCluster::EnableTracing(), which returns the collector to read after
-// the run. Overhead when disabled is a null-pointer check.
+// Tracing is opt-in via RunConfig::observe.trace; each job's spans are
+// moved into the RunResult returned by the action (RunResult::trace).
+// Overhead when disabled is a null-pointer check. (The deprecated
+// GeoCluster::EnableTracing() side channel still works: it returns a
+// cluster-owned collector that accumulates across jobs.)
 #pragma once
 
 #include <cstdint>

@@ -10,22 +10,36 @@ constexpr double kByteEpsilon = 1e-6;
 }  // namespace
 
 DiskModel::DiskModel(Simulator& sim, int num_nodes, Rate read_rate,
-                     Rate write_rate)
+                     Rate write_rate, MetricsRegistry* metrics)
     : sim_(sim), read_(num_nodes), write_(num_nodes) {
   GS_CHECK(num_nodes > 0);
   GS_CHECK(read_rate > 0);
   GS_CHECK(write_rate > 0);
   for (auto& ch : read_) ch.rate = read_rate;
   for (auto& ch : write_) ch.rate = write_rate;
+  if (metrics != nullptr) {
+    m_reads_ = &metrics->counter("disk.reads");
+    m_writes_ = &metrics->counter("disk.writes");
+    m_read_bytes_ = &metrics->counter("disk.read_bytes");
+    m_write_bytes_ = &metrics->counter("disk.write_bytes");
+  }
 }
 
 void DiskModel::Read(NodeIndex node, Bytes bytes, DoneFn done) {
   GS_CHECK(node >= 0 && node < static_cast<NodeIndex>(read_.size()));
+  if (m_reads_ != nullptr) {
+    m_reads_->Add(1);
+    m_read_bytes_->Add(bytes);
+  }
   Enqueue(read_[node], bytes, std::move(done));
 }
 
 void DiskModel::Write(NodeIndex node, Bytes bytes, DoneFn done) {
   GS_CHECK(node >= 0 && node < static_cast<NodeIndex>(write_.size()));
+  if (m_writes_ != nullptr) {
+    m_writes_->Add(1);
+    m_write_bytes_->Add(bytes);
+  }
   Enqueue(write_[node], bytes, std::move(done));
 }
 

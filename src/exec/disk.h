@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/metrics_registry.h"
 #include "common/units.h"
 #include "simcore/simulator.h"
 
@@ -23,7 +24,10 @@ class DiskModel {
  public:
   using DoneFn = std::function<void()>;
 
-  DiskModel(Simulator& sim, int num_nodes, Rate read_rate, Rate write_rate);
+  // `metrics` (optional) receives request and byte counters per channel;
+  // must outlive the model.
+  DiskModel(Simulator& sim, int num_nodes, Rate read_rate, Rate write_rate,
+            MetricsRegistry* metrics = nullptr);
 
   DiskModel(const DiskModel&) = delete;
   DiskModel& operator=(const DiskModel&) = delete;
@@ -60,6 +64,12 @@ class DiskModel {
   Simulator& sim_;
   std::vector<Channel> read_;
   std::vector<Channel> write_;
+
+  // Metric handles (nullptr without a registry); event-loop-only updates.
+  Counter* m_reads_ = nullptr;
+  Counter* m_writes_ = nullptr;
+  Counter* m_read_bytes_ = nullptr;
+  Counter* m_write_bytes_ = nullptr;
 };
 
 }  // namespace gs

@@ -65,12 +65,23 @@ void TrafficMeter::Reset() {
 }
 
 Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
-                 Rng jitter_rng)
+                 Rng jitter_rng, MetricsRegistry* metrics)
     : sim_(sim),
       topo_(topo),
       config_(config),
       jitter_rng_(std::move(jitter_rng)),
       meter_(topo.num_datacenters()) {
+  if (metrics != nullptr) {
+    m_flows_started_ = &metrics->counter("netsim.flows_started");
+    m_flows_completed_ = &metrics->counter("netsim.flows_completed");
+    m_flows_cancelled_ = &metrics->counter("netsim.flows_cancelled");
+    m_wan_stalls_ = &metrics->counter("netsim.wan_stalls");
+    m_active_flows_ = &metrics->gauge("netsim.active_flows");
+    // 1 KiB .. 4 GiB in x4 steps; shuffle blocks land mid-range.
+    const std::vector<double> bounds = ExponentialBounds(1024, 4, 12);
+    m_fetch_bytes_ = &metrics->histogram("netsim.fetch_flow_bytes", bounds);
+    m_push_bytes_ = &metrics->histogram("netsim.push_flow_bytes", bounds);
+  }
   capacity_.resize(2 * static_cast<std::size_t>(topo_.num_nodes()) +
                    topo_.num_wan_links());
   for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
@@ -104,6 +115,14 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
 
   meter_.Record(src_dc, dst_dc, kind, bytes);
   CatchUpJitter();
+  if (m_flows_started_ != nullptr) {
+    m_flows_started_->Add(1);
+    if (kind == FlowKind::kShuffleFetch) {
+      m_fetch_bytes_->Observe(static_cast<double>(bytes));
+    } else if (kind == FlowKind::kShufflePush) {
+      m_push_bytes_->Observe(static_cast<double>(bytes));
+    }
+  }
 
   Flow flow;
   flow.id = id;
@@ -129,10 +148,15 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
         jitter_rng_.Bernoulli(config_.wan_stall_prob)) {
       setup += jitter_rng_.Uniform(config_.wan_stall_min,
                                    config_.wan_stall_max);
+      if (m_wan_stalls_ != nullptr) m_wan_stalls_->Add(1);
     }
+    flow.wan_link = link;
   }
   flow.resources.push_back(DownlinkRes(dst));
   flows_.emplace(id, std::move(flow));
+  if (m_active_flows_ != nullptr) {
+    m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+  }
 
   // Connection setup: the flow begins contending after one-way latency
   // (plus any stall).
@@ -150,8 +174,17 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
 void Network::CancelFlow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
+  // Advance to Now() first so the bytes actually moved are attributed at
+  // their real times, then settle the never-to-be-sent remainder here: the
+  // meter charged the full size at start, and conservation must hold.
+  AttributeFlowProgress(it->second, it->second.last_update, sim_.Now());
+  SettleFlowResidual(it->second);
   it->second.completion_event.Cancel();
   flows_.erase(it);
+  if (m_flows_cancelled_ != nullptr) m_flows_cancelled_->Add(1);
+  if (m_active_flows_ != nullptr) {
+    m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+  }
   Reconfigure();
 }
 
@@ -246,6 +279,7 @@ void Network::Reconfigure() {
   // Advance progress at old rates and collect flows that are done.
   std::vector<FlowId> done;
   for (auto& [id, f] : flows_) {
+    AttributeFlowProgress(f, f.last_update, now);
     f.remaining -= f.rate * (now - f.last_update);
     f.last_update = now;
     if (f.started && f.remaining <= kByteEpsilon) done.push_back(id);
@@ -270,18 +304,61 @@ void Network::Reconfigure() {
 void Network::FinishFlow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
+  SettleFlowResidual(it->second);
   CompletionFn cb = std::move(it->second.on_complete);
   it->second.completion_event.Cancel();
+  if (m_flows_completed_ != nullptr) m_flows_completed_->Add(1);
   if (observer_) {
     const Flow& f = it->second;
     observer_(FlowRecord{f.id, f.src, f.dst, f.kind, f.total, f.created_at,
                          sim_.Now()});
   }
   flows_.erase(it);
+  if (m_active_flows_ != nullptr) {
+    m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+  }
   // Run the completion through the simulator so that callbacks observe a
   // consistent network state and cannot reenter Reconfigure mid-loop.
   sim_.Schedule(0, std::move(cb));
   Reconfigure();
+}
+
+void Network::EnableUtilization(SimTime bucket_width) {
+  util_ = std::make_unique<LinkUtilization>(topo_.num_wan_links(),
+                                            bucket_width);
+}
+
+void Network::AttributeFlowProgress(Flow& f, SimTime from, SimTime to) {
+  if (util_ == nullptr || f.wan_link < 0) return;
+  if (f.rate <= 0 || to <= from) return;
+  // Cumulative rounding: at each bucket boundary, credit the difference
+  // between floor(cumulative fluid progress) and what has been credited so
+  // far. Residue carries forward instead of leaking.
+  const double done_at_from = static_cast<double>(f.total) - f.remaining;
+  const SimTime width = util_->bucket_width();
+  std::int64_t bucket = util_->BucketOf(from);
+  SimTime cursor = from;
+  while (cursor < to) {
+    const SimTime bucket_end = static_cast<SimTime>(bucket + 1) * width;
+    const SimTime end = std::min(to, bucket_end);
+    const double done = done_at_from + f.rate * (end - from);
+    const Bytes target = std::min(f.total, static_cast<Bytes>(done));
+    if (target > f.attributed) {
+      util_->Add(f.wan_link, bucket, target - f.attributed);
+      f.attributed = target;
+    }
+    cursor = end;
+    ++bucket;
+  }
+}
+
+void Network::SettleFlowResidual(Flow& f) {
+  if (util_ == nullptr || f.wan_link < 0) return;
+  const Bytes residual = f.total - f.attributed;
+  if (residual > 0) {
+    util_->Add(f.wan_link, util_->BucketOf(sim_.Now()), residual);
+    f.attributed = f.total;
+  }
 }
 
 void Network::CatchUpJitter() {

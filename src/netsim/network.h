@@ -20,14 +20,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "netsim/topology.h"
+#include "netsim/utilization.h"
 #include "simcore/simulator.h"
 
 namespace gs {
@@ -101,8 +104,10 @@ class Network {
   using CompletionFn = std::function<void()>;
   using FlowObserverFn = std::function<void(const FlowRecord&)>;
 
+  // `metrics` (optional) receives flow counters and byte histograms; it must
+  // outlive the network.
   Network(Simulator& sim, const Topology& topo, NetworkConfig config,
-          Rng jitter_rng);
+          Rng jitter_rng, MetricsRegistry* metrics = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -146,6 +151,14 @@ class Network {
 
   const Topology& topology() const { return topo_; }
 
+  // Starts recording the per-WAN-link utilization timeseries with the given
+  // bucket width. Call before any flow starts; idempotent only in the sense
+  // that a second call resets the series.
+  void EnableUtilization(SimTime bucket_width);
+
+  // Recorded timeseries, or nullptr when EnableUtilization was never called.
+  const LinkUtilization* utilization() const { return util_.get(); }
+
  private:
   struct Flow {
     FlowId id = 0;
@@ -159,6 +172,8 @@ class Network {
     Rate rate_cap = 0;  // per-flow TCP ceiling; 0 = uncapped
     SimTime created_at = 0;
     SimTime last_update = 0;
+    int wan_link = -1;     // directed WAN link index; -1 for intra-DC flows
+    Bytes attributed = 0;  // bytes already credited to utilization buckets
     std::vector<int> resources;  // indices into capacity_
     CompletionFn on_complete;
     EventHandle completion_event;
@@ -176,6 +191,15 @@ class Network {
 
   void ComputeMaxMinRates();
   void FinishFlow(FlowId id);
+
+  // Credits the flow's fluid progress over [from, to] (at its current rate)
+  // to utilization buckets, using cumulative integer rounding so no byte is
+  // lost or double-counted across bucket boundaries.
+  void AttributeFlowProgress(Flow& f, SimTime from, SimTime to);
+  // Settles the flow's unattributed remainder (total - attributed) into the
+  // current bucket; called at completion and at cancellation to match the
+  // meter's charge-at-start semantics.
+  void SettleFlowResidual(Flow& f);
 
   // Advances the piecewise-constant WAN capacity traces up to Now().
   void CatchUpJitter();
@@ -199,6 +223,18 @@ class Network {
   std::unordered_map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;
   FlowObserverFn observer_;
+
+  std::unique_ptr<LinkUtilization> util_;
+
+  // Metric handles (nullptr when no registry was supplied). Updated only on
+  // the event loop, so reported values are deterministic.
+  Counter* m_flows_started_ = nullptr;
+  Counter* m_flows_completed_ = nullptr;
+  Counter* m_flows_cancelled_ = nullptr;
+  Counter* m_wan_stalls_ = nullptr;
+  Gauge* m_active_flows_ = nullptr;
+  Histogram* m_fetch_bytes_ = nullptr;
+  Histogram* m_push_bytes_ = nullptr;
 };
 
 }  // namespace gs

@@ -30,6 +30,9 @@ class WanPricing {
 
   double egress_rate(DcIndex dc) const;
 
+  // Per-region egress rates as configured, indexed by DcIndex.
+  const std::vector<double>& rates() const { return egress_usd_per_gib_; }
+
   // Total cost of all cross-datacenter bytes recorded in the meter.
   double CostUsd(const TrafficMeter& meter, const Topology& topo) const;
 

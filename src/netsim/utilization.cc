@@ -1,0 +1,27 @@
+#include "netsim/utilization.h"
+
+#include "common/check.h"
+
+namespace gs {
+
+LinkUtilization::LinkUtilization(int num_links, SimTime bucket_width)
+    : width_(bucket_width),
+      series_(static_cast<std::size_t>(num_links)),
+      totals_(static_cast<std::size_t>(num_links), 0) {
+  GS_CHECK_MSG(bucket_width > 0, "utilization bucket width must be > 0");
+  GS_CHECK(num_links >= 0);
+}
+
+void LinkUtilization::Add(int link, std::int64_t bucket, Bytes bytes) {
+  GS_CHECK(link >= 0 && link < num_links());
+  GS_CHECK(bucket >= 0 && bytes >= 0);
+  if (bytes == 0) return;
+  std::vector<Bytes>& s = series_[link];
+  if (static_cast<std::int64_t>(s.size()) <= bucket) {
+    s.resize(static_cast<std::size_t>(bucket) + 1, 0);
+  }
+  s[static_cast<std::size_t>(bucket)] += bytes;
+  totals_[link] += bytes;
+}
+
+}  // namespace gs

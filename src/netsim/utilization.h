@@ -1,0 +1,62 @@
+// Per-WAN-link bandwidth-utilization timeseries.
+//
+// The paper reasons about WAN utilization over time (Figs. 5-6: a
+// barrier-synchronized fetch saturates the bottleneck link in one burst,
+// while pipelined pushes spread the same bytes under the map stage). This
+// collector makes that story directly observable: the flow simulator
+// attributes every flow's fluid progress to fixed sim-time buckets on the
+// directed WAN link it crosses.
+//
+// Conservation invariant (tested in tests/netsim/utilization_test.cc):
+// for every directed datacenter pair with a WAN link, the sum of the
+// bucket byte counts equals TrafficMeter::pair_bytes for that pair,
+// bit for bit. The network achieves this by crediting integer bytes
+// against each flow's cumulative fluid progress (cumulative rounding, so
+// residue never leaks) and settling the remainder at flow completion — or
+// at cancellation, matching the meter's charge-at-start semantics.
+//
+// All updates happen on the simulator's event loop, so the timeseries is
+// a function of the seed alone and byte-identical for any compute thread
+// count (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace gs {
+
+class LinkUtilization {
+ public:
+  LinkUtilization(int num_links, SimTime bucket_width);
+
+  // Credits `bytes` to the given bucket of a link, growing the series as
+  // needed. Bucket b covers sim-time [b*width, (b+1)*width).
+  void Add(int link, std::int64_t bucket, Bytes bytes);
+
+  SimTime bucket_width() const { return width_; }
+  int num_links() const { return static_cast<int>(series_.size()); }
+
+  // Bucketed byte counts for a link; trailing buckets are only materialized
+  // once traffic lands in them.
+  const std::vector<Bytes>& buckets(int link) const {
+    return series_[link];
+  }
+
+  // Sum of all buckets — equals the TrafficMeter bytes of the link's
+  // datacenter pair (the conservation invariant).
+  Bytes total(int link) const { return totals_[link]; }
+
+  // The bucket containing sim-time `at`.
+  std::int64_t BucketOf(SimTime at) const {
+    return static_cast<std::int64_t>(at / width_);
+  }
+
+ private:
+  SimTime width_;
+  std::vector<std::vector<Bytes>> series_;  // per link
+  std::vector<Bytes> totals_;               // per link
+};
+
+}  // namespace gs

@@ -8,7 +8,8 @@
 namespace gs {
 
 TaskScheduler::TaskScheduler(Simulator& sim, const Topology& topo,
-                             TaskSchedulerConfig config)
+                             TaskSchedulerConfig config,
+                             MetricsRegistry* metrics)
     : sim_(sim),
       topo_(topo),
       config_(config),
@@ -16,6 +17,14 @@ TaskScheduler::TaskScheduler(Simulator& sim, const Topology& topo,
       up_(topo.num_nodes(), true) {
   for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
     free_[n] = topo_.node(n).worker ? topo_.node(n).cores : 0;
+  }
+  if (metrics != nullptr) {
+    m_submitted_ = &metrics->counter("sched.tasks_submitted");
+    m_assigned_ = &metrics->counter("sched.tasks_assigned");
+    m_queue_depth_ = &metrics->gauge("sched.queue_depth");
+    // 10ms .. ~160s in x4 steps; the locality wait (6s) sits mid-range.
+    m_queue_wait_ = &metrics->histogram("sched.queue_wait_s",
+                                        ExponentialBounds(0.01, 4, 8));
   }
 }
 
@@ -35,6 +44,10 @@ void TaskScheduler::Submit(TaskRequest request) {
         sim_.Schedule(config_.locality_wait, [this] { Pump(); });
   }
   queue_.push_back(std::move(pending));
+  if (m_submitted_ != nullptr) {
+    m_submitted_->Add(1);
+    m_queue_depth_->Set(static_cast<std::int64_t>(queue_.size()));
+  }
   Pump();
 }
 
@@ -138,6 +151,10 @@ bool TaskScheduler::TryAssign(Pending& pending) {
   --free_[node];
   GS_CHECK(free_[node] >= 0);
   pending.wait_expiry.Cancel();
+  if (m_assigned_ != nullptr) {
+    m_assigned_->Add(1);
+    m_queue_wait_->Observe(sim_.Now() - pending.submitted_at);
+  }
   // Deliver through the simulator so assignment is observed at a stable
   // point in the event loop (and never reenters the scheduler mid-Pump).
   auto cb = std::move(request.on_assigned);
@@ -166,6 +183,9 @@ void TaskScheduler::Pump() {
     }
   }
   pumping_ = false;
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->Set(static_cast<std::int64_t>(queue_.size()));
+  }
 }
 
 }  // namespace gs

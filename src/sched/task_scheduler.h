@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/metrics_registry.h"
 #include "common/units.h"
 #include "netsim/topology.h"
 #include "simcore/simulator.h"
@@ -51,8 +52,12 @@ struct TaskSchedulerConfig {
 
 class TaskScheduler {
  public:
+  // `metrics` (optional) receives submission/assignment counters, the
+  // queue-depth gauge and the queue-wait histogram; must outlive the
+  // scheduler.
   TaskScheduler(Simulator& sim, const Topology& topo,
-                TaskSchedulerConfig config = {});
+                TaskSchedulerConfig config = {},
+                MetricsRegistry* metrics = nullptr);
 
   // Enqueues a task; it will be assigned a slot as soon as one is free,
   // respecting submission order per locality level.
@@ -96,6 +101,12 @@ class TaskScheduler {
   std::vector<bool> up_;   // executor liveness per node
   std::deque<Pending> queue_;
   bool pumping_ = false;
+
+  // Metric handles (nullptr without a registry); event-loop-only updates.
+  Counter* m_submitted_ = nullptr;
+  Counter* m_assigned_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
+  Histogram* m_queue_wait_ = nullptr;
 };
 
 }  // namespace gs

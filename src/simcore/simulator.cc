@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics_registry.h"
 
 namespace gs {
 
@@ -26,6 +27,7 @@ EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   auto state = std::make_shared<EventHandle::State>();
   queue_.push(Event{when, next_seq_++, std::move(fn), state});
   ++live_events_;
+  if (m_scheduled_ != nullptr) m_scheduled_->Add(1);
   return EventHandle(state);
 }
 
@@ -47,6 +49,7 @@ bool Simulator::Step() {
   now_ = ev.when;
   ev.state->fired = true;
   ++executed_events_;
+  if (m_executed_ != nullptr) m_executed_->Add(1);
   ev.fn();
   return true;
 }

@@ -17,6 +17,8 @@
 
 namespace gs {
 
+class Counter;  // common/metrics_registry.h
+
 // Handle to a scheduled event; allows cancellation. Copyable; all copies
 // refer to the same scheduled event.
 class EventHandle {
@@ -67,6 +69,14 @@ class Simulator {
   std::size_t pending_events() const { return live_events_; }
   std::int64_t executed_events() const { return executed_events_; }
 
+  // Observability hook: bump `scheduled` at every Schedule/ScheduleAt and
+  // `executed` at every executed event. Either may be null; the counters
+  // must outlive the simulator.
+  void AttachMetrics(Counter* scheduled, Counter* executed) {
+    m_scheduled_ = scheduled;
+    m_executed_ = executed;
+  }
+
  private:
   struct Event {
     SimTime when;
@@ -85,6 +95,8 @@ class Simulator {
   void SkimCancelled();
 
   SimTime now_ = 0;
+  Counter* m_scheduled_ = nullptr;
+  Counter* m_executed_ = nullptr;
   std::int64_t next_seq_ = 0;
   std::int64_t executed_events_ = 0;
   std::size_t live_events_ = 0;

@@ -19,8 +19,15 @@ RecordsPtr MakeRecords(std::vector<Record> records) {
   return std::make_shared<const std::vector<Record>>(std::move(records));
 }
 
-BlockManager::BlockManager(int num_nodes) : stores_(num_nodes) {
+BlockManager::BlockManager(int num_nodes, MetricsRegistry* metrics)
+    : stores_(num_nodes) {
   GS_CHECK(num_nodes > 0);
+  if (metrics != nullptr) {
+    m_puts_ = &metrics->counter("storage.puts");
+    m_drops_ = &metrics->counter("storage.drops");
+    m_blocks_ = &metrics->gauge("storage.blocks");
+    m_bytes_ = &metrics->gauge("storage.bytes");
+  }
 }
 
 void BlockManager::Put(NodeIndex node, const BlockId& id, RecordsPtr records) {
@@ -34,12 +41,21 @@ void BlockManager::PutWithSize(NodeIndex node, const BlockId& id,
   GS_CHECK(node >= 0 && node < num_nodes());
   GS_CHECK(records != nullptr);
   GS_CHECK(bytes >= 0);
-  auto [it, inserted] = stores_[node].insert_or_assign(
-      id, Block{std::move(records), bytes});
-  (void)it;
-  if (inserted) {
+  Store& store = stores_[node];
+  auto it = store.find(id);
+  if (it != store.end()) {
+    // Replacing a copy: only the size delta moves the occupancy gauge.
+    if (m_bytes_ != nullptr) m_bytes_->Add(bytes - it->second.bytes);
+    it->second = Block{std::move(records), bytes};
+  } else {
+    store.emplace(id, Block{std::move(records), bytes});
     locations_[id].push_back(node);
+    if (m_bytes_ != nullptr) {
+      m_bytes_->Add(bytes);
+      m_blocks_->Add(1);
+    }
   }
+  if (m_puts_ != nullptr) m_puts_->Add(1);
 }
 
 bool BlockManager::Has(NodeIndex node, const BlockId& id) const {
@@ -67,9 +83,20 @@ std::optional<Block> BlockManager::GetAnywhere(const BlockId& id) const {
   return Get(locs.front(), id);
 }
 
+void BlockManager::NoteErase(const Block& block) {
+  if (m_blocks_ == nullptr) return;
+  m_blocks_->Add(-1);
+  m_bytes_->Add(-block.bytes);
+  m_drops_->Add(1);
+}
+
 void BlockManager::Remove(NodeIndex node, const BlockId& id) {
   GS_CHECK(node >= 0 && node < num_nodes());
-  stores_[node].erase(id);
+  auto sit = stores_[node].find(id);
+  if (sit != stores_[node].end()) {
+    NoteErase(sit->second);
+    stores_[node].erase(sit);
+  }
   auto it = locations_.find(id);
   if (it != locations_.end()) {
     auto& v = it->second;
@@ -81,7 +108,12 @@ void BlockManager::Remove(NodeIndex node, const BlockId& id) {
 void BlockManager::RemoveAllOfKind(BlockId::Kind kind) {
   for (auto& store : stores_) {
     for (auto it = store.begin(); it != store.end();) {
-      it = it->first.kind == kind ? store.erase(it) : std::next(it);
+      if (it->first.kind == kind) {
+        NoteErase(it->second);
+        it = store.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   for (auto it = locations_.begin(); it != locations_.end();) {

@@ -10,13 +10,17 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/metrics_registry.h"
 #include "storage/block.h"
 
 namespace gs {
 
 class BlockManager {
  public:
-  explicit BlockManager(int num_nodes);
+  // `metrics` (optional) receives put/drop counters and the occupancy
+  // gauges (block and byte totals across all nodes, with high-watermarks);
+  // must outlive the manager.
+  explicit BlockManager(int num_nodes, MetricsRegistry* metrics = nullptr);
 
   // Stores a block on a node; replaces any previous copy on that node.
   void Put(NodeIndex node, const BlockId& id, RecordsPtr records);
@@ -54,10 +58,19 @@ class BlockManager {
   int num_nodes() const { return static_cast<int>(stores_.size()); }
 
  private:
+  // Gauge bookkeeping for one erased copy.
+  void NoteErase(const Block& block);
+
   using Store = std::unordered_map<BlockId, Block, BlockIdHash>;
   std::vector<Store> stores_;  // per node
   std::unordered_map<BlockId, std::vector<NodeIndex>, BlockIdHash>
       locations_;
+
+  // Metric handles (nullptr without a registry); event-loop-only updates.
+  Counter* m_puts_ = nullptr;
+  Counter* m_drops_ = nullptr;
+  Gauge* m_blocks_ = nullptr;
+  Gauge* m_bytes_ = nullptr;
 };
 
 }  // namespace gs

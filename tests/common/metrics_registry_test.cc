@@ -1,0 +1,138 @@
+// MetricsRegistry: counters, gauges, histograms, snapshot export and
+// thread-safety of concurrent updates.
+#include "common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(GaugeTest, TracksLevelAndHighWatermark) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Add(-12);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max_value(), 15);
+  g.Set(100);
+  EXPECT_EQ(g.max_value(), 100);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  // Upper bounds: <=1, <=10, <=100, overflow.
+  Histogram h({1, 10, 100});
+  h.Observe(0.5);
+  h.Observe(1.0);  // boundary counts in its bucket (<= bound)
+  h.Observe(7);
+  h.Observe(100);
+  h.Observe(1e9);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7 + 100 + 1e9);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);  // overflow
+}
+
+TEST(HistogramTest, ExponentialBoundsShape) {
+  auto bounds = ExponentialBounds(2, 4, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 2);
+  EXPECT_DOUBLE_EQ(bounds[1], 8);
+  EXPECT_DOUBLE_EQ(bounds[2], 32);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(MetricsRegistryTest, HandlesStayValidAsRegistryGrows) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("aaa");
+  for (int i = 0; i < 100; ++i) {
+    (void)reg.counter("c" + std::to_string(i));
+  }
+  first.Add(1);
+  EXPECT_EQ(reg.counter("aaa").value(), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.count").Add(7);
+  reg.gauge("a.level").Set(5);
+  reg.histogram("m.dist", {1, 2}).Observe(1.5);
+  auto snaps = reg.Snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "a.level");
+  EXPECT_EQ(snaps[0].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_EQ(snaps[0].value, 5);
+  EXPECT_EQ(snaps[1].name, "m.dist");
+  EXPECT_EQ(snaps[1].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snaps[1].count, 1);
+  ASSERT_EQ(snaps[1].buckets.size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(snaps[1].buckets[1], 1);
+  EXPECT_EQ(snaps[2].name, "z.count");
+  EXPECT_EQ(snaps[2].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(snaps[2].value, 7);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  Histogram& h = reg.histogram("obs", ExponentialBounds(1, 2, 8));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+        h.Observe(static_cast<double>(i % 300));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    total += h.bucket_count(i);
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared." + std::to_string(i)).Add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(reg.counter("shared." + std::to_string(i)).value(), kThreads);
+  }
+}
+
+}  // namespace
+}  // namespace gs

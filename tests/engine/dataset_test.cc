@@ -147,10 +147,9 @@ TEST_F(DatasetTest, CountMatchesCollectSize) {
 }
 
 TEST_F(DatasetTest, SaveReportsMetrics) {
-  Numbers(50).Save();
-  const JobMetrics& m = cluster_.last_job_metrics();
-  EXPECT_GT(m.jct(), 0);
-  EXPECT_GE(m.stages.size(), 1u);
+  RunResult run = Numbers(50).Run(ActionKind::kSave);
+  EXPECT_GT(run.metrics.jct(), 0);
+  EXPECT_GE(run.metrics.stages.size(), 1u);
 }
 
 TEST_F(DatasetTest, ChainedTransformations) {

@@ -1,0 +1,75 @@
+// Regression coverage for the deprecated observability shims: the old
+// last_job_metrics() / EnableTracing() / RunCollect() / RunSave() entry
+// points must keep their PR 0-2 behaviour until removed. This file is the
+// only in-tree caller; everything else uses RunResult (engine/cluster.h).
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace gs {
+namespace {
+
+RunConfig Cfg() {
+  RunConfig cfg;
+  cfg.scheme = Scheme::kAggShuffle;
+  cfg.seed = 3;
+  cfg.cost = CostModel{}.Scaled(100);
+  return cfg;
+}
+
+std::vector<Record> Keyed(int n, int keys) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back({"k" + std::to_string(i % keys), std::int64_t{1}});
+  }
+  return records;
+}
+
+TEST(DeprecatedApiTest, LastJobMetricsMirrorsTheRunResult) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), Cfg());
+  RunResult run = cluster.Parallelize("d", Keyed(400, 13), 2)
+                      .ReduceByKey(SumInt64(), 8)
+                      .Run(ActionKind::kCollect);
+  const JobMetrics& legacy = cluster.last_job_metrics();
+  EXPECT_EQ(legacy.started, run.metrics.started);
+  EXPECT_EQ(legacy.completed, run.metrics.completed);
+  EXPECT_EQ(legacy.cross_dc_bytes, run.metrics.cross_dc_bytes);
+  EXPECT_EQ(legacy.stages.size(), run.metrics.stages.size());
+}
+
+TEST(DeprecatedApiTest, RunCollectAndRunSaveStillWork) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), Cfg());
+  Dataset data = cluster.Parallelize("d", Keyed(100, 5), 1);
+  RunResult collected = data.RunCollect();
+  EXPECT_EQ(collected.records.size(), 100u);
+  RunResult saved = data.RunSave();
+  EXPECT_GT(saved.metrics.jct(), 0);
+}
+
+TEST(DeprecatedApiTest, EnableTracingAccumulatesAcrossJobs) {
+  // The legacy contract: the cluster-owned collector keeps every job's
+  // spans (the new observe.trace path hands each job's spans to its
+  // RunResult instead).
+  GeoCluster cluster(Ec2SixRegionTopology(100), Cfg());
+  TraceCollector& trace = cluster.EnableTracing();
+  Dataset data = cluster.Parallelize("d", Keyed(200, 7), 1);
+  RunResult first = data.ReduceByKey(SumInt64(), 4).Run(ActionKind::kCollect);
+  const std::size_t after_one = trace.spans().size();
+  EXPECT_GT(after_one, 0u);
+  // The RunResult still carries a copy of the accumulated trace.
+  ASSERT_NE(first.trace, nullptr);
+  EXPECT_EQ(first.trace->spans().size(), after_one);
+
+  RunResult second =
+      data.ReduceByKey(SumInt64(), 4).Run(ActionKind::kCollect);
+  EXPECT_GT(trace.spans().size(), after_one)
+      << "legacy collector must accumulate across jobs";
+  ASSERT_NE(second.trace, nullptr);
+  EXPECT_EQ(second.trace->spans().size(), trace.spans().size());
+}
+
+}  // namespace
+}  // namespace gs

@@ -31,10 +31,10 @@ TEST(EdgeCaseTest, SamePipelineIsFullyDeterministicPerSeed) {
   auto run = [] {
     GeoCluster cluster(Ec2SixRegionTopology(100),
                        Cfg(Scheme::kAggShuffle, 99));
-    auto result = cluster.Parallelize("d", Keyed(500, 41), 2)
-                      .ReduceByKey(SumInt64(), 8)
-                      .Collect();
-    return std::make_pair(result, cluster.last_job_metrics().jct());
+    RunResult run = cluster.Parallelize("d", Keyed(500, 41), 2)
+                        .ReduceByKey(SumInt64(), 8)
+                        .Run(ActionKind::kCollect);
+    return std::make_pair(std::move(run.records), run.metrics.jct());
   };
   auto [r1, jct1] = run();
   auto [r2, jct2] = run();
@@ -46,12 +46,13 @@ TEST(EdgeCaseTest, DifferentSeedsChangeTimingNotResults) {
   auto run = [](std::uint64_t seed) {
     GeoCluster cluster(Ec2SixRegionTopology(100),
                        Cfg(Scheme::kSpark, seed));
-    auto result = cluster.Parallelize("d", Keyed(500, 41), 2)
-                      .ReduceByKey(SumInt64(), 8)
-                      .Collect();
+    RunResult run = cluster.Parallelize("d", Keyed(500, 41), 2)
+                        .ReduceByKey(SumInt64(), 8)
+                        .Run(ActionKind::kCollect);
+    std::vector<Record> result = std::move(run.records);
     std::sort(result.begin(), result.end(),
               [](const Record& a, const Record& b) { return a.key < b.key; });
-    return std::make_pair(result, cluster.last_job_metrics().jct());
+    return std::make_pair(result, run.metrics.jct());
   };
   auto [r1, jct1] = run(1);
   auto [r2, jct2] = run(2);
@@ -136,10 +137,10 @@ TEST(EdgeCaseTest, ZeroFailureProbabilityNeverFails) {
   RunConfig cfg = Cfg(Scheme::kSpark);
   cfg.fault.reduce_failure_prob = 0.0;
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
-  (void)cluster.Parallelize("d", Keyed(300, 9), 1)
-      .ReduceByKey(SumInt64(), 8)
-      .Collect();
-  EXPECT_EQ(cluster.last_job_metrics().task_failures, 0);
+  RunResult run = cluster.Parallelize("d", Keyed(300, 9), 1)
+                      .ReduceByKey(SumInt64(), 8)
+                      .Run(ActionKind::kCollect);
+  EXPECT_EQ(run.metrics.task_failures, 0);
 }
 
 TEST(EdgeCaseTest, GroupByKeyUnderAggShuffle) {
@@ -172,10 +173,10 @@ TEST(EdgeCaseTest, DisabledAutoAggregationBehavesLikeSpark) {
   RunConfig cfg = Cfg(Scheme::kAggShuffle);
   cfg.auto_aggregation = false;
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
-  (void)cluster.Parallelize("d", Keyed(400, 17), 2)
-      .ReduceByKey(SumInt64(), 8)
-      .Collect();
-  const JobMetrics& m = cluster.last_job_metrics();
+  RunResult run = cluster.Parallelize("d", Keyed(400, 17), 2)
+                      .ReduceByKey(SumInt64(), 8)
+                      .Run(ActionKind::kCollect);
+  const JobMetrics& m = run.metrics;
   EXPECT_EQ(m.cross_dc_push_bytes, 0)
       << "no transferTo should be inserted when auto_aggregation is off";
   EXPECT_GT(m.cross_dc_fetch_bytes, 0);

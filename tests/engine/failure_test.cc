@@ -33,12 +33,13 @@ std::vector<Record> SomeRecords(int n) {
   return records;
 }
 
-std::vector<Record> RunCounts(GeoCluster& cluster) {
+RunResult RunCounts(GeoCluster& cluster) {
   Dataset data = cluster.Parallelize("data", SomeRecords(500), 2);
-  auto result = data.ReduceByKey(SumInt64(), 8).Collect();
-  std::sort(result.begin(), result.end(),
+  RunResult run =
+      data.ReduceByKey(SumInt64(), 8).Run(ActionKind::kCollect);
+  std::sort(run.records.begin(), run.records.end(),
             [](const Record& a, const Record& b) { return a.key < b.key; });
-  return result;
+  return run;
 }
 
 class FailureSchemeTest : public ::testing::TestWithParam<Scheme> {};
@@ -48,11 +49,11 @@ TEST_P(FailureSchemeTest, ResultsCorrectDespiteAllReducersFailing) {
                      FailingConfig(GetParam(), 0.0));
   GeoCluster failing(Ec2SixRegionTopology(100),
                      FailingConfig(GetParam(), 1.0));
-  auto expected = RunCounts(healthy);
-  auto got = RunCounts(failing);
-  EXPECT_EQ(got, expected);
-  EXPECT_GT(failing.last_job_metrics().task_failures, 0);
-  EXPECT_EQ(healthy.last_job_metrics().task_failures, 0);
+  RunResult expected = RunCounts(healthy);
+  RunResult got = RunCounts(failing);
+  EXPECT_EQ(got.records, expected.records);
+  EXPECT_GT(got.metrics.task_failures, 0);
+  EXPECT_EQ(expected.metrics.task_failures, 0);
 }
 
 TEST_P(FailureSchemeTest, FailuresExtendJobCompletionTime) {
@@ -60,10 +61,8 @@ TEST_P(FailureSchemeTest, FailuresExtendJobCompletionTime) {
                      FailingConfig(GetParam(), 0.0));
   GeoCluster failing(Ec2SixRegionTopology(100),
                      FailingConfig(GetParam(), 1.0));
-  (void)RunCounts(healthy);
-  double healthy_jct = healthy.last_job_metrics().jct();
-  (void)RunCounts(failing);
-  double failing_jct = failing.last_job_metrics().jct();
+  double healthy_jct = RunCounts(healthy).metrics.jct();
+  double failing_jct = RunCounts(failing).metrics.jct();
   EXPECT_GT(failing_jct, healthy_jct);
 }
 
@@ -84,10 +83,8 @@ TEST(FailureRecoveryTest, SparkRefetchesAcrossWanButAggShuffleDoesNot) {
                        FailingConfig(scheme, 0.0));
     GeoCluster failing(Ec2SixRegionTopology(100),
                        FailingConfig(scheme, 1.0));
-    (void)RunCounts(healthy);
-    Bytes base = healthy.last_job_metrics().cross_dc_bytes;
-    (void)RunCounts(failing);
-    return failing.last_job_metrics().cross_dc_bytes - base;
+    Bytes base = RunCounts(healthy).metrics.cross_dc_bytes;
+    return RunCounts(failing).metrics.cross_dc_bytes - base;
   };
   EXPECT_GT(extra_traffic(Scheme::kSpark), 0);
   EXPECT_EQ(extra_traffic(Scheme::kAggShuffle), 0);
@@ -96,8 +93,7 @@ TEST(FailureRecoveryTest, SparkRefetchesAcrossWanButAggShuffleDoesNot) {
 TEST(FailureRecoveryTest, StageMetricsCountFailures) {
   GeoCluster failing(Ec2SixRegionTopology(100),
                      FailingConfig(Scheme::kSpark, 1.0));
-  (void)RunCounts(failing);
-  const JobMetrics& m = failing.last_job_metrics();
+  const JobMetrics m = RunCounts(failing).metrics;
   int per_stage = 0;
   for (const StageMetrics& s : m.stages) per_stage += s.task_failures;
   EXPECT_EQ(per_stage, m.task_failures);

@@ -61,11 +61,13 @@ Dataset SkewedInput(GeoCluster& cluster) {
   return cluster.CreateSource("skewed-input", std::move(parts));
 }
 
-std::vector<Record> RunCounts(GeoCluster& cluster) {
-  auto result = SkewedInput(cluster).ReduceByKey(SumInt64(), kShards).Collect();
-  std::sort(result.begin(), result.end(),
+RunResult RunCounts(GeoCluster& cluster) {
+  RunResult run = SkewedInput(cluster)
+                      .ReduceByKey(SumInt64(), kShards)
+                      .Run(ActionKind::kCollect);
+  std::sort(run.records.begin(), run.records.end(),
             [](const Record& a, const Record& b) { return a.key < b.key; });
-  return result;
+  return run;
 }
 
 // Sim-time 90% of the way through the earliest kMaps-task stage of a
@@ -73,8 +75,7 @@ std::vector<Record> RunCounts(GeoCluster& cluster) {
 // the first wave's outputs already exist on every worker.
 SimTime MidMapCrashTime(Scheme scheme) {
   GeoCluster probe(Ec2SixRegionTopology(100), DeterministicConfig(scheme));
-  (void)RunCounts(probe);
-  const JobMetrics& m = probe.last_job_metrics();
+  const JobMetrics m = RunCounts(probe).metrics;
   for (const StageMetrics& s : m.stages) {
     if (s.num_tasks == kMaps) {
       return s.submitted + 0.9 * (s.completed - s.submitted);
@@ -102,25 +103,25 @@ class MidMapCrashTest : public ::testing::TestWithParam<Scheme> {};
 TEST_P(MidMapCrashTest, JobCompletesAndResultsMatchHealthyRun) {
   GeoCluster healthy(Ec2SixRegionTopology(100),
                      DeterministicConfig(GetParam()));
-  auto expected = RunCounts(healthy);
+  auto expected = RunCounts(healthy).records;
 
   GeoCluster crashed(Ec2SixRegionTopology(100),
                      MidMapCrashConfig(GetParam(), kVictim));
-  auto got = RunCounts(crashed);
-  EXPECT_EQ(got, expected);
-  EXPECT_EQ(crashed.last_job_metrics().node_crashes, 1);
+  RunResult got = RunCounts(crashed);
+  EXPECT_EQ(got.records, expected);
+  EXPECT_EQ(got.metrics.node_crashes, 1);
   EXPECT_FALSE(crashed.scheduler().node_up(kVictim));
 }
 
 TEST_P(MidMapCrashTest, JobCompletesWhenTheNodeRestarts) {
   GeoCluster healthy(Ec2SixRegionTopology(100),
                      DeterministicConfig(GetParam()));
-  auto expected = RunCounts(healthy);
+  auto expected = RunCounts(healthy).records;
 
   GeoCluster crashed(
       Ec2SixRegionTopology(100),
       MidMapCrashConfig(GetParam(), kVictim, /*restart_after=*/Seconds(20)));
-  auto got = RunCounts(crashed);
+  auto got = RunCounts(crashed).records;
   EXPECT_EQ(got, expected);
 }
 
@@ -135,8 +136,7 @@ INSTANTIATE_TEST_SUITE_P(Schemes, MidMapCrashTest,
 TEST(MidMapCrashTest, SparkResubmitsLostMapsViaFetchFailure) {
   GeoCluster crashed(Ec2SixRegionTopology(100),
                      MidMapCrashConfig(Scheme::kSpark, kVictim));
-  (void)RunCounts(crashed);
-  const JobMetrics& m = crashed.last_job_metrics();
+  const JobMetrics m = RunCounts(crashed).metrics;
   EXPECT_GT(m.fetch_failures, 0) << "reducers must discover the lost blocks";
   EXPECT_GT(m.map_resubmissions, 0) << "only the lost maps are re-run";
   EXPECT_LT(m.map_resubmissions, kMaps) << "the whole stage must NOT re-run";
@@ -151,12 +151,10 @@ TEST(MidMapCrashTest, AggShuffleRetransfersTenTimesFewerCrossDcBytes) {
   auto extra = [](Scheme scheme) {
     GeoCluster healthy(Ec2SixRegionTopology(100),
                        DeterministicConfig(scheme));
-    (void)RunCounts(healthy);
-    Bytes base = healthy.last_job_metrics().cross_dc_bytes;
+    Bytes base = RunCounts(healthy).metrics.cross_dc_bytes;
     GeoCluster crashed(Ec2SixRegionTopology(100),
                        MidMapCrashConfig(scheme, kVictim));
-    (void)RunCounts(crashed);
-    return crashed.last_job_metrics().cross_dc_bytes - base;
+    return RunCounts(crashed).metrics.cross_dc_bytes - base;
   };
   const Bytes spark_extra = extra(Scheme::kSpark);
   const Bytes agg_extra = extra(Scheme::kAggShuffle);
@@ -169,8 +167,7 @@ TEST(FaultPlanTest, DeterministicUnderAFixedSeed) {
   auto run = [] {
     GeoCluster cluster(Ec2SixRegionTopology(100),
                        MidMapCrashConfig(Scheme::kAggShuffle, kVictim));
-    (void)RunCounts(cluster);
-    return cluster.last_job_metrics();
+    return RunCounts(cluster).metrics;
   };
   const JobMetrics a = run();
   const JobMetrics b = run();
@@ -186,8 +183,9 @@ TEST(FaultPlanTest, DeterministicUnderAFixedSeed) {
 TEST(LinkFlapTest, PushesSurviveAWanOutageDuringTheMapStage) {
   const Scheme scheme = Scheme::kAggShuffle;
   GeoCluster healthy(Ec2SixRegionTopology(100), DeterministicConfig(scheme));
-  auto expected = RunCounts(healthy);
-  const double healthy_jct = healthy.last_job_metrics().jct();
+  RunResult healthy_run = RunCounts(healthy);
+  const auto& expected = healthy_run.records;
+  const double healthy_jct = healthy_run.metrics.jct();
 
   RunConfig cfg = DeterministicConfig(scheme);
   LinkDegradationEvent flap;
@@ -199,9 +197,9 @@ TEST(LinkFlapTest, PushesSurviveAWanOutageDuringTheMapStage) {
   flap.symmetric = true;
   cfg.fault.plan.link_degradations.push_back(flap);
   GeoCluster flapping(Ec2SixRegionTopology(100), cfg);
-  auto got = RunCounts(flapping);
-  EXPECT_EQ(got, expected);
-  EXPECT_GT(flapping.last_job_metrics().jct(), healthy_jct);
+  RunResult got = RunCounts(flapping);
+  EXPECT_EQ(got.records, expected);
+  EXPECT_GT(got.metrics.jct(), healthy_jct);
 }
 
 // Crashing the node a push landed on (an aggregator-DC worker) exercises
@@ -210,13 +208,13 @@ TEST(LinkFlapTest, PushesSurviveAWanOutageDuringTheMapStage) {
 TEST(ReceiverCrashTest, PushIsRetriedToAReplacementReceiver) {
   const Scheme scheme = Scheme::kAggShuffle;
   GeoCluster healthy(Ec2SixRegionTopology(100), DeterministicConfig(scheme));
-  auto expected = RunCounts(healthy);
+  auto expected = RunCounts(healthy).records;
 
   RunConfig cfg = MidMapCrashConfig(scheme, /*victim=*/1);  // DC0 worker
   GeoCluster crashed(Ec2SixRegionTopology(100), cfg);
-  auto got = RunCounts(crashed);
-  EXPECT_EQ(got, expected);
-  const JobMetrics& m = crashed.last_job_metrics();
+  RunResult got = RunCounts(crashed);
+  EXPECT_EQ(got.records, expected);
+  const JobMetrics& m = got.metrics;
   EXPECT_GT(m.push_retries + m.push_fallbacks + m.map_resubmissions, 0)
       << "losing an aggregator-DC worker must trigger recovery";
 }
@@ -226,9 +224,10 @@ TEST(ReceiverCrashTest, PushIsRetriedToAReplacementReceiver) {
 TEST(BlockLossTest, LostShuffleBlocksAreRegenerated) {
   const Scheme scheme = Scheme::kSpark;
   GeoCluster healthy(Ec2SixRegionTopology(100), DeterministicConfig(scheme));
-  auto expected = RunCounts(healthy);
+  RunResult healthy_run = RunCounts(healthy);
+  const auto& expected = healthy_run.records;
   SimTime map_end = 0;
-  for (const StageMetrics& s : healthy.last_job_metrics().stages) {
+  for (const StageMetrics& s : healthy_run.metrics.stages) {
     if (s.num_tasks == kMaps) map_end = s.completed;
   }
   ASSERT_GT(map_end, 0);
@@ -239,9 +238,9 @@ TEST(BlockLossTest, LostShuffleBlocksAreRegenerated) {
   loss.node = kVictim;
   cfg.fault.plan.block_losses.push_back(loss);
   GeoCluster lossy(Ec2SixRegionTopology(100), cfg);
-  auto got = RunCounts(lossy);
-  EXPECT_EQ(got, expected);
-  const JobMetrics& m = lossy.last_job_metrics();
+  RunResult got = RunCounts(lossy);
+  EXPECT_EQ(got.records, expected);
+  const JobMetrics& m = got.metrics;
   EXPECT_EQ(m.node_crashes, 0);
   EXPECT_GT(m.fetch_failures, 0);
   EXPECT_GT(m.map_resubmissions, 0);
@@ -252,7 +251,7 @@ TEST(RandomCrashTest, JobSurvivesRandomRestartingCrashes) {
   for (Scheme scheme : {Scheme::kSpark, Scheme::kAggShuffle}) {
     GeoCluster healthy(Ec2SixRegionTopology(100),
                        DeterministicConfig(scheme));
-    auto expected = RunCounts(healthy);
+    auto expected = RunCounts(healthy).records;
 
     RunConfig cfg = DeterministicConfig(scheme);
     // The synthetic job runs for under a second of simulated time; crash
@@ -261,9 +260,9 @@ TEST(RandomCrashTest, JobSurvivesRandomRestartingCrashes) {
     cfg.fault.plan.random_crashes.restart_after = Seconds(2);
     cfg.fault.plan.random_crashes.max_crashes = 3;
     GeoCluster chaotic(Ec2SixRegionTopology(100), cfg);
-    auto got = RunCounts(chaotic);
-    EXPECT_EQ(got, expected) << SchemeName(scheme);
-    EXPECT_GT(chaotic.last_job_metrics().node_crashes, 0)
+    RunResult got = RunCounts(chaotic);
+    EXPECT_EQ(got.records, expected) << SchemeName(scheme);
+    EXPECT_GT(got.metrics.node_crashes, 0)
         << SchemeName(scheme) << ": the chaos schedule must actually fire";
   }
 }

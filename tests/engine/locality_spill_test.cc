@@ -47,8 +47,10 @@ TEST(LocalitySpillTest, OversubscribedDcSpillsAfterWaitAndReadsRemotely) {
   // the WAN (FlowKind::kOther, counted in cross_dc_bytes).
   GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(Seconds(0.5)));
   Dataset data = cluster.CreateSource("hot", AllOnNodeZero(20));
-  (void)data.Map("id", [](const Record& r) { return r; }).Save();
-  const JobMetrics& m = cluster.last_job_metrics();
+  const JobMetrics m =
+      data.Map("id", [](const Record& r) { return r; })
+          .Run(ActionKind::kSave)
+          .metrics;
   EXPECT_GT(m.cross_dc_bytes, 0)
       << "spilled tasks must read input across datacenters";
   EXPECT_EQ(m.cross_dc_fetch_bytes, 0);
@@ -58,8 +60,10 @@ TEST(LocalitySpillTest, OversubscribedDcSpillsAfterWaitAndReadsRemotely) {
 TEST(LocalitySpillTest, LongWaitKeepsWorkLocal) {
   GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(Seconds(600)));
   Dataset data = cluster.CreateSource("hot", AllOnNodeZero(20));
-  (void)data.Map("id", [](const Record& r) { return r; }).Save();
-  const JobMetrics& m = cluster.last_job_metrics();
+  const JobMetrics m =
+      data.Map("id", [](const Record& r) { return r; })
+          .Run(ActionKind::kSave)
+          .metrics;
   EXPECT_EQ(m.cross_dc_bytes, 0)
       << "with a long locality wait all tasks should queue in place";
 }
@@ -67,13 +71,15 @@ TEST(LocalitySpillTest, LongWaitKeepsWorkLocal) {
 TEST(LocalitySpillTest, SpillTradesTrafficForTime) {
   GeoCluster spilling(Ec2SixRegionTopology(100), Cfg(Seconds(0.5)));
   Dataset d1 = spilling.CreateSource("hot", AllOnNodeZero(20));
-  (void)d1.Map("id", [](const Record& r) { return r; }).Save();
-  double spill_jct = spilling.last_job_metrics().jct();
+  double spill_jct = d1.Map("id", [](const Record& r) { return r; })
+                         .Run(ActionKind::kSave)
+                         .metrics.jct();
 
   GeoCluster queueing(Ec2SixRegionTopology(100), Cfg(Seconds(600)));
   Dataset d2 = queueing.CreateSource("hot", AllOnNodeZero(20));
-  (void)d2.Map("id", [](const Record& r) { return r; }).Save();
-  double queue_jct = queueing.last_job_metrics().jct();
+  double queue_jct = d2.Map("id", [](const Record& r) { return r; })
+                         .Run(ActionKind::kSave)
+                         .metrics.jct();
 
   // Spilling uses the whole cluster; queueing serializes on 8 slots.
   EXPECT_LT(spill_jct, queue_jct);

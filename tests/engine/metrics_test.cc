@@ -26,8 +26,7 @@ std::vector<Record> SomeRecords(int n) {
 JobMetrics RunJob(Scheme scheme) {
   GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(scheme));
   Dataset data = cluster.Parallelize("data", SomeRecords(400), 2);
-  (void)data.ReduceByKey(SumInt64(), 8).Collect();
-  return cluster.last_job_metrics();
+  return data.ReduceByKey(SumInt64(), 8).Run(ActionKind::kCollect).metrics;
 }
 
 class MetricsSchemeTest : public ::testing::TestWithParam<Scheme> {};
@@ -104,10 +103,8 @@ TEST(MetricsTest, AggShuffleHasMoreStagesThanSpark) {
 TEST(MetricsTest, ConsecutiveJobsAccumulateSimTimeButNotJct) {
   GeoCluster cluster(Ec2SixRegionTopology(100), Cfg(Scheme::kSpark));
   Dataset data = cluster.Parallelize("data", SomeRecords(200), 1);
-  (void)data.Count();
-  JobMetrics first = cluster.last_job_metrics();
-  (void)data.Count();
-  JobMetrics second = cluster.last_job_metrics();
+  JobMetrics first = data.Run(ActionKind::kSave).metrics;
+  JobMetrics second = data.Run(ActionKind::kSave).metrics;
   EXPECT_GT(second.started, first.completed - 1e-9);
   // JCTs are comparable (same work), not cumulative.
   EXPECT_LT(second.jct(), first.jct() * 3);

@@ -49,8 +49,8 @@ TEST(ReduceLocalityTest, StockSparkKeepsConfinedShuffleLocal) {
   GeoCluster cluster(Ec2SixRegionTopology(100), QuietSpark());
   Dataset data = cluster.CreateSource(
       "confined", InputConfinedTo(cluster.topology(), 3));
-  (void)data.ReduceByKey(SumInt64(), 8).Save();
-  EXPECT_EQ(cluster.last_job_metrics().cross_dc_fetch_bytes, 0)
+  RunResult run = data.ReduceByKey(SumInt64(), 8).Run(ActionKind::kSave);
+  EXPECT_EQ(run.metrics.cross_dc_fetch_bytes, 0)
       << "reducers should follow the >=20% preference into dc 3";
 }
 
@@ -63,8 +63,8 @@ TEST(ReduceLocalityTest, SpreadShuffleGivesNoPreferenceAndFetchesAcrossWan) {
     records.push_back({"k" + std::to_string(i % 61), std::int64_t{1}});
   }
   Dataset data = cluster.Parallelize("spread", records, 2);
-  (void)data.ReduceByKey(SumInt64(), 8).Save();
-  EXPECT_GT(cluster.last_job_metrics().cross_dc_fetch_bytes, 0);
+  RunResult run = data.ReduceByKey(SumInt64(), 8).Run(ActionKind::kSave);
+  EXPECT_GT(run.metrics.cross_dc_fetch_bytes, 0);
 }
 
 TEST(ReduceLocalityTest, ThresholdIsConfigurable) {
@@ -75,8 +75,8 @@ TEST(ReduceLocalityTest, ThresholdIsConfigurable) {
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
   Dataset data = cluster.CreateSource(
       "confined", InputConfinedTo(cluster.topology(), 3));
-  (void)data.ReduceByKey(SumInt64(), 8).Save();
-  EXPECT_GT(cluster.last_job_metrics().cross_dc_fetch_bytes, 0);
+  RunResult run = data.ReduceByKey(SumInt64(), 8).Run(ActionKind::kSave);
+  EXPECT_GT(run.metrics.cross_dc_fetch_bytes, 0);
 }
 
 TEST(ReduceLocalityTest, NoSlotLeaksAcrossJobs) {

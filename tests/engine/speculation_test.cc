@@ -32,19 +32,19 @@ std::vector<Record> Keyed(int n, int keys) {
   return records;
 }
 
-std::vector<Record> SortedResult(GeoCluster& cluster) {
-  auto result = cluster.Parallelize("d", Keyed(2000, 200), 2)
-                    .ReduceByKey(SumInt64(), 8)
-                    .Collect();
-  std::sort(result.begin(), result.end(),
+RunResult SortedResult(GeoCluster& cluster) {
+  RunResult run = cluster.Parallelize("d", Keyed(2000, 200), 2)
+                      .ReduceByKey(SumInt64(), 8)
+                      .Run(ActionKind::kCollect);
+  std::sort(run.records.begin(), run.records.end(),
             [](const Record& a, const Record& b) { return a.key < b.key; });
-  return result;
+  return run;
 }
 
 TEST(SpeculationTest, ResultsUnchanged) {
   GeoCluster off(Ec2SixRegionTopology(100), Cfg(false));
   GeoCluster on(Ec2SixRegionTopology(100), Cfg(true));
-  EXPECT_EQ(SortedResult(off), SortedResult(on));
+  EXPECT_EQ(SortedResult(off).records, SortedResult(on).records);
 }
 
 TEST(SpeculationTest, BackupsAppearInTraceAndHelpOrAreNeutral) {
@@ -54,14 +54,15 @@ TEST(SpeculationTest, BackupsAppearInTraceAndHelpOrAreNeutral) {
   int backups_seen = 0;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     GeoCluster off(Ec2SixRegionTopology(100), Cfg(false, seed));
-    (void)SortedResult(off);
-    off_total += off.last_job_metrics().jct();
+    off_total += SortedResult(off).metrics.jct();
 
-    GeoCluster on(Ec2SixRegionTopology(100), Cfg(true, seed));
-    TraceCollector& trace = on.EnableTracing();
-    (void)SortedResult(on);
-    on_total += on.last_job_metrics().jct();
-    for (const TraceSpan& s : trace.spans()) {
+    RunConfig on_cfg = Cfg(true, seed);
+    on_cfg.observe.trace = true;
+    GeoCluster on(Ec2SixRegionTopology(100), on_cfg);
+    RunResult on_run = SortedResult(on);
+    on_total += on_run.metrics.jct();
+    ASSERT_NE(on_run.trace, nullptr);
+    for (const TraceSpan& s : on_run.trace->spans()) {
       if (s.name.find("#spec") != std::string::npos) ++backups_seen;
     }
   }
@@ -81,9 +82,9 @@ TEST(SpeculationTest, WorksUnderAggShuffle) {
   RunConfig cfg = Cfg(true);
   cfg.scheme = Scheme::kAggShuffle;
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
-  auto result = SortedResult(cluster);
-  EXPECT_EQ(result.size(), 200u);
-  EXPECT_EQ(cluster.last_job_metrics().cross_dc_fetch_bytes, 0)
+  RunResult run = SortedResult(cluster);
+  EXPECT_EQ(run.records.size(), 200u);
+  EXPECT_EQ(run.metrics.cross_dc_fetch_bytes, 0)
       << "speculated reducers must re-read locally under Push/Aggregate";
 }
 

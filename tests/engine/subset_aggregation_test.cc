@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "engine/cluster.h"
 #include "engine/dataset.h"
@@ -43,11 +44,13 @@ Outcome RunWith(int k) {
       "in", PlacePartitions(cluster.topology(), std::move(parts),
                             DefaultDcWeights(6)));
   Outcome out;
-  out.result = input.SortByKey(UniformBoundaries(8, kHexAlphabet)).Collect();
+  RunResult run = input.SortByKey(UniformBoundaries(8, kHexAlphabet))
+                      .Run(ActionKind::kCollect);
+  out.result = std::move(run.records);
 
   auto per_dc = cluster.tracker().BytesPerDc(0, cluster.topology());
   for (Bytes b : per_dc) out.dcs_holding_shuffle += b > 0;
-  out.cross_dc = cluster.last_job_metrics().cross_dc_bytes;
+  out.cross_dc = run.metrics.cross_dc_bytes;
   return out;
 }
 
@@ -79,9 +82,8 @@ TEST(SubsetAggregationTest, PushTrafficShrinksWithMoreAggregators) {
   // pushed bytes (Eq. 2 generalizes: D >= S - sum of the subset's shares)
   // — but the later reduce then fetches across the subset, so the paper
   // prefers k = 1. Verify the push-side monotonicity.
-  GeoCluster c1(Ec2SixRegionTopology(100), Cfg(1));
-  GeoCluster c6(Ec2SixRegionTopology(100), Cfg(6));
-  for (GeoCluster* c : {&c1, &c6}) {
+  auto push_bytes = [](int k) {
+    GeoCluster c(Ec2SixRegionTopology(100), Cfg(k));
     Rng rng(3);
     std::vector<Record> records =
         MakeKeyValueRecords(1200, 40, rng, kHexAlphabet, nullptr);
@@ -89,13 +91,14 @@ TEST(SubsetAggregationTest, PushTrafficShrinksWithMoreAggregators) {
     for (std::size_t i = 0; i < records.size(); ++i) {
       parts[i % 24].push_back(std::move(records[i]));
     }
-    Dataset input = c->CreateSource(
-        "in", PlacePartitions(c->topology(), std::move(parts),
+    Dataset input = c.CreateSource(
+        "in", PlacePartitions(c.topology(), std::move(parts),
                               DefaultDcWeights(6)));
-    (void)input.SortByKey(UniformBoundaries(8, kHexAlphabet)).Save();
-  }
-  EXPECT_LT(c6.last_job_metrics().cross_dc_push_bytes,
-            c1.last_job_metrics().cross_dc_push_bytes);
+    return input.SortByKey(UniformBoundaries(8, kHexAlphabet))
+        .Run(ActionKind::kSave)
+        .metrics.cross_dc_push_bytes;
+  };
+  EXPECT_LT(push_bytes(6), push_bytes(1));
 }
 
 TEST(SubsetAggregationTest, OversizedKClampsToClusterSize) {

@@ -83,16 +83,18 @@ TEST(TraceIntegrationTest, JobProducesTaskStageAndFlowSpans) {
   cfg.scheme = Scheme::kAggShuffle;
   cfg.seed = 6;
   cfg.cost = CostModel{}.Scaled(100);
+  cfg.observe.trace = true;
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
-  TraceCollector& trace = cluster.EnableTracing();
 
   std::vector<Record> records;
   for (int i = 0; i < 300; ++i) {
     records.push_back({"k" + std::to_string(i % 17), std::int64_t{1}});
   }
-  (void)cluster.Parallelize("data", records, 2)
-      .ReduceByKey(SumInt64(), 8)
-      .Collect();
+  RunResult run = cluster.Parallelize("data", records, 2)
+                      .ReduceByKey(SumInt64(), 8)
+                      .Run(ActionKind::kCollect);
+  ASSERT_NE(run.trace, nullptr);
+  const TraceCollector& trace = *run.trace;
 
   int tasks = 0, stages = 0, flows = 0, pushes = 0, receivers = 0;
   for (const TraceSpan& s : trace.spans()) {
@@ -116,10 +118,15 @@ TEST(TraceIntegrationTest, JobProducesTaskStageAndFlowSpans) {
   EXPECT_GT(flows, pushes) << "collect flows should appear too";
 
   // Exports do not crash on a real trace and mention a push.
-  std::string json = cluster.trace()->ToChromeTraceJson();
+  std::string json = trace.ToChromeTraceJson();
   EXPECT_NE(json.find("shuffle-push"), std::string::npos);
-  std::string gantt = cluster.trace()->RenderGantt(80);
+  std::string gantt = trace.RenderGantt(80);
   EXPECT_NE(gantt.find('>'), std::string::npos);
+
+  // The trace summary in the report agrees with the collected spans.
+  EXPECT_TRUE(run.report.trace.enabled);
+  EXPECT_EQ(run.report.trace.spans,
+            static_cast<std::int64_t>(trace.spans().size()));
 }
 
 TEST(TraceIntegrationTest, DisabledTracingRecordsNothing) {

@@ -43,7 +43,7 @@ TEST(TransferToTest, ExplicitTransferMovesShuffleWritesToTargetDc) {
                                             std::int64_t{1}};
                             })
                        .ReduceByKey(SumInt64(), 8);
-  (void)counts.Collect();
+  RunResult run = counts.Run(ActionKind::kCollect);
 
   // After the job, every registered map output of the shuffle must live in
   // the target datacenter.
@@ -58,8 +58,8 @@ TEST(TransferToTest, ExplicitTransferMovesShuffleWritesToTargetDc) {
       EXPECT_EQ(per_dc[dc], 0) << "shuffle input left in dc " << dc;
     }
   }
-  EXPECT_GT(cluster.last_job_metrics().cross_dc_push_bytes, 0);
-  EXPECT_EQ(cluster.last_job_metrics().cross_dc_fetch_bytes, 0);
+  EXPECT_GT(run.metrics.cross_dc_push_bytes, 0);
+  EXPECT_EQ(run.metrics.cross_dc_fetch_bytes, 0);
 }
 
 TEST(TransferToTest, AutoAggregationPicksLargestInputDc) {
@@ -107,17 +107,17 @@ TEST(TransferToTest, NoOpWhenDataAlreadyInTargetDc) {
     parts.push_back(std::move(part));
   }
   Dataset data = cluster.CreateSource("local", std::move(parts));
-  (void)data.TransferTo(1)
-      .Map("tag",
-           [](const Record& r) {
-             return Record{r.key, std::int64_t{1}};
-           })
-      .ReduceByKey(SumInt64(), 4)
-      .Collect();
+  RunResult run = data.TransferTo(1)
+                      .Map("tag",
+                           [](const Record& r) {
+                             return Record{r.key, std::int64_t{1}};
+                           })
+                      .ReduceByKey(SumInt64(), 4)
+                      .Run(ActionKind::kCollect);
   // Sec. IV-C2 "minimum overhead": nothing crossed datacenters except the
   // driver collect (excluded from this metric).
-  EXPECT_EQ(cluster.last_job_metrics().cross_dc_push_bytes, 0);
-  EXPECT_EQ(cluster.last_job_metrics().cross_dc_bytes, 0);
+  EXPECT_EQ(run.metrics.cross_dc_push_bytes, 0);
+  EXPECT_EQ(run.metrics.cross_dc_bytes, 0);
 }
 
 TEST(TransferToTest, AggShuffleKeepsIterationsLocalAfterFirstShuffle) {
@@ -171,9 +171,9 @@ TEST(TransferToTest, TransferThenCollectWorks) {
   RunConfig cfg = BaseConfig(Scheme::kSpark);
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
   Dataset data = cluster.Parallelize("data", SomeRecords(100), 1);
-  auto result = data.TransferTo(5).Collect();
-  EXPECT_EQ(result.size(), 100u);
-  EXPECT_GT(cluster.last_job_metrics().cross_dc_push_bytes, 0);
+  RunResult run = data.TransferTo(5).Run(ActionKind::kCollect);
+  EXPECT_EQ(run.records.size(), 100u);
+  EXPECT_GT(run.metrics.cross_dc_push_bytes, 0);
 }
 
 }  // namespace

@@ -61,14 +61,18 @@ Dataset MakeInput(GeoCluster& cluster) {
 struct RunSnapshot {
   std::vector<Record> records;
   JobMetrics metrics;
+  std::string report_json;
 };
 
 RunSnapshot RunWith(RunConfig cfg) {
   GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  RunResult run =
+      MakeInput(cluster).ReduceByKey(SumInt64(), kShards)
+          .Run(ActionKind::kCollect);
   RunSnapshot snap;
-  snap.records =
-      MakeInput(cluster).ReduceByKey(SumInt64(), kShards).Collect();
-  snap.metrics = cluster.last_job_metrics();
+  snap.records = std::move(run.records);
+  snap.metrics = run.metrics;
+  snap.report_json = run.report.ToJson();
   return snap;
 }
 
@@ -76,6 +80,10 @@ RunSnapshot RunWith(RunConfig cfg) {
 // part of the claim: no sorting before comparison.
 void ExpectIdentical(const RunSnapshot& a, const RunSnapshot& b) {
   EXPECT_EQ(a.records, b.records);
+  // The serialized RunReport covers every exported observable: metric
+  // snapshots, per-link utilization buckets, cost, and stage spans.
+  EXPECT_EQ(a.report_json, b.report_json)
+      << "RunReport JSON must be byte-identical across thread counts";
   EXPECT_EQ(a.metrics.started, b.metrics.started);
   EXPECT_EQ(a.metrics.completed, b.metrics.completed);
   EXPECT_EQ(a.metrics.cross_dc_bytes, b.metrics.cross_dc_bytes);

@@ -68,16 +68,16 @@ TEST_P(SchemeSmokeTest, WordCountIsCorrect) {
   Dataset text = cluster.CreateSource("text", std::move(input_parts));
   Dataset counts =
       text.FlatMap("tokenize", TokenizeLine).ReduceByKey(SumInt64(), 8);
-  std::vector<Record> result = counts.Collect();
+  RunResult run = counts.Run(ActionKind::kCollect);
 
   std::map<std::string, std::int64_t> got;
-  for (const Record& r : result) {
+  for (const Record& r : run.records) {
     ASSERT_TRUE(got.emplace(r.key, std::get<std::int64_t>(r.value)).second)
         << "duplicate key " << r.key << " in result";
   }
   EXPECT_EQ(got, reference);
 
-  const JobMetrics& m = cluster.last_job_metrics();
+  const JobMetrics& m = run.metrics;
   EXPECT_GT(m.jct(), 0);
   EXPECT_GE(m.stages.size(), 2u);
   EXPECT_GT(m.cross_dc_bytes, 0);
@@ -102,9 +102,7 @@ TEST(SchemeBehaviourTest, AggShuffleUsesPushInsteadOfFetchAcrossDcs) {
   Dataset text = cluster.CreateSource("text", MakeInput(cluster.topology(), 9));
   Dataset counts =
       text.FlatMap("tokenize", TokenizeLine).ReduceByKey(SumInt64(), 8);
-  (void)counts.Collect();
-
-  const JobMetrics& m = cluster.last_job_metrics();
+  const JobMetrics m = counts.Run(ActionKind::kCollect).metrics;
   EXPECT_GT(m.cross_dc_push_bytes, 0) << "no proactive pushes happened";
   EXPECT_EQ(m.cross_dc_fetch_bytes, 0)
       << "reducers still fetched across datacenters";
@@ -121,9 +119,7 @@ TEST(SchemeBehaviourTest, CentralizedMovesRawInput) {
   Dataset text = cluster.CreateSource("text", MakeInput(cluster.topology(), 9));
   Dataset counts =
       text.FlatMap("tokenize", TokenizeLine).ReduceByKey(SumInt64(), 8);
-  (void)counts.Collect();
-
-  const JobMetrics& m = cluster.last_job_metrics();
+  const JobMetrics m = counts.Run(ActionKind::kCollect).metrics;
   EXPECT_GT(m.cross_dc_centralize_bytes, 0);
   EXPECT_EQ(m.cross_dc_fetch_bytes, 0)
       << "after centralization the shuffle must be datacenter-local";

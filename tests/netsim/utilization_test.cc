@@ -1,0 +1,164 @@
+// LinkUtilization: the per-WAN-link timeseries and its conservation
+// invariant — bucket sums equal TrafficMeter::pair_bytes bit for bit,
+// including cancelled flows and jittered/stalled networks, and across a
+// full engine run.
+#include "netsim/utilization.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "netsim/network.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+namespace {
+
+TEST(LinkUtilizationTest, AddGrowsSeriesAndTotals) {
+  LinkUtilization util(2, Seconds(1));
+  util.Add(0, 0, 100);
+  util.Add(0, 3, 50);
+  util.Add(1, 1, 7);
+  ASSERT_EQ(util.buckets(0).size(), 4u);
+  EXPECT_EQ(util.buckets(0)[0], 100);
+  EXPECT_EQ(util.buckets(0)[1], 0);
+  EXPECT_EQ(util.buckets(0)[3], 50);
+  EXPECT_EQ(util.total(0), 150);
+  EXPECT_EQ(util.total(1), 7);
+}
+
+TEST(LinkUtilizationTest, BucketOfMapsTimesToBuckets) {
+  LinkUtilization util(1, Seconds(2));
+  EXPECT_EQ(util.BucketOf(0.0), 0);
+  EXPECT_EQ(util.BucketOf(1.999), 0);
+  EXPECT_EQ(util.BucketOf(2.0), 1);
+  EXPECT_EQ(util.BucketOf(11.0), 5);
+}
+
+// Two datacenters, two nodes each, deterministic capacities.
+Topology TestTopo(Rate nic = MiB(10), Rate wan = MiB(1),
+                  SimTime rtt = Millis(100)) {
+  Topology topo;
+  topo.AddDatacenter("dc0");
+  topo.AddDatacenter("dc1");
+  for (int i = 0; i < 2; ++i) topo.AddNode({"a" + std::to_string(i), 0, 2, nic});
+  for (int i = 0; i < 2; ++i) topo.AddNode({"b" + std::to_string(i), 1, 2, nic});
+  topo.AddWanLink({0, 1, wan, wan, wan, rtt});
+  topo.AddWanLink({1, 0, wan, wan, wan, rtt});
+  return topo;
+}
+
+NetworkConfig Quiet() {
+  NetworkConfig cfg;
+  cfg.jitter_interval = 0;
+  cfg.wan_flow_efficiency_min = 1.0;
+  cfg.wan_stall_prob = 0;
+  return cfg;
+}
+
+// Every directed WAN link's bucket sum must equal the meter's bytes for
+// that datacenter pair — the conservation invariant.
+void ExpectConservation(const Network& net, const Topology& topo) {
+  const LinkUtilization* util = net.utilization();
+  ASSERT_NE(util, nullptr);
+  for (int l = 0; l < topo.num_wan_links(); ++l) {
+    const WanLinkSpec& spec = topo.wan_link(l);
+    const Bytes metered = net.meter().pair_bytes(spec.src, spec.dst);
+    const auto& buckets = util->buckets(l);
+    const Bytes summed =
+        std::accumulate(buckets.begin(), buckets.end(), Bytes{0});
+    EXPECT_EQ(summed, metered) << "link " << spec.src << "->" << spec.dst
+                               << " leaks bytes";
+    EXPECT_EQ(util->total(l), metered);
+  }
+}
+
+TEST(UtilizationConservationTest, CompletedFlowsMatchMeterExactly) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  Network net(sim, topo, Quiet(), Rng(1));
+  net.EnableUtilization(Seconds(1));
+  // Odd byte counts so fluid progress rounds at bucket boundaries.
+  net.StartFlow(0, 2, MiB(2) + 333, FlowKind::kOther, [] {});
+  net.StartFlow(1, 3, MiB(1) + 77, FlowKind::kShufflePush, [] {});
+  net.StartFlow(2, 0, KiB(900) + 1, FlowKind::kShuffleFetch, [] {});
+  sim.Run();
+  ExpectConservation(net, topo);
+}
+
+TEST(UtilizationConservationTest, CancelledFlowsStayAccounted) {
+  // The meter charges full flow bytes at StartFlow, cancelled or not; the
+  // timeseries must settle the unattributed residual at cancellation.
+  Simulator sim;
+  Topology topo = TestTopo();
+  Network net(sim, topo, Quiet(), Rng(1));
+  net.EnableUtilization(Seconds(1));
+  FlowId doomed =
+      net.StartFlow(0, 2, MiB(4), FlowKind::kOther, [] { FAIL(); });
+  net.StartFlow(1, 3, MiB(1), FlowKind::kOther, [] {});
+  sim.ScheduleAt(Seconds(1.5), [&] { net.CancelFlow(doomed); });
+  sim.Run();
+  EXPECT_FALSE(net.has_flow(doomed));
+  ExpectConservation(net, topo);
+}
+
+TEST(UtilizationConservationTest, HoldsUnderJitterAndStalls) {
+  // Rate changes mid-flow re-attribute progress at every Reconfigure; the
+  // invariant must survive arbitrary capacity traces and stalls.
+  Simulator sim;
+  Topology topo = TestTopo();
+  NetworkConfig cfg;  // defaults: jitter on, stalls on
+  Network net(sim, topo, cfg, Rng(7));
+  net.EnableUtilization(Seconds(0.5));
+  for (int i = 0; i < 6; ++i) {
+    net.StartFlow(i % 2, 2 + (i % 2), MiB(1) + i * 131, FlowKind::kOther,
+                  [] {});
+  }
+  sim.Run();
+  ExpectConservation(net, topo);
+}
+
+TEST(UtilizationConservationTest, FullClusterRunMatchesMeter) {
+  // End-to-end: a real shuffle job over the six-region topology with
+  // default (noisy) network settings.
+  RunConfig cfg;
+  cfg.scheme = Scheme::kAggShuffle;
+  cfg.seed = 21;
+  cfg.cost = CostModel{}.Scaled(100);
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  std::vector<Record> records;
+  for (int i = 0; i < 1200; ++i) {
+    records.push_back({"k" + std::to_string(i % 97), std::int64_t{1}});
+  }
+  (void)cluster.Parallelize("d", records, 2)
+      .ReduceByKey(SumInt64(), 8)
+      .Run(ActionKind::kCollect);
+  ExpectConservation(cluster.network(), cluster.topology());
+}
+
+TEST(UtilizationConservationTest, SurvivesAMidMapNodeCrash) {
+  // Crashes cancel in-flight flows; their residuals must still land in a
+  // bucket (meter semantics: full bytes charged at start).
+  RunConfig cfg;
+  cfg.scheme = Scheme::kSpark;
+  cfg.seed = 13;
+  cfg.cost = CostModel{}.Scaled(100);
+  NodeCrashEvent crash;
+  crash.at = Seconds(0.2);
+  crash.node = 20;
+  cfg.fault.plan.node_crashes.push_back(crash);
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  std::vector<Record> records;
+  for (int i = 0; i < 2000; ++i) {
+    records.push_back({"k" + std::to_string(i % 61), std::int64_t{1}});
+  }
+  (void)cluster.Parallelize("d", records, 2)
+      .ReduceByKey(SumInt64(), 8)
+      .Run(ActionKind::kCollect);
+  ExpectConservation(cluster.network(), cluster.topology());
+}
+
+}  // namespace
+}  // namespace gs

@@ -61,7 +61,9 @@ ShuffleObservation RunShuffleJob(Scheme scheme, std::uint64_t seed) {
   Dataset input = cluster.CreateSource(
       "input", PlacePartitions(cluster.topology(), std::move(parts),
                                RandomWeights(rng, 6)));
-  (void)input.SortByKey(UniformBoundaries(8, kHexAlphabet)).Save();
+  RunResult run =
+      input.SortByKey(UniformBoundaries(8, kHexAlphabet))
+          .Run(ActionKind::kSave);
 
   ShuffleObservation obs;
   const MapOutputTracker& tracker = cluster.tracker();
@@ -72,8 +74,8 @@ ShuffleObservation RunShuffleJob(Scheme scheme, std::uint64_t seed) {
   obs.S = tracker.TotalBytes(0);
   auto per_dc = tracker.BytesPerDc(0, cluster.topology());
   obs.s1 = *std::max_element(per_dc.begin(), per_dc.end());
-  const JobMetrics& m = cluster.last_job_metrics();
-  obs.cross = m.cross_dc_fetch_bytes + m.cross_dc_push_bytes;
+  obs.cross =
+      run.metrics.cross_dc_fetch_bytes + run.metrics.cross_dc_push_bytes;
   return obs;
 }
 

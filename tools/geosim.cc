@@ -29,6 +29,8 @@ struct Options {
   int aggregators = 1;
   int threads = 0;  // compute pool size; 0 = hardware concurrency
   std::string trace_path;  // Chrome-trace JSON output
+  std::string report_path;  // RunReport JSON output (last run)
+  bool no_metrics = false;  // disable the metrics registry
   bool gantt = false;
   bool help = false;
   // Fault injection: crash one worker mid-run and watch recovery.
@@ -52,6 +54,10 @@ void PrintHelp() {
       "  --threads=N       compute-pool threads; results are identical\n"
       "                    for every N (default: hardware concurrency)\n"
       "  --trace=FILE      write Chrome-trace JSON of the last run\n"
+      "  --report=FILE     write the last run's RunReport JSON (metrics,\n"
+      "                    WAN-link utilization timeseries, egress cost)\n"
+      "  --no-metrics      disable the metrics registry (and the\n"
+      "                    utilization timeseries) for this run\n"
       "  --gantt           print an ASCII Gantt chart of the last run\n"
       "  --crash-node=N    crash worker node N mid-run (fault injection)\n"
       "  --crash-at=T      crash time in sim-seconds (default 0)\n"
@@ -75,9 +81,12 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       opts->help = true;
     } else if (std::strcmp(argv[i], "--gantt") == 0) {
       opts->gantt = true;
+    } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
+      opts->no_metrics = true;
     } else if (ParseFlag(argv[i], "workload", &opts->workload) ||
                ParseFlag(argv[i], "scheme", &opts->scheme) ||
-               ParseFlag(argv[i], "trace", &opts->trace_path)) {
+               ParseFlag(argv[i], "trace", &opts->trace_path) ||
+               ParseFlag(argv[i], "report", &opts->report_path)) {
       // parsed into the right field already
     } else if (ParseFlag(argv[i], "runs", &value)) {
       opts->runs = std::max(1, std::atoi(value.c_str()));
@@ -131,7 +140,7 @@ int main(int argc, char** argv) {
   std::vector<double> jcts, traffic;
   std::string last_gantt, last_json;
   JobMetrics last;
-  double last_cost_usd = 0;
+  RunReport last_report;
   for (int r = 0; r < opts.runs; ++r) {
     RunConfig cfg;
     cfg.scheme = ParseScheme(opts.scheme);
@@ -140,6 +149,9 @@ int main(int argc, char** argv) {
     cfg.cost = CostModel{}.Scaled(opts.scale);
     cfg.aggregator_dc_count = opts.aggregators;
     cfg.compute_threads = opts.threads;
+    cfg.observe.metrics = !opts.no_metrics;
+    // Dollar view of the cross-region traffic uses the 2016 EC2 tariff.
+    cfg.observe.egress_usd_per_gib = WanPricing::Ec2SixRegionTariff().rates();
     if (opts.crash_node >= 0) {
       NodeCrashEvent crash;
       crash.at = opts.crash_at;
@@ -147,25 +159,22 @@ int main(int argc, char** argv) {
       crash.restart_after = opts.restart_after;
       cfg.fault.plan.node_crashes.push_back(crash);
     }
-    GeoCluster cluster(Ec2SixRegionTopology(opts.scale), cfg);
     const bool want_trace =
         (r == opts.runs - 1) && (opts.gantt || !opts.trace_path.empty());
-    if (want_trace) cluster.EnableTracing();
+    cfg.observe.trace = want_trace;
+    GeoCluster cluster(Ec2SixRegionTopology(opts.scale), cfg);
 
     auto wl = MakeWorkload(opts.workload, params);
-    JobResult result = wl->Run(cluster, cfg.seed * 7919 + 13);
+    RunResult result = wl->Run(cluster, cfg.seed * 7919 + 13);
     jcts.push_back(result.metrics.jct());
     traffic.push_back(ToMiB(result.metrics.cross_dc_bytes));
     last = result.metrics;
-    // Dollar view of the cross-region traffic (full-scale equivalent:
-    // meter bytes are 1/scale of the real volume).
-    last_cost_usd = WanPricing::Ec2SixRegionTariff().CostUsd(
-                        cluster.network().meter(), cluster.topology()) *
-                    opts.scale;
-    if (want_trace) {
-      if (opts.gantt) last_gantt = cluster.trace()->RenderGantt(110);
+    last_report = std::move(result.report);
+    last_report.label = opts.workload + "/" + opts.scheme;
+    if (want_trace && result.trace != nullptr) {
+      if (opts.gantt) last_gantt = result.trace->RenderGantt(110);
       if (!opts.trace_path.empty()) {
-        last_json = cluster.trace()->ToChromeTraceJson();
+        last_json = result.trace->ToChromeTraceJson();
       }
     }
   }
@@ -185,7 +194,35 @@ int main(int argc, char** argv) {
 
   std::cout << "\nEstimated WAN egress cost at full scale (EC2-2016 "
                "tariff): $"
-            << FmtDouble(last_cost_usd, 4) << "\n";
+            << FmtDouble(last_report.cost_usd_full_scale, 4) << "\n";
+
+  if (!last_report.links.empty()) {
+    // Per-WAN-link view of the last run: total bytes moved and the peak
+    // one-bucket utilization relative to the link's base rate.
+    std::cout << "\nWAN link utilization (last run, "
+              << FmtDouble(last_report.utilization_bucket, 1)
+              << "s buckets):\n";
+    TextTable links({"link", "MiB", "peak util", "busy buckets"});
+    for (const RunReport::LinkSeries& l : last_report.links) {
+      Bytes peak = 0;
+      int busy = 0;
+      for (Bytes b : l.buckets) {
+        peak = std::max(peak, b);
+        busy += b > 0;
+      }
+      const double peak_util =
+          l.base_rate > 0
+              ? static_cast<double>(peak) /
+                    (l.base_rate * last_report.utilization_bucket)
+              : 0.0;
+      links.AddRow({l.src_name + " -> " + l.dst_name,
+                    FmtDouble(ToMiB(l.total_bytes), 2),
+                    FmtDouble(100.0 * peak_util, 1) + "%",
+                    std::to_string(busy)});
+    }
+    std::cout << links.Render();
+  }
+
   std::cout << "\nStages (last run):\n";
   TextTable stages({"stage", "tasks", "span (s)", "failures"});
   for (const StageMetrics& s : last.stages) {
@@ -217,6 +254,15 @@ int main(int argc, char** argv) {
     out << last_json;
     std::cout << "\nChrome trace written to " << opts.trace_path
               << " (open in chrome://tracing or Perfetto)\n";
+  }
+  if (!opts.report_path.empty()) {
+    std::ofstream out(opts.report_path);
+    if (!out) {
+      std::cerr << "cannot write " << opts.report_path << "\n";
+      return 1;
+    }
+    out << last_report.ToJson() << "\n";
+    std::cout << "\nRun report written to " << opts.report_path << "\n";
   }
   return 0;
 }
