@@ -1,0 +1,23 @@
+#!/bin/bash
+# CI: build geosim-fuzz and sweep a fixed seed range through the simcheck
+# invariant catalog (docs/TESTING.md). On a violation the fuzzer shrinks
+# the configuration and writes the minimized reproducer to
+# simcheck_repro.json, which CI uploads as an artifact; replay locally with
+#   ./build/tools/geosim-fuzz --replay=simcheck_repro.json
+#
+# Usage: simcheck_fuzz.sh [iters] [seed] [extra geosim-fuzz args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERS="${1:-200}"
+SEED="${2:-1}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+BUILD_DIR="${GS_FUZZ_BUILD_DIR:-build}"
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target geosim-fuzz
+
+"$BUILD_DIR/tools/geosim-fuzz" --iters="$ITERS" --seed="$SEED" \
+  --out=simcheck_repro.json "$@"

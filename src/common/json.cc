@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace gs {
 
@@ -38,8 +39,14 @@ std::string JsonNumber(double v) {
                   static_cast<long long>(v));
     return buf;
   }
+  // Shortest representation that parses back to exactly the same double.
+  // Reproducer configs replay timing-sensitive scenarios, so a truncated
+  // fraction (e.g. %.12g) can silently change the scenario on replay.
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   return buf;
 }
 

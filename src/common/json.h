@@ -4,8 +4,10 @@
 // determinism invariant extends to reports, so the same in-memory values
 // must always produce the same bytes. Integers print exactly; doubles
 // print as integers when they are integral (sim times are often whole
-// bucket multiples) and with %.12g otherwise — both are pure functions of
-// the bit pattern.
+// bucket multiples) and otherwise with the shortest decimal form that
+// parses back to the identical double (simcheck reproducers replay
+// timing-sensitive scenarios, so the round trip must be exact) — both are
+// pure functions of the bit pattern.
 #pragma once
 
 #include <cstdint>

@@ -25,6 +25,9 @@ double SortedPercentile(const std::vector<double>& sorted, double q) {
 Summary Summarize(std::vector<double> samples) {
   Summary s;
   if (samples.empty()) return s;
+  // NaN breaks strict weak ordering (std::sort on it is undefined) and
+  // poisons every aggregate, so it is a caller bug, not a data point.
+  for (double v : samples) GS_CHECK_MSG(!std::isnan(v), "NaN sample");
   std::sort(samples.begin(), samples.end());
   s.count = samples.size();
   s.min = samples.front();
@@ -50,6 +53,7 @@ Summary Summarize(std::vector<double> samples) {
 
 double Percentile(std::vector<double> samples, double q) {
   GS_CHECK(!samples.empty());
+  for (double v : samples) GS_CHECK_MSG(!std::isnan(v), "NaN sample");
   std::sort(samples.begin(), samples.end());
   return SortedPercentile(samples, q);
 }

@@ -25,9 +25,15 @@ struct Summary {
 };
 
 // Computes summary statistics. An empty sample yields an all-zero Summary.
+// With one or two samples there is nothing left after dropping the min and
+// the max, so trimmed_mean falls back to the plain mean; stddev is the
+// (n-1)-denominator sample deviation, 0 for a single sample. NaN samples
+// are rejected with GS_CHECK (they break ordering and every aggregate);
+// infinities propagate into the aggregates as IEEE arithmetic dictates.
 Summary Summarize(std::vector<double> samples);
 
-// Linear-interpolated percentile of a sample; q in [0, 100].
+// Linear-interpolated percentile of a sample; q in [0, 100]. The sample
+// must be non-empty and NaN-free (GS_CHECK).
 double Percentile(std::vector<double> samples, double q);
 
 }  // namespace gs

@@ -88,19 +88,26 @@ Dataset GeoCluster::Parallelize(std::string name,
                                 const std::vector<Record>& records,
                                 int partitions_per_dc) {
   GS_CHECK(partitions_per_dc > 0);
-  // Enumerate worker nodes round-robin across datacenters.
+  // Enumerate worker nodes round-robin across datacenters. Indexing must
+  // be over each datacenter's *workers*: mixing in non-worker nodes (the
+  // dedicated driver) would skip a worker slot and silently drop the
+  // partition whenever k mod node-count lands on the driver.
+  std::vector<std::vector<NodeIndex>> workers_in(
+      static_cast<std::size_t>(topo_.num_datacenters()));
+  for (DcIndex dc = 0; dc < topo_.num_datacenters(); ++dc) {
+    for (NodeIndex n : topo_.nodes_in(dc)) {
+      if (topo_.node(n).worker) {
+        workers_in[static_cast<std::size_t>(dc)].push_back(n);
+      }
+    }
+  }
   std::vector<NodeIndex> nodes;
   for (int k = 0; k < partitions_per_dc; ++k) {
     for (DcIndex dc = 0; dc < topo_.num_datacenters(); ++dc) {
-      const auto& in_dc = topo_.nodes_in(dc);
-      int seen = 0;
-      for (NodeIndex n : in_dc) {
-        if (!topo_.node(n).worker) continue;
-        if (seen++ == k % static_cast<int>(in_dc.size())) {
-          nodes.push_back(n);
-          break;
-        }
-      }
+      const auto& workers = workers_in[static_cast<std::size_t>(dc)];
+      if (workers.empty()) continue;
+      nodes.push_back(workers[static_cast<std::size_t>(
+          k % static_cast<int>(workers.size()))]);
     }
   }
   GS_CHECK(!nodes.empty());

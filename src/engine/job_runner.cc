@@ -1098,13 +1098,22 @@ void JobRunner::PlaceReceiver(StageRun& producer_sr, TaskRun& producer_task) {
   }
   // Mimic the Task Scheduler's host-level pick within the aggregator
   // subset: spread receivers round-robin over datacenters, then workers.
+  // Only live workers qualify — a receiver pinned to a crashed executor
+  // accepts the push and then waits forever for a slot (its write phase is
+  // kNodeOnly, which never spills). If the chosen datacenter has no live
+  // worker, fall back to recovery's pick over the whole subset.
   const int cursor = consumer.rr_next++;
   const DcIndex dc = targets[cursor % targets.size()];
   std::vector<NodeIndex> workers;
   for (NodeIndex n : topo_.nodes_in(dc)) {
-    if (topo_.node(n).worker) workers.push_back(n);
+    if (topo_.node(n).worker && cluster_.scheduler().node_up(n)) {
+      workers.push_back(n);
+    }
   }
-  GS_CHECK(!workers.empty());
+  if (workers.empty()) {
+    receiver.node = PickReceiverNode(consumer, kNoNode);
+    return;
+  }
   receiver.node =
       workers[(cursor / targets.size()) % workers.size()];
 }

@@ -107,14 +107,7 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
   const DcIndex src_dc = topo_.dc_of(src);
   const DcIndex dst_dc = topo_.dc_of(dst);
 
-  if (src == dst) {
-    // Loopback: no network resources consumed, no traffic metered.
-    sim_.Schedule(Millis(0.1), std::move(on_complete));
-    return id;
-  }
-
   meter_.Record(src_dc, dst_dc, kind, bytes);
-  CatchUpJitter();
   if (m_flows_started_ != nullptr) {
     m_flows_started_->Add(1);
     if (kind == FlowKind::kShuffleFetch) {
@@ -134,6 +127,24 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
   flow.created_at = sim_.Now();
   flow.last_update = sim_.Now();
   flow.on_complete = std::move(on_complete);
+
+  if (src == dst) {
+    // Loopback: consumes no network resources and completes after a fixed
+    // local latency, but it is metered (on the intra-DC diagonal), counted
+    // and tracked like any other flow so byte conservation and flow
+    // accounting hold, and CancelFlow on its id behaves normally. It never
+    // sets `started`, so rate sharing and progress advancement skip it.
+    auto [it, inserted] = flows_.emplace(id, std::move(flow));
+    GS_CHECK(inserted);
+    it->second.completion_event =
+        sim_.Schedule(Millis(0.1), [this, id] { FinishFlow(id); });
+    if (m_active_flows_ != nullptr) {
+      m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+    }
+    return id;
+  }
+
+  CatchUpJitter();
   flow.resources.push_back(UplinkRes(src));
   SimTime setup = topo_.rtt(src_dc, dst_dc) / 2;
   if (src_dc != dst_dc) {
@@ -282,7 +293,14 @@ void Network::Reconfigure() {
     AttributeFlowProgress(f, f.last_update, now);
     f.remaining -= f.rate * (now - f.last_update);
     f.last_update = now;
-    if (f.started && f.remaining <= kByteEpsilon) done.push_back(id);
+    if (f.remaining < 0) f.remaining = 0;  // floating-point overshoot
+    if (f.started && f.remaining <= kByteEpsilon) {
+      // Snap sub-epsilon residue to zero so the flow's progress is exact
+      // by the time it is settled; SettleFlowResidual then attributes the
+      // integer remainder and conservation holds bit for bit.
+      f.remaining = 0;
+      done.push_back(id);
+    }
   }
   if (!done.empty()) {
     // FinishFlow triggers a fresh Reconfigure once the map is updated.
@@ -293,6 +311,10 @@ void Network::Reconfigure() {
   ComputeMaxMinRates();
 
   for (auto& [id, f] : flows_) {
+    // Loopback flows (no resources) complete on a fixed-latency event that
+    // rate sharing must not touch — cancelling it here would silently lose
+    // the flow, since a zero-rate flow is never rescheduled.
+    if (f.resources.empty()) continue;
     f.completion_event.Cancel();
     if (f.rate <= 0) continue;  // still in connection setup or starved
     SimTime eta = f.remaining / f.rate;
@@ -308,7 +330,7 @@ void Network::FinishFlow(FlowId id) {
   CompletionFn cb = std::move(it->second.on_complete);
   it->second.completion_event.Cancel();
   if (m_flows_completed_ != nullptr) m_flows_completed_->Add(1);
-  if (observer_) {
+  if (observer_ && it->second.src != it->second.dst) {
     const Flow& f = it->second;
     observer_(FlowRecord{f.id, f.src, f.dst, f.kind, f.total, f.created_at,
                          sim_.Now()});

@@ -114,14 +114,17 @@ class Network {
 
   // Starts a flow of `bytes` from node src to node dst. `on_complete` fires
   // (through the simulator) once the last byte arrives. A flow between a
-  // node and itself completes after loopback latency without touching the
-  // network. Returns an id usable with CancelFlow.
+  // node and itself completes after loopback latency without consuming
+  // network bandwidth; it is still metered (intra-DC diagonal), counted in
+  // the flow metrics, and cancellable like any other flow. Returns an id
+  // usable with CancelFlow.
   FlowId StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes, FlowKind kind,
                    CompletionFn on_complete);
 
   // Cancels an in-flight flow (e.g. the destination task failed). Bytes
   // already transferred remain accounted in the traffic meter; the
-  // completion callback never fires.
+  // completion callback never fires. A no-op for ids that already
+  // completed, were already cancelled, or were never issued.
   void CancelFlow(FlowId id);
 
   bool has_flow(FlowId id) const { return flows_.count(id) > 0; }

@@ -35,11 +35,20 @@ void TaskScheduler::Submit(TaskRequest request) {
   }
   Pending pending;
   pending.submitted_at = sim_.Now();
+  // The spill deadline is computed ONCE and the wake-up is scheduled for
+  // that same instant, so the eligibility comparison in TryAssign sees the
+  // identical double when the wake fires. Re-deriving `now + wait` at
+  // check time can land one ulp short of the scheduled event and leave the
+  // task queued forever if no later event pumps the scheduler.
+  pending.spill_at = sim_.Now() + config_.locality_wait;
   const bool has_prefs = !request.preferred.empty();
   pending.request = std::move(request);
   if (has_prefs && config_.locality_wait > 0 &&
-      pending.request.policy == PlacementPolicy::kAnyAfterWait) {
-    // Wake the scheduler when this task becomes eligible for ANY placement.
+      (pending.request.policy == PlacementPolicy::kAnyAfterWait ||
+       pending.request.policy == PlacementPolicy::kDcOnly)) {
+    // Wake the scheduler when this task becomes eligible for ANY placement
+    // (for kDcOnly that only ever applies if its datacenters lose every
+    // worker; the event is cancelled on assignment either way).
     pending.wait_expiry =
         sim_.Schedule(config_.locality_wait, [this] { Pump(); });
   }
@@ -65,6 +74,9 @@ void TaskScheduler::SetNodeDown(NodeIndex node) {
   GS_CHECK_MSG(topo_.node(node).worker, "crashed a non-worker");
   up_[node] = false;
   free_[node] = 0;
+  // Queued kDcOnly tasks whose last in-DC worker just died may now be
+  // eligible to spill anywhere (their locality wait may long have passed).
+  Pump();
 }
 
 void TaskScheduler::SetNodeUp(NodeIndex node) {
@@ -113,6 +125,16 @@ NodeIndex TaskScheduler::LeastLoadedFreeWorker() const {
   return best;
 }
 
+bool TaskScheduler::NoLiveWorkerNear(
+    const std::vector<NodeIndex>& preferred) const {
+  for (NodeIndex pref : preferred) {
+    for (NodeIndex n : topo_.nodes_in(topo_.dc_of(pref))) {
+      if (topo_.node(n).worker && up_[n]) return false;
+    }
+  }
+  return true;
+}
+
 bool TaskScheduler::TryAssign(Pending& pending) {
   TaskRequest& request = pending.request;
   NodeIndex node = kNoNode;
@@ -136,9 +158,15 @@ bool TaskScheduler::TryAssign(Pending& pending) {
     // Level 3: anywhere, but only after the locality wait expired (delay
     // scheduling). This is what keeps reduce tasks queued for the
     // aggregator datacenter instead of instantly spilling elsewhere.
-    if (node == kNoNode &&
-        request.policy == PlacementPolicy::kAnyAfterWait &&
-        sim_.Now() - pending.submitted_at >= config_.locality_wait) {
+    // kDcOnly tasks get this escape hatch only when their datacenters have
+    // no live worker left at all — otherwise a permanent crash of the last
+    // worker in the (e.g. central) datacenter would queue them forever and
+    // silently hang the job.
+    const bool may_spill =
+        request.policy == PlacementPolicy::kAnyAfterWait ||
+        (request.policy == PlacementPolicy::kDcOnly &&
+         NoLiveWorkerNear(request.preferred));
+    if (node == kNoNode && may_spill && sim_.Now() >= pending.spill_at) {
       node = LeastLoadedFreeWorker();
       locality = LocalityLevel::kAny;
     }

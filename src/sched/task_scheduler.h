@@ -29,7 +29,11 @@ enum class LocalityLevel { kNodeLocal, kDcLocal, kAny, kNoPreference };
 // How far from its preferences a task may be placed.
 enum class PlacementPolicy {
   kAnyAfterWait,  // node -> datacenter -> (after locality wait) anywhere
-  kDcOnly,        // node -> datacenter of a preferred node, never beyond
+  // node -> datacenter of a preferred node. Never beyond — except when
+  // every worker in every preferred datacenter is down: then, after the
+  // locality wait (which gives a restarting executor its chance), the task
+  // may run anywhere rather than hang forever on a dead datacenter.
+  kDcOnly,
   kNodeOnly,      // exactly a preferred node (e.g. data already landed there)
 };
 
@@ -85,6 +89,10 @@ class TaskScheduler {
   struct Pending {
     TaskRequest request;
     SimTime submitted_at = 0;
+    // Absolute time at which any-placement becomes allowed; computed once
+    // at submission so it compares exactly against the wait_expiry wake-up
+    // (recomputing now + wait at check time can differ by one ulp).
+    SimTime spill_at = 0;
     EventHandle wait_expiry;
   };
 
@@ -93,6 +101,8 @@ class TaskScheduler {
 
   NodeIndex BestFreeNodeIn(const std::vector<NodeIndex>& candidates) const;
   NodeIndex LeastLoadedFreeWorker() const;
+  // True iff no datacenter hosting a preferred node has a live worker.
+  bool NoLiveWorkerNear(const std::vector<NodeIndex>& preferred) const;
 
   Simulator& sim_;
   const Topology& topo_;

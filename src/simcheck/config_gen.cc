@@ -1,0 +1,328 @@
+// simcheck configuration: seeded generation, flat-JSON round trip, and the
+// deterministic topology/record builders shared by the runner and tests.
+#include "simcheck/simcheck.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "data/record.h"
+#include "workloads/input_gen.h"
+
+namespace gs {
+namespace simcheck {
+
+SimcheckConfig GenerateConfig(std::uint64_t seed) {
+  SimcheckConfig cfg;
+  cfg.seed = seed;
+  Rng rng = Rng(seed).Split("simcheck-gen");
+
+  cfg.num_dcs = static_cast<int>(rng.UniformInt(2, 4));
+  cfg.nodes_per_dc = static_cast<int>(rng.UniformInt(1, 3));
+  cfg.dedicated_driver = rng.Bernoulli(0.5);
+  const int wan_choices[] = {80, 150, 200, 300};
+  cfg.wan_rate_mbps = wan_choices[rng.UniformInt(0, 3)];
+  cfg.rtt_ms = static_cast<int>(rng.UniformInt(40, 250));
+  cfg.uniform_wan = rng.Bernoulli(0.5);
+
+  cfg.dag_shape = static_cast<int>(rng.UniformInt(0, kNumDagShapes - 1));
+  cfg.num_records = static_cast<int>(rng.UniformInt(60, 500));
+  cfg.num_keys = static_cast<int>(rng.UniformInt(3, 60));
+  // Deliberately allowed to exceed the workers of a datacenter so the
+  // round-robin edge cases of Parallelize stay covered.
+  cfg.partitions_per_dc =
+      static_cast<int>(rng.UniformInt(1, cfg.nodes_per_dc + 2));
+  cfg.num_shards = static_cast<int>(rng.UniformInt(1, 8));
+  cfg.map_side_combine = rng.Bernoulli(0.7);
+  cfg.save_action = rng.Bernoulli(0.25);
+
+  cfg.aggregator_dc_count =
+      rng.Bernoulli(0.7) ? 1 : std::min(2, cfg.num_dcs);
+  cfg.threads_high = static_cast<int>(rng.UniformInt(2, 4));
+  cfg.noisy_network = rng.Bernoulli(0.6);
+
+  const int workers = cfg.num_dcs * cfg.nodes_per_dc;
+  cfg.crash = workers >= 3 && rng.Bernoulli(0.3);
+  cfg.crash_victim = static_cast<int>(rng.UniformInt(1, workers - 1));
+  cfg.crash_frac = rng.Uniform(0.15, 0.75);
+  cfg.restart_after = rng.Bernoulli(0.5) ? rng.Uniform(1.0, 8.0) : 0.0;
+  cfg.degrade = cfg.num_dcs >= 2 && rng.Bernoulli(0.3);
+  cfg.degrade_factor = rng.Bernoulli(0.25) ? 0.0 : rng.Uniform(0.2, 0.8);
+  cfg.degrade_frac = rng.Uniform(0.1, 0.6);
+  cfg.degrade_duration = rng.Uniform(2.0, 10.0);
+  cfg.block_loss = rng.Bernoulli(0.2);
+  cfg.block_loss_frac = rng.Uniform(0.2, 0.7);
+  return cfg;
+}
+
+std::string ToJson(const SimcheckConfig& c) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("seed").Value(c.seed);
+  w.Key("num_dcs").Value(c.num_dcs);
+  w.Key("nodes_per_dc").Value(c.nodes_per_dc);
+  w.Key("dedicated_driver").Value(c.dedicated_driver);
+  w.Key("wan_rate_mbps").Value(c.wan_rate_mbps);
+  w.Key("rtt_ms").Value(c.rtt_ms);
+  w.Key("uniform_wan").Value(c.uniform_wan);
+  w.Key("dag_shape").Value(c.dag_shape);
+  w.Key("num_records").Value(c.num_records);
+  w.Key("num_keys").Value(c.num_keys);
+  w.Key("partitions_per_dc").Value(c.partitions_per_dc);
+  w.Key("num_shards").Value(c.num_shards);
+  w.Key("map_side_combine").Value(c.map_side_combine);
+  w.Key("save_action").Value(c.save_action);
+  w.Key("aggregator_dc_count").Value(c.aggregator_dc_count);
+  w.Key("threads_high").Value(c.threads_high);
+  w.Key("noisy_network").Value(c.noisy_network);
+  w.Key("crash").Value(c.crash);
+  w.Key("crash_victim").Value(c.crash_victim);
+  w.Key("crash_frac").Value(c.crash_frac);
+  w.Key("restart_after").Value(c.restart_after);
+  w.Key("degrade").Value(c.degrade);
+  w.Key("degrade_factor").Value(c.degrade_factor);
+  w.Key("degrade_frac").Value(c.degrade_frac);
+  w.Key("degrade_duration").Value(c.degrade_duration);
+  w.Key("block_loss").Value(c.block_loss);
+  w.Key("block_loss_frac").Value(c.block_loss_frac);
+  w.EndObject();
+  return w.str();
+}
+
+namespace {
+
+// Minimal parser for the flat object ToJson emits: string keys mapping to
+// number or boolean tokens, no nesting, no string values, no escapes. The
+// repo deliberately has no general JSON parser; reproducers only need this.
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool ParseKey(std::string* out) {
+    SkipWs();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') return false;  // keys never need escapes
+      out->push_back(s[i++]);
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+  // A number or true/false, captured as the raw token.
+  bool ParseScalar(std::string* out) {
+    SkipWs();
+    out->clear();
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '-' || s[i] == '+' || s[i] == '.')) {
+      out->push_back(s[i++]);
+    }
+    return !out->empty();
+  }
+};
+
+bool TokenToBool(const std::string& tok, bool* out) {
+  if (tok == "true") { *out = true; return true; }
+  if (tok == "false") { *out = false; return true; }
+  return false;
+}
+
+bool TokenToInt(const std::string& tok, int* out) {
+  char* end = nullptr;
+  long v = std::strtol(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool TokenToU64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty() || tok[0] == '-') return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool TokenToDouble(const std::string& tok, double* out) {
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool AssignField(SimcheckConfig* c, const std::string& key,
+                 const std::string& tok) {
+  if (key == "seed") return TokenToU64(tok, &c->seed);
+  if (key == "num_dcs") return TokenToInt(tok, &c->num_dcs);
+  if (key == "nodes_per_dc") return TokenToInt(tok, &c->nodes_per_dc);
+  if (key == "dedicated_driver") return TokenToBool(tok, &c->dedicated_driver);
+  if (key == "wan_rate_mbps") return TokenToInt(tok, &c->wan_rate_mbps);
+  if (key == "rtt_ms") return TokenToInt(tok, &c->rtt_ms);
+  if (key == "uniform_wan") return TokenToBool(tok, &c->uniform_wan);
+  if (key == "dag_shape") return TokenToInt(tok, &c->dag_shape);
+  if (key == "num_records") return TokenToInt(tok, &c->num_records);
+  if (key == "num_keys") return TokenToInt(tok, &c->num_keys);
+  if (key == "partitions_per_dc") {
+    return TokenToInt(tok, &c->partitions_per_dc);
+  }
+  if (key == "num_shards") return TokenToInt(tok, &c->num_shards);
+  if (key == "map_side_combine") return TokenToBool(tok, &c->map_side_combine);
+  if (key == "save_action") return TokenToBool(tok, &c->save_action);
+  if (key == "aggregator_dc_count") {
+    return TokenToInt(tok, &c->aggregator_dc_count);
+  }
+  if (key == "threads_high") return TokenToInt(tok, &c->threads_high);
+  if (key == "noisy_network") return TokenToBool(tok, &c->noisy_network);
+  if (key == "crash") return TokenToBool(tok, &c->crash);
+  if (key == "crash_victim") return TokenToInt(tok, &c->crash_victim);
+  if (key == "crash_frac") return TokenToDouble(tok, &c->crash_frac);
+  if (key == "restart_after") return TokenToDouble(tok, &c->restart_after);
+  if (key == "degrade") return TokenToBool(tok, &c->degrade);
+  if (key == "degrade_factor") return TokenToDouble(tok, &c->degrade_factor);
+  if (key == "degrade_frac") return TokenToDouble(tok, &c->degrade_frac);
+  if (key == "degrade_duration") {
+    return TokenToDouble(tok, &c->degrade_duration);
+  }
+  if (key == "block_loss") return TokenToBool(tok, &c->block_loss);
+  if (key == "block_loss_frac") return TokenToDouble(tok, &c->block_loss_frac);
+  return false;  // unknown key
+}
+
+}  // namespace
+
+bool FromJson(const std::string& json, SimcheckConfig* out,
+              std::string* error) {
+  SimcheckConfig cfg;
+  Cursor cur{json};
+  if (!cur.Eat('{')) {
+    if (error != nullptr) *error = "expected '{'";
+    return false;
+  }
+  cur.SkipWs();
+  if (!cur.Eat('}')) {
+    while (true) {
+      std::string key, tok;
+      if (!cur.ParseKey(&key)) {
+        if (error != nullptr) *error = "expected a quoted key";
+        return false;
+      }
+      if (!cur.Eat(':')) {
+        if (error != nullptr) *error = "expected ':' after \"" + key + "\"";
+        return false;
+      }
+      if (!cur.ParseScalar(&tok)) {
+        if (error != nullptr) *error = "expected a value for \"" + key + "\"";
+        return false;
+      }
+      if (!AssignField(&cfg, key, tok)) {
+        if (error != nullptr) {
+          *error = "unknown key or bad value: \"" + key + "\": " + tok;
+        }
+        return false;
+      }
+      if (cur.Eat(',')) continue;
+      if (cur.Eat('}')) break;
+      if (error != nullptr) *error = "expected ',' or '}'";
+      return false;
+    }
+  }
+  cur.SkipWs();
+  if (cur.i != json.size()) {
+    if (error != nullptr) *error = "trailing characters after '}'";
+    return false;
+  }
+  *out = cfg;
+  return true;
+}
+
+Topology BuildTopology(const SimcheckConfig& cfg) {
+  GS_CHECK(cfg.num_dcs >= 1 && cfg.nodes_per_dc >= 1);
+  GS_CHECK(cfg.wan_rate_mbps > 0 && cfg.rtt_ms > 0);
+  Topology topo;
+  for (int d = 0; d < cfg.num_dcs; ++d) {
+    topo.AddDatacenter("dc" + std::to_string(d));
+  }
+  for (int d = 0; d < cfg.num_dcs; ++d) {
+    for (int i = 0; i < cfg.nodes_per_dc; ++i) {
+      NodeSpec spec;
+      spec.name = "w" + std::to_string(d) + "-" + std::to_string(i);
+      spec.dc = d;
+      spec.nic_rate = Mbps(400);
+      topo.AddNode(spec);
+    }
+  }
+  if (cfg.dedicated_driver) {
+    NodeSpec driver;
+    driver.name = "driver";
+    driver.dc = 0;
+    driver.nic_rate = Mbps(400);
+    driver.worker = false;
+    topo.AddNode(driver);
+  }
+  Rng rng = Rng(cfg.seed).Split("simcheck-topo");
+  const Rate mean = Mbps(cfg.wan_rate_mbps);
+  for (DcIndex s = 0; s < cfg.num_dcs; ++s) {
+    for (DcIndex d = 0; d < cfg.num_dcs; ++d) {
+      if (s == d) continue;
+      // The RNG draw happens even for uniform meshes so flipping
+      // uniform_wan during shrinking does not reshuffle later draws.
+      const double jitter = rng.Uniform(0.4, 1.4);
+      const Rate base = cfg.uniform_wan ? mean : mean * jitter;
+      WanLinkSpec link;
+      link.src = s;
+      link.dst = d;
+      link.base_rate = base;
+      link.min_rate = 0.5 * base;
+      link.max_rate = 1.3 * base;
+      link.rtt = Millis(cfg.rtt_ms);
+      topo.AddWanLink(link);
+    }
+  }
+  return topo;
+}
+
+std::vector<Record> BuildRecords(const SimcheckConfig& cfg) {
+  GS_CHECK(cfg.num_records >= 1 && cfg.num_keys >= 1);
+  Rng rng = Rng(cfg.seed).Split("simcheck-records");
+  if (cfg.dag_shape == 5) {
+    // Sort shape: 10-char hex keys matching UniformBoundaries.
+    return MakeKeyValueRecords(static_cast<std::size_t>(cfg.num_records), 16,
+                               rng, kHexAlphabet, nullptr);
+  }
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(cfg.num_records));
+  for (int i = 0; i < cfg.num_records; ++i) {
+    Record r;
+    r.key = "k" + std::to_string(rng.UniformInt(0, cfg.num_keys - 1));
+    if (cfg.dag_shape == 3) {
+      r.value = "v" + std::to_string(rng.UniformInt(0, 4));
+    } else {
+      r.value = rng.UniformInt(1, 9);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace simcheck
+}  // namespace gs

@@ -1,0 +1,194 @@
+// simcheck netsim-level check: a random flow script against a bare Network
+// — loopback, zero-byte, cancelled and degraded flows included — verifying
+// that the TrafficMeter equals the sum of per-flow bytes, that the
+// utilization timeseries conserves the meter per WAN link, that the flow
+// counters balance, and that the simulator quiesces.
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/rng.h"
+#include "netsim/network.h"
+#include "simcheck/simcheck.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+namespace simcheck {
+namespace {
+
+void Add(CheckResult* r, const char* invariant, std::string detail) {
+  r->violations.push_back(Violation{invariant, std::move(detail)});
+}
+
+}  // namespace
+
+CheckResult RunNetsimCheck(const SimcheckConfig& cfg) {
+  CheckResult result;
+  if (cfg.num_dcs < 1 || cfg.nodes_per_dc < 1 || cfg.wan_rate_mbps < 1 ||
+      cfg.rtt_ms < 1) {
+    Add(&result, kInvRunFailure, "invalid config for the netsim check");
+    return result;
+  }
+  try {
+    Topology topo = BuildTopology(cfg);
+    Simulator sim;
+    MetricsRegistry registry;
+    NetworkConfig ncfg;
+    if (!cfg.noisy_network) {
+      ncfg.jitter_interval = 0;
+      ncfg.wan_stall_prob = 0;
+      ncfg.wan_flow_efficiency_min = 1.0;
+    } else {
+      ncfg.jitter_interval = Seconds(2);
+    }
+    Network net(sim, topo, ncfg, Rng(cfg.seed).Split("netfuzz-jitter"),
+                &registry);
+    net.EnableUtilization(Seconds(0.5));
+
+    Rng rng = Rng(cfg.seed).Split("netfuzz-ops");
+    const int nodes = topo.num_nodes();
+    const int num_flows = 8 + static_cast<int>(rng.UniformInt(0, 32));
+
+    // Expected meter state, charged exactly like StartFlow charges it.
+    std::vector<Bytes> expected(
+        static_cast<std::size_t>(cfg.num_dcs) * cfg.num_dcs, 0);
+    int start_calls = 0;
+    int completions = 0;
+    std::vector<FlowId> ids;
+    ids.reserve(static_cast<std::size_t>(num_flows));
+
+    for (int i = 0; i < num_flows; ++i) {
+      const SimTime at = rng.Uniform(0.0, 20.0);
+      const NodeIndex src =
+          static_cast<NodeIndex>(rng.UniformInt(0, nodes - 1));
+      const NodeIndex dst =
+          rng.Bernoulli(0.3)
+              ? src  // loopback
+              : static_cast<NodeIndex>(rng.UniformInt(0, nodes - 1));
+      Bytes bytes = 0;
+      if (!rng.Bernoulli(0.1)) {
+        bytes = rng.Bernoulli(0.5) ? rng.UniformInt(1, 10'000)
+                                   : rng.UniformInt(100'000, 5'000'000);
+      }
+      const auto kind = static_cast<FlowKind>(rng.UniformInt(0, 4));
+      const bool cancel = rng.Bernoulli(0.25);
+      const SimTime cancel_delay = rng.Uniform(0.0, 5.0);
+      sim.ScheduleAt(at, [&, src, dst, bytes, kind, cancel, cancel_delay] {
+        const FlowId id =
+            net.StartFlow(src, dst, bytes, kind, [&] { ++completions; });
+        ++start_calls;
+        expected[static_cast<std::size_t>(topo.dc_of(src)) * cfg.num_dcs +
+                 topo.dc_of(dst)] += bytes;
+        ids.push_back(id);
+        if (cancel) {
+          // The flow may complete first — CancelFlow on a finished id must
+          // be a safe no-op either way.
+          sim.Schedule(cancel_delay, [&, id] { net.CancelFlow(id); });
+        }
+      });
+    }
+
+    if (cfg.degrade && cfg.num_dcs >= 2) {
+      const SimTime at = rng.Uniform(1.0, 10.0);
+      const double factor = cfg.degrade_factor;
+      const SimTime duration =
+          cfg.degrade_duration > 0 ? cfg.degrade_duration : Seconds(3);
+      sim.ScheduleAt(at, [&, factor] {
+        net.SetWanDegradation(0, 1, factor);
+        net.SetWanDegradation(1, 0, factor);
+      });
+      sim.ScheduleAt(at + duration, [&] {
+        net.SetWanDegradation(0, 1, 1.0);
+        net.SetWanDegradation(1, 0, 1.0);
+      });
+    }
+
+    sim.Run();
+    result.netsim_flows = start_calls;
+
+    // Per-flow byte conservation: the meter must equal the sum of bytes of
+    // every started flow, pair by pair (loopback lands on the diagonal).
+    for (DcIndex s = 0; s < cfg.num_dcs; ++s) {
+      for (DcIndex d = 0; d < cfg.num_dcs; ++d) {
+        const Bytes want =
+            expected[static_cast<std::size_t>(s) * cfg.num_dcs + d];
+        const Bytes got = net.meter().pair_bytes(s, d);
+        if (want != got) {
+          std::ostringstream os;
+          os << "meter pair " << s << "->" << d << ": sum of flow bytes "
+             << want << "B but metered " << got << "B";
+          Add(&result, kInvConservation, os.str());
+        }
+      }
+    }
+    const LinkUtilization* util = net.utilization();
+    for (int l = 0; l < topo.num_wan_links(); ++l) {
+      const WanLinkSpec& spec = topo.wan_link(l);
+      const Bytes metered = net.meter().pair_bytes(spec.src, spec.dst);
+      Bytes summed = 0;
+      for (Bytes b : util->buckets(l)) summed += b;
+      if (summed != metered || util->total(l) != metered) {
+        std::ostringstream os;
+        os << "link " << spec.src << "->" << spec.dst << ": meter "
+           << metered << "B, bucket sum " << summed << "B, total "
+           << util->total(l) << "B";
+        Add(&result, kInvConservation, os.str());
+      }
+    }
+
+    const std::int64_t started =
+        registry.counter("netsim.flows_started").value();
+    const std::int64_t completed =
+        registry.counter("netsim.flows_completed").value();
+    const std::int64_t cancelled =
+        registry.counter("netsim.flows_cancelled").value();
+    if (started != start_calls) {
+      std::ostringstream os;
+      os << "flows_started " << started << " but StartFlow was called "
+         << start_calls << " times";
+      Add(&result, kInvFlowAccounting, os.str());
+    }
+    if (started != completed + cancelled) {
+      std::ostringstream os;
+      os << "flows_started " << started << " != flows_completed "
+         << completed << " + flows_cancelled " << cancelled;
+      Add(&result, kInvFlowAccounting, os.str());
+    }
+    if (completions != completed) {
+      std::ostringstream os;
+      os << completions << " completion callbacks fired but "
+         << "flows_completed is " << completed;
+      Add(&result, kInvFlowAccounting, os.str());
+    }
+    if (registry.gauge("netsim.active_flows").value() != 0) {
+      Add(&result, kInvFlowAccounting,
+          "active_flows gauge nonzero after the run");
+    }
+
+    if (sim.pending_events() != 0 || net.active_flows() != 0) {
+      std::ostringstream os;
+      os << sim.pending_events() << " pending events, " << net.active_flows()
+         << " active flows after Run()";
+      Add(&result, kInvQuiescence, os.str());
+    }
+
+    // API edges: unknown/finished ids are inert.
+    if (net.flow_rate(static_cast<FlowId>(1'000'000'000)) != 0) {
+      Add(&result, kInvFlowAccounting, "flow_rate of an unknown id nonzero");
+    }
+    for (FlowId id : ids) net.CancelFlow(id);  // must all be safe no-ops
+    if (registry.counter("netsim.flows_cancelled").value() != cancelled) {
+      Add(&result, kInvFlowAccounting,
+          "CancelFlow on finished ids bumped flows_cancelled");
+    }
+  } catch (const std::exception& e) {
+    Add(&result, kInvRunFailure, std::string("netsim check threw: ") +
+                                     e.what());
+  }
+  return result;
+}
+
+}  // namespace simcheck
+}  // namespace gs

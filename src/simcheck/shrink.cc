@@ -1,0 +1,123 @@
+// simcheck shrinker: greedy minimization of a failing configuration.
+//
+// Each pass proposes one-field simplifications in order of how much they
+// shrink the scenario (drop faults, quiet the network, halve sizes, flatten
+// the DAG, shrink the topology) and keeps a candidate iff it still violates
+// at least one invariant the original violated — so shrinking cannot drift
+// onto an unrelated failure.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simcheck/simcheck.h"
+
+namespace gs {
+namespace simcheck {
+namespace {
+
+std::vector<SimcheckConfig> Candidates(const SimcheckConfig& c) {
+  std::vector<SimcheckConfig> out;
+  auto propose = [&](auto mutate) {
+    SimcheckConfig cand = c;
+    mutate(cand);
+    out.push_back(cand);
+  };
+  if (c.crash || c.degrade || c.block_loss) {
+    propose([](SimcheckConfig& x) {
+      x.crash = false;
+      x.degrade = false;
+      x.block_loss = false;
+    });
+  }
+  if (c.noisy_network) {
+    propose([](SimcheckConfig& x) { x.noisy_network = false; });
+  }
+  if (c.num_records > 8) {
+    propose([](SimcheckConfig& x) {
+      x.num_records = std::max(8, x.num_records / 2);
+    });
+  }
+  if (c.num_keys > 2) {
+    propose([](SimcheckConfig& x) { x.num_keys = std::max(2, x.num_keys / 2); });
+  }
+  if (c.dag_shape != 0) {
+    propose([](SimcheckConfig& x) { x.dag_shape = 0; });
+  }
+  if (c.num_shards > 1) {
+    propose([](SimcheckConfig& x) { x.num_shards = x.num_shards / 2; });
+  }
+  if (c.partitions_per_dc > 1) {
+    propose([](SimcheckConfig& x) {
+      x.partitions_per_dc = x.partitions_per_dc / 2;
+    });
+  }
+  if (c.aggregator_dc_count > 1) {
+    propose([](SimcheckConfig& x) { x.aggregator_dc_count = 1; });
+  }
+  if (c.threads_high > 2) {
+    propose([](SimcheckConfig& x) { x.threads_high = 2; });
+  }
+  if (c.nodes_per_dc > 1) {
+    propose([](SimcheckConfig& x) { x.nodes_per_dc -= 1; });
+  }
+  if (c.num_dcs > 1) {
+    propose([](SimcheckConfig& x) { x.num_dcs -= 1; });
+  }
+  if (c.dedicated_driver) {
+    propose([](SimcheckConfig& x) { x.dedicated_driver = false; });
+  }
+  if (!c.uniform_wan) {
+    propose([](SimcheckConfig& x) { x.uniform_wan = true; });
+  }
+  if (c.wan_rate_mbps != 200 || c.rtt_ms != 100) {
+    propose([](SimcheckConfig& x) {
+      x.wan_rate_mbps = 200;
+      x.rtt_ms = 100;
+    });
+  }
+  return out;
+}
+
+bool SharesTarget(const CheckResult& r, const std::set<std::string>& target) {
+  for (const Violation& v : r.violations) {
+    if (target.count(v.invariant) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkOutcome Shrink(const SimcheckConfig& failing, int max_runs,
+                     CheckFn check) {
+  ShrinkOutcome out;
+  out.config = failing;
+  out.result = check(failing);
+  out.runs = 1;
+  if (out.result.ok()) return out;  // nothing to shrink
+
+  std::set<std::string> target;
+  for (const Violation& v : out.result.violations) {
+    target.insert(v.invariant);
+  }
+
+  bool improved = true;
+  while (improved && out.runs < max_runs) {
+    improved = false;
+    for (const SimcheckConfig& cand : Candidates(out.config)) {
+      if (out.runs >= max_runs) break;
+      CheckResult r = check(cand);
+      ++out.runs;
+      if (!r.ok() && SharesTarget(r, target)) {
+        out.config = cand;
+        out.result = std::move(r);
+        improved = true;
+        break;  // restart the pass from the simplest mutation
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace simcheck
+}  // namespace gs

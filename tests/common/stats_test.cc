@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace gs {
@@ -61,6 +65,52 @@ TEST(StatsTest, PercentileInterpolates) {
 TEST(StatsTest, StddevOfKnownSample) {
   Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
   EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev (n-1)
+}
+
+TEST(StatsTest, AllEqualSamplesCollapse) {
+  Summary s = Summarize({3.0, 3.0, 3.0, 3.0});
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.trimmed_mean, 3.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.p25, 3.0);
+  EXPECT_EQ(s.p75, 3.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.iqr(), 0.0);
+}
+
+TEST(StatsTest, NegativeAndMixedSignSamples) {
+  Summary s = Summarize({-4.0, -2.0, 0.0, 2.0, 4.0});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.trimmed_mean, 0.0);
+  EXPECT_EQ(s.min, -4.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(StatsTest, NanSamplesAreRejected) {
+  // NaN breaks strict weak ordering (sorting it is UB) and poisons every
+  // aggregate — it is a caller bug, reported loudly instead of returning
+  // garbage.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Summarize({1.0, nan, 2.0}), CheckFailure);
+  EXPECT_THROW(Summarize({nan}), CheckFailure);
+  EXPECT_THROW(Percentile({1.0, nan}, 50), CheckFailure);
+}
+
+TEST(StatsTest, InfinitiesPropagate) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Summary s = Summarize({1.0, 2.0, inf});
+  EXPECT_EQ(s.max, inf);
+  EXPECT_EQ(s.mean, inf);
+  // trimmed = (sum - min - max) = inf - 1 - inf: IEEE makes this NaN, and
+  // that is the documented contract — infinities are the caller's problem.
+  EXPECT_TRUE(std::isnan(s.trimmed_mean));
+  EXPECT_EQ(s.median, 2.0);
+}
+
+TEST(StatsTest, PercentileRejectsEmptyAndBadQ) {
+  EXPECT_THROW(Percentile({}, 50), CheckFailure);
+  EXPECT_THROW(Percentile({1.0}, -1), CheckFailure);
+  EXPECT_THROW(Percentile({1.0}, 101), CheckFailure);
 }
 
 class StatsPropertyTest : public ::testing::TestWithParam<int> {};

@@ -8,6 +8,8 @@
 
 #include <numeric>
 
+#include "common/metrics_registry.h"
+#include "common/rng.h"
 #include "engine/cluster.h"
 #include "engine/dataset.h"
 #include "netsim/network.h"
@@ -136,6 +138,106 @@ TEST(UtilizationConservationTest, FullClusterRunMatchesMeter) {
       .ReduceByKey(SumInt64(), 8)
       .Run(ActionKind::kCollect);
   ExpectConservation(cluster.network(), cluster.topology());
+}
+
+TEST(UtilizationConservationTest, LoopbackFlowsMeterTheDiagonal) {
+  // src == dst flows never touch a WAN link, but they ARE traffic: the
+  // meter counts them on the intra-DC diagonal and the flow counters see
+  // them (the simcheck loopback regression). WAN buckets stay untouched.
+  Simulator sim;
+  Topology topo = TestTopo();
+  MetricsRegistry registry;
+  Network net(sim, topo, Quiet(), Rng(1), &registry);
+  net.EnableUtilization(Seconds(1));
+  net.StartFlow(0, 0, MiB(3), FlowKind::kOther, [] {});
+  bool loop_done = false;
+  net.StartFlow(1, 1, KiB(64), FlowKind::kShuffleFetch,
+                [&] { loop_done = true; });
+  net.StartFlow(0, 2, MiB(1), FlowKind::kOther, [] {});  // one WAN flow
+  sim.Run();
+  EXPECT_TRUE(loop_done);
+  EXPECT_EQ(net.meter().pair_bytes(0, 0), MiB(3) + KiB(64));
+  EXPECT_EQ(net.meter().pair_bytes(0, 1), MiB(1));
+  EXPECT_EQ(registry.counter("netsim.flows_started").value(), 3);
+  EXPECT_EQ(registry.counter("netsim.flows_completed").value(), 3);
+  EXPECT_EQ(registry.gauge("netsim.active_flows").value(), 0);
+  ExpectConservation(net, topo);
+}
+
+TEST(UtilizationConservationTest, LoopbackFlowIsCancellable) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  MetricsRegistry registry;
+  Network net(sim, topo, Quiet(), Rng(1), &registry);
+  const FlowId loop =
+      net.StartFlow(2, 2, MiB(1), FlowKind::kOther, [] { FAIL(); });
+  EXPECT_TRUE(net.has_flow(loop));
+  net.CancelFlow(loop);
+  EXPECT_FALSE(net.has_flow(loop));
+  sim.Run();
+  EXPECT_EQ(registry.counter("netsim.flows_cancelled").value(), 1);
+  EXPECT_EQ(registry.gauge("netsim.active_flows").value(), 0);
+}
+
+TEST(UtilizationConservationTest, ZeroByteFlowsCompleteAndConserve) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  MetricsRegistry registry;
+  Network net(sim, topo, Quiet(), Rng(1), &registry);
+  net.EnableUtilization(Seconds(1));
+  int done = 0;
+  net.StartFlow(0, 2, 0, FlowKind::kOther, [&] { ++done; });
+  net.StartFlow(1, 1, 0, FlowKind::kOther, [&] { ++done; });  // loopback too
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(registry.counter("netsim.flows_started").value(), 2);
+  EXPECT_EQ(registry.counter("netsim.flows_completed").value(), 2);
+  ExpectConservation(net, topo);
+}
+
+TEST(UtilizationConservationTest, CancelFlowIsInertOnDeadIds) {
+  // CancelFlow on completed, already-cancelled, or never-issued ids is a
+  // documented no-op: recovery paths fire it against flows that may have
+  // finished racily.
+  Simulator sim;
+  Topology topo = TestTopo();
+  MetricsRegistry registry;
+  Network net(sim, topo, Quiet(), Rng(1), &registry);
+  net.EnableUtilization(Seconds(1));
+  const FlowId finished = net.StartFlow(0, 2, KiB(10), FlowKind::kOther, [] {});
+  const FlowId cancelled =
+      net.StartFlow(1, 3, MiB(8), FlowKind::kOther, [] { FAIL(); });
+  net.CancelFlow(cancelled);
+  sim.Run();
+  net.CancelFlow(finished);   // completed long ago
+  net.CancelFlow(cancelled);  // cancelled twice
+  net.CancelFlow(finished + cancelled + 1000);  // never issued
+  EXPECT_EQ(registry.counter("netsim.flows_cancelled").value(), 1);
+  EXPECT_EQ(registry.counter("netsim.flows_completed").value(), 1);
+  ExpectConservation(net, topo);
+}
+
+TEST(UtilizationConservationTest, ResidueSettlesUnderRepeatedDegradation) {
+  // Sub-epsilon remainders from fluid-progress rounding are snapped to
+  // completion inside Reconfigure; repeated rate changes across many odd
+  // flow sizes must neither strand a flow nor leak a byte.
+  Simulator sim;
+  Topology topo = TestTopo();
+  Network net(sim, topo, Quiet(), Rng(3));
+  net.EnableUtilization(Seconds(0.25));
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    net.StartFlow(i % 2, 2 + (i % 2), KiB(700) + i * 37 + 1, FlowKind::kOther,
+                  [&] { ++done; });
+  }
+  for (int k = 1; k <= 6; ++k) {
+    const double factor = (k % 2 == 1) ? 0.31 : 1.0;
+    sim.ScheduleAt(Seconds(0.3 * k),
+                   [&net, factor] { net.SetWanDegradation(0, 1, factor); });
+  }
+  sim.Run();
+  EXPECT_EQ(done, 8);
+  ExpectConservation(net, topo);
 }
 
 TEST(UtilizationConservationTest, SurvivesAMidMapNodeCrash) {

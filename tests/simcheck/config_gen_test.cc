@@ -1,0 +1,128 @@
+// SimcheckConfig generation and its flat-JSON round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "simcheck/simcheck.h"
+
+namespace gs {
+namespace simcheck {
+namespace {
+
+TEST(SimcheckConfigTest, GenerateIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 217ull, 99999ull}) {
+    const SimcheckConfig a = GenerateConfig(seed);
+    const SimcheckConfig b = GenerateConfig(seed);
+    EXPECT_EQ(ToJson(a), ToJson(b)) << "seed " << seed;
+    EXPECT_EQ(a.seed, seed);
+  }
+}
+
+TEST(SimcheckConfigTest, GeneratedConfigsAreInRange) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const SimcheckConfig c = GenerateConfig(seed);
+    EXPECT_GE(c.num_dcs, 2);
+    EXPECT_LE(c.num_dcs, 4);
+    EXPECT_GE(c.nodes_per_dc, 1);
+    EXPECT_GE(c.num_records, 1);
+    EXPECT_GE(c.num_keys, 1);
+    EXPECT_GE(c.partitions_per_dc, 1);
+    EXPECT_GE(c.num_shards, 1);
+    EXPECT_GE(c.dag_shape, 0);
+    EXPECT_LT(c.dag_shape, kNumDagShapes);
+    EXPECT_GE(c.threads_high, 2);
+    if (c.crash) {
+      // The generator never crashes node 0 (often the driver) and never
+      // exceeds the worker count.
+      EXPECT_GE(c.crash_victim, 1);
+      EXPECT_LT(c.crash_victim, c.num_dcs * c.nodes_per_dc);
+    }
+    EXPECT_GT(c.degrade_duration, 0.0) << "outages must end";
+  }
+}
+
+// The round trip must be EXACT, including doubles: reproducers replay
+// timing-sensitive scenarios, and a fraction truncated in ToJson once made
+// a shrunk hang reproducer pass on replay (the seed-1159 regression).
+TEST(SimcheckConfigTest, JsonRoundTripIsExact) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const SimcheckConfig a = GenerateConfig(seed);
+    SimcheckConfig b;
+    std::string error;
+    ASSERT_TRUE(FromJson(ToJson(a), &b, &error)) << error;
+    EXPECT_EQ(a.crash_frac, b.crash_frac) << "seed " << seed;
+    EXPECT_EQ(a.restart_after, b.restart_after) << "seed " << seed;
+    EXPECT_EQ(a.degrade_factor, b.degrade_factor) << "seed " << seed;
+    EXPECT_EQ(a.degrade_frac, b.degrade_frac) << "seed " << seed;
+    EXPECT_EQ(a.degrade_duration, b.degrade_duration) << "seed " << seed;
+    EXPECT_EQ(a.block_loss_frac, b.block_loss_frac) << "seed " << seed;
+    EXPECT_EQ(ToJson(a), ToJson(b)) << "seed " << seed;
+  }
+}
+
+TEST(SimcheckConfigTest, FromJsonKeepsDefaultsForMissingKeys) {
+  SimcheckConfig c;
+  std::string error;
+  ASSERT_TRUE(FromJson(R"({"seed":7,"num_dcs":2})", &c, &error)) << error;
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_EQ(c.num_dcs, 2);
+  EXPECT_EQ(c.nodes_per_dc, SimcheckConfig{}.nodes_per_dc);
+  EXPECT_EQ(c.num_shards, SimcheckConfig{}.num_shards);
+}
+
+TEST(SimcheckConfigTest, FromJsonRejectsMalformedInput) {
+  SimcheckConfig c;
+  std::string error;
+  EXPECT_FALSE(FromJson("", &c, &error));
+  EXPECT_FALSE(FromJson("{", &c, &error));
+  EXPECT_FALSE(FromJson(R"({"seed":})", &c, &error));
+  EXPECT_FALSE(FromJson(R"({"seed":1)", &c, &error));
+  EXPECT_FALSE(FromJson(R"({"no_such_key":1})", &c, &error));
+  EXPECT_FALSE(FromJson(R"({"seed":"quoted"})", &c, &error));
+  EXPECT_FALSE(FromJson(R"({"seed":1} trailing)", &c, &error));
+  EXPECT_FALSE(FromJson(R"({"crash":maybe})", &c, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SimcheckConfigTest, EmptyObjectYieldsDefaults) {
+  SimcheckConfig c;
+  std::string error;
+  ASSERT_TRUE(FromJson("{}", &c, &error)) << error;
+  EXPECT_EQ(ToJson(c), ToJson(SimcheckConfig{}));
+}
+
+TEST(SimcheckConfigTest, BuildTopologyMatchesConfig) {
+  SimcheckConfig c;
+  c.num_dcs = 3;
+  c.nodes_per_dc = 2;
+  c.dedicated_driver = true;
+  const Topology topo = BuildTopology(c);
+  EXPECT_EQ(topo.num_datacenters(), 3);
+  EXPECT_EQ(topo.num_nodes(), 7);  // 6 workers + driver
+  int workers = 0;
+  for (NodeIndex n = 0; n < topo.num_nodes(); ++n) {
+    if (topo.node(n).worker) ++workers;
+  }
+  EXPECT_EQ(workers, 6);
+  // Full WAN mesh, both directions.
+  EXPECT_EQ(topo.num_wan_links(), 6);
+}
+
+TEST(SimcheckConfigTest, BuildRecordsIsDeterministic) {
+  SimcheckConfig c;
+  c.seed = 31;
+  c.num_records = 50;
+  c.num_keys = 5;
+  const auto a = BuildRecords(c);
+  const auto b = BuildRecords(c);
+  ASSERT_EQ(a.size(), 50u);
+  ASSERT_EQ(b.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace simcheck
+}  // namespace gs

@@ -1,0 +1,63 @@
+// A small deterministic slice of the fuzz loop runs inside the tier-1
+// suite: a handful of generated configurations must satisfy the full
+// invariant catalog, and the shrinker must preserve the violated
+// invariant while it simplifies.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simcheck/simcheck.h"
+
+namespace gs {
+namespace simcheck {
+namespace {
+
+std::string Describe(const CheckResult& r) {
+  std::string out;
+  for (const auto& v : r.violations) {
+    out += "[" + v.invariant + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+TEST(SimcheckSmokeTest, NetsimLevelHoldsForSeeds1To8) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const CheckResult r = RunNetsimCheck(GenerateConfig(seed));
+    EXPECT_TRUE(r.ok()) << "seed " << seed << "\n" << Describe(r);
+    EXPECT_GT(r.netsim_flows, 0) << "seed " << seed;
+  }
+}
+
+TEST(SimcheckSmokeTest, EngineLevelHoldsForSeeds1To3) {
+  // Engine runs are the expensive part (3 schemes x 2 thread counts plus
+  // probe and rerun), so tier-1 keeps a small slice; CI's geosim-fuzz job
+  // covers a wide seed range.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const CheckResult r = RunEngineCheck(GenerateConfig(seed));
+    EXPECT_TRUE(r.ok()) << "seed " << seed << "\n" << Describe(r);
+    EXPECT_GT(r.engine_runs, 0) << "seed " << seed;
+  }
+}
+
+TEST(SimcheckSmokeTest, ShrinkKeepsTheViolatedInvariant) {
+  // A config that is invalid at the netsim level: the check reports
+  // run-failure, and shrinking must return a config that still does.
+  SimcheckConfig bad;
+  bad.num_dcs = 0;
+  const CheckResult before = RunNetsimCheck(bad);
+  ASSERT_FALSE(before.ok());
+  const ShrinkOutcome outcome = Shrink(bad, 16, &RunNetsimCheck);
+  EXPECT_FALSE(outcome.result.ok());
+  bool shares = false;
+  for (const auto& v : outcome.result.violations) {
+    for (const auto& o : before.violations) {
+      if (v.invariant == o.invariant) shares = true;
+    }
+  }
+  EXPECT_TRUE(shares) << "shrinker drifted to a different invariant";
+  EXPECT_LE(outcome.runs, 16);
+}
+
+}  // namespace
+}  // namespace simcheck
+}  // namespace gs

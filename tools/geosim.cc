@@ -74,6 +74,53 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
+// Strict numeric parsing: the whole value must be consumed and land in
+// range, otherwise the flag is rejected with a clear error — no silent
+// clamping, no atoi-style "abc parses as 0".
+bool ParseIntIn(const std::string& s, const char* flag, long min_value,
+                long max_value, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < min_value || v > max_value) {
+    std::cerr << "invalid value for --" << flag << ": '" << s
+              << "' (want an integer in [" << min_value << ", " << max_value
+              << "])\n";
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseU64(const std::string& s, const char* flag, std::uint64_t* out) {
+  char* end = nullptr;
+  if (s.empty() || s[0] == '-') {
+    std::cerr << "invalid value for --" << flag << ": '" << s
+              << "' (want an unsigned integer)\n";
+    return false;
+  }
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    std::cerr << "invalid value for --" << flag << ": '" << s
+              << "' (want an unsigned integer)\n";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleMin(const std::string& s, const char* flag, double min_value,
+                    double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || !(v >= min_value)) {
+    std::cerr << "invalid value for --" << flag << ": '" << s
+              << "' (want a number >= " << min_value << ")\n";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 bool ParseOptions(int argc, char** argv, Options* opts) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -89,21 +136,41 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
                ParseFlag(argv[i], "report", &opts->report_path)) {
       // parsed into the right field already
     } else if (ParseFlag(argv[i], "runs", &value)) {
-      opts->runs = std::max(1, std::atoi(value.c_str()));
+      if (!ParseIntIn(value, "runs", 1, 1'000'000, &opts->runs)) return false;
     } else if (ParseFlag(argv[i], "scale", &value)) {
-      opts->scale = std::max(1.0, std::atof(value.c_str()));
+      // The scale is a divisor: zero or negative would be meaningless (or
+      // a division by zero), so reject instead of clamping.
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(v > 0)) {
+        std::cerr << "invalid value for --scale: '" << value
+                  << "' (want a number > 0)\n";
+        return false;
+      }
+      opts->scale = v;
     } else if (ParseFlag(argv[i], "seed", &value)) {
-      opts->seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseU64(value, "seed", &opts->seed)) return false;
     } else if (ParseFlag(argv[i], "aggregators", &value)) {
-      opts->aggregators = std::max(1, std::atoi(value.c_str()));
+      if (!ParseIntIn(value, "aggregators", 1, 1000, &opts->aggregators)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "threads", &value)) {
-      opts->threads = std::max(0, std::atoi(value.c_str()));
+      if (!ParseIntIn(value, "threads", 0, 4096, &opts->threads)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "crash-node", &value)) {
-      opts->crash_node = std::atoi(value.c_str());
+      if (!ParseIntIn(value, "crash-node", 0, 1'000'000, &opts->crash_node)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "crash-at", &value)) {
-      opts->crash_at = std::atof(value.c_str());
+      if (!ParseDoubleMin(value, "crash-at", 0.0, &opts->crash_at)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "restart-after", &value)) {
-      opts->restart_after = std::atof(value.c_str());
+      if (!ParseDoubleMin(value, "restart-after", 0.0,
+                          &opts->restart_after)) {
+        return false;
+      }
     } else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return false;
@@ -132,6 +199,25 @@ int main(int argc, char** argv) {
   if (opts.help) {
     PrintHelp();
     return 0;
+  }
+
+  if (opts.crash_node >= 0) {
+    // Validate against the actual cluster: an out-of-range or non-worker
+    // victim would GS_CHECK-abort deep inside the fault injector.
+    const Topology probe = Ec2SixRegionTopology(opts.scale);
+    if (opts.crash_node >= probe.num_nodes()) {
+      std::cerr << "--crash-node=" << opts.crash_node
+                << " is out of range: the six-region cluster has nodes 0.."
+                << probe.num_nodes() - 1 << "\n";
+      PrintHelp();
+      return 2;
+    }
+    if (!probe.node(opts.crash_node).worker) {
+      std::cerr << "--crash-node=" << opts.crash_node
+                << " is not a worker node and cannot be crashed\n";
+      PrintHelp();
+      return 2;
+    }
   }
 
   WorkloadParams params;
