@@ -1,7 +1,14 @@
 // Microbenchmarks (google-benchmark) of the simulation substrates: event
 // queue throughput, max-min fair-share recomputation, flow churn on the
-// six-region topology, partitioner and combiner throughput.
+// six-region and a 12-DC synthetic topology, partitioner and combiner
+// throughput. Provides its own main(): when GS_BENCH_JSON is set (the
+// run_benches.sh convention), results are also written to that path in
+// google-benchmark's JSON format.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "data/combiner.h"
@@ -48,7 +55,58 @@ void BM_FlowChurnSixRegions(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * flows);
 }
-BENCHMARK(BM_FlowChurnSixRegions)->Arg(64)->Arg(512);
+// 2048/8192 pin the incremental solver's scaling (docs/PERF.md): the old
+// all-flows quadratic reconfiguration put 8192 flows out of reach.
+BENCHMARK(BM_FlowChurnSixRegions)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// Synthetic 12-datacenter deployment, 4 workers per DC, full WAN mesh
+// (132 directed links): more, smaller rate-sharing components than the
+// six-region topology, so component-restricted solves matter more.
+gs::Topology TwelveDcTopology() {
+  gs::Topology topo;
+  for (int d = 0; d < 12; ++d) {
+    topo.AddDatacenter("dc" + std::to_string(d));
+    for (int n = 0; n < 4; ++n) {
+      topo.AddNode({"dc" + std::to_string(d) + "-w" + std::to_string(n),
+                    d, 2, gs::Gbps(1)});
+    }
+  }
+  topo.AddUniformWanMesh(gs::Mbps(200), gs::Mbps(80), gs::Mbps(300),
+                         gs::Millis(150));
+  return topo;
+}
+
+void BM_FlowChurnTwelveDc(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gs::Simulator sim;
+    gs::Topology topo = TwelveDcTopology();
+    gs::Network net(sim, topo, gs::NetworkConfig{}, gs::Rng(7));
+    gs::Rng rng(13);
+    const int nodes = topo.num_nodes();
+    int done = 0;
+    for (int i = 0; i < flows; ++i) {
+      gs::NodeIndex src =
+          static_cast<gs::NodeIndex>(rng.UniformInt(0, nodes - 1));
+      gs::NodeIndex dst =
+          static_cast<gs::NodeIndex>(rng.UniformInt(0, nodes - 1));
+      net.StartFlow(src, dst, gs::MiB(1) + rng.UniformInt(0, gs::MiB(4)),
+                    gs::FlowKind::kOther, [&done] { ++done; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowChurnTwelveDc)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HashPartitioner(benchmark::State& state) {
   gs::HashPartitioner part(8);
@@ -97,3 +155,27 @@ void BM_CompressionEstimate(benchmark::State& state) {
 BENCHMARK(BM_CompressionEstimate);
 
 }  // namespace
+
+// Same contract as the bench_harness binaries: GS_BENCH_JSON names a JSON
+// output file (run_benches.sh maps this binary to BENCH_netsim.json).
+// Implemented by injecting google-benchmark's own --benchmark_out flags so
+// the file carries the full per-benchmark statistics.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  if (const char* json = std::getenv("GS_BENCH_JSON");
+      json != nullptr && json[0] != '\0') {
+    out_flag = "--benchmark_out=" + std::string(json);
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,9 +23,12 @@ for b in build/bench/*; do
   runs=${GS_RUNS:-$runs}
   echo "### $b (GS_RUNS=$runs)" >> "$out"
   # The datapath bench measures wall time; publish its raw points as JSON.
+  # The netsim microbench does the same through google-benchmark's JSON
+  # reporter (scaling evidence for the incremental solver, docs/PERF.md).
   json=
   case "$b" in
     */bench_micro_datapath) json=BENCH_datapath.json ;;
+    */bench_micro_netsim) json=BENCH_netsim.json ;;
   esac
   # Figure/table benches also emit one observability RunReport each
   # (the bench's last run — see docs/OBSERVABILITY.md).

@@ -41,6 +41,9 @@ GeoCluster::GeoCluster(Topology topo, RunConfig config)
     registry_ = std::make_unique<MetricsRegistry>();
     sim_.AttachMetrics(&registry_->counter("simcore.events_scheduled"),
                        &registry_->counter("simcore.events_executed"));
+    sim_.AttachQueueHealthMetrics(
+        &registry_->gauge("simcore.cancelled_pending"),
+        &registry_->counter("simcore.heap_compactions"));
   }
   network_ = std::make_unique<Network>(sim_, topo_, config_.net,
                                        root_rng_.Split("net-jitter"),

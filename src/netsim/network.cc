@@ -15,6 +15,28 @@ namespace {
 // against floating-point residue keeping a flow alive forever.
 constexpr double kByteEpsilon = 1e-6;
 
+// Starvation guard (satellite bugfix, docs/PERF.md): progressive filling
+// subtracts each frozen share from every resource the flow crosses, and
+// floating-point rounding can leave a live resource with remaining
+// capacity at (or clamped to) exactly zero while unfrozen flows still use
+// it. A zero rate means no completion event, and a flow with no completion
+// event on an otherwise quiet network is stranded forever. Any share that
+// collapses to zero on a resource with real capacity is floored to this
+// fraction of the capacity instead — small enough to be irrelevant to any
+// measured rate, large enough that the flow keeps a finite deadline.
+constexpr double kStarvationRateFraction = 1e-9;
+
+// Min-heap ordering for (value, index) pairs via std::push_heap/pop_heap:
+// the front is the smallest value, ties broken toward the smaller index —
+// exactly the first-strict-minimum rule of the linear bottleneck scan this
+// heap replaces.
+struct HeapLater {
+  bool operator()(const std::pair<double, int>& a,
+                  const std::pair<double, int>& b) const {
+    return a > b;
+  }
+};
+
 }  // namespace
 
 const char* FlowKindName(FlowKind kind) {
@@ -76,14 +98,19 @@ Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
     m_flows_completed_ = &metrics->counter("netsim.flows_completed");
     m_flows_cancelled_ = &metrics->counter("netsim.flows_cancelled");
     m_wan_stalls_ = &metrics->counter("netsim.wan_stalls");
+    m_rate_recomputes_ = &metrics->counter("netsim.rate_recomputes");
+    m_solver_flows_ = &metrics->counter("netsim.solver_flows");
+    m_reschedules_ = &metrics->counter("netsim.flow_reschedules");
+    m_starvation_guards_ = &metrics->counter("netsim.starvation_guards");
     m_active_flows_ = &metrics->gauge("netsim.active_flows");
     // 1 KiB .. 4 GiB in x4 steps; shuffle blocks land mid-range.
     const std::vector<double> bounds = ExponentialBounds(1024, 4, 12);
     m_fetch_bytes_ = &metrics->histogram("netsim.fetch_flow_bytes", bounds);
     m_push_bytes_ = &metrics->histogram("netsim.push_flow_bytes", bounds);
   }
-  capacity_.resize(2 * static_cast<std::size_t>(topo_.num_nodes()) +
-                   topo_.num_wan_links());
+  const std::size_t num_res =
+      2 * static_cast<std::size_t>(topo_.num_nodes()) + topo_.num_wan_links();
+  capacity_.resize(num_res);
   for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
     capacity_[UplinkRes(n)] = topo_.node(n).nic_rate;
     capacity_[DownlinkRes(n)] = topo_.node(n).nic_rate;
@@ -94,6 +121,12 @@ Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
     wan_current_[l] = topo_.wan_link(l).base_rate;
     capacity_[WanRes(l)] = wan_current_[l];
   }
+  res_flows_.resize(num_res);
+  res_dirty_token_.assign(num_res, 0);
+  res_visit_token_.assign(num_res, 0);
+  rem_cap_.assign(num_res, 0.0);
+  res_count_.assign(num_res, 0);
+  res_members_.resize(num_res);
 }
 
 FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
@@ -136,8 +169,12 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
     // sets `started`, so rate sharing and progress advancement skip it.
     auto [it, inserted] = flows_.emplace(id, std::move(flow));
     GS_CHECK(inserted);
-    it->second.completion_event =
-        sim_.Schedule(Millis(0.1), [this, id] { FinishFlow(id); });
+    it->second.completion_event = sim_.Schedule(Millis(0.1), [this, id] {
+      auto fit = flows_.find(id);
+      if (fit == flows_.end()) return;  // cancelled before loopback latency
+      FinishFlow(fit);
+      ScheduleDeferredReconfigure();
+    });
     if (m_active_flows_ != nullptr) {
       m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
     }
@@ -170,13 +207,19 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
   }
 
   // Connection setup: the flow begins contending after one-way latency
-  // (plus any stall).
+  // (plus any stall). Entering contention perturbs exactly the flow's own
+  // resources; the batched reconfigure re-shares those components once per
+  // instant, however many flows arrive together.
   sim_.Schedule(setup, [this, id] {
     auto it = flows_.find(id);
     if (it == flows_.end()) return;  // cancelled during setup
-    it->second.started = true;
-    it->second.last_update = sim_.Now();
-    Reconfigure();
+    Flow& f = it->second;
+    f.started = true;
+    f.last_update = sim_.Now();
+    f.contend_seq = next_contend_seq_++;
+    for (int r : f.resources) res_flows_[r].push_back(id);
+    MarkFlowResourcesDirty(f);
+    ScheduleDeferredReconfigure();
   });
   MaintainJitterEvent();
   return id;
@@ -185,17 +228,20 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
 void Network::CancelFlow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
+  Flow& f = it->second;
   // Advance to Now() first so the bytes actually moved are attributed at
   // their real times, then settle the never-to-be-sent remainder here: the
   // meter charged the full size at start, and conservation must hold.
-  AttributeFlowProgress(it->second, it->second.last_update, sim_.Now());
-  SettleFlowResidual(it->second);
-  it->second.completion_event.Cancel();
+  AdvanceFlow(f, sim_.Now());
+  SettleFlowResidual(f);
+  f.completion_event.Cancel();
+  if (f.started) MarkFlowResourcesDirty(f);
   flows_.erase(it);
   if (m_flows_cancelled_ != nullptr) m_flows_cancelled_->Add(1);
   if (m_active_flows_ != nullptr) {
     m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
   }
+  // Synchronous: callers observe the re-shared rates immediately.
   Reconfigure();
 }
 
@@ -217,124 +263,276 @@ void Network::SetWanDegradation(DcIndex src, DcIndex dst, double factor) {
   GS_CHECK_MSG(link >= 0, "no WAN link " << src << "->" << dst);
   degrade_[link] = factor;
   capacity_[WanRes(link)] = wan_current_[link] * factor;
+  MarkResDirty(WanRes(link));
   // Re-share bandwidth right away: flows on the link slow down (or stall
   // at factor 0) and their completion events move accordingly.
   Reconfigure();
 }
 
-void Network::ComputeMaxMinRates() {
-  // Progressive filling over flows that finished connection setup. Each
-  // flow additionally gets a virtual resource of capacity rate_cap (its
-  // single-connection TCP ceiling), so capped flows freeze at their cap
-  // and the leftover bandwidth redistributes max-min fairly.
-  std::vector<Flow*> active;
-  active.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
-    f.rate = 0;
-    if (f.started) active.push_back(&f);
-  }
+void Network::MarkResDirty(int r) {
+  if (res_dirty_token_[r] == dirty_token_) return;
+  res_dirty_token_[r] = dirty_token_;
+  dirty_res_.push_back(r);
+}
 
-  const std::size_t base = capacity_.size();
-  std::vector<double> remaining_cap = capacity_;
-  std::vector<int> count(base, 0);
-  remaining_cap.reserve(base + active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    for (int r : active[i]->resources) ++count[r];
-    remaining_cap.push_back(active[i]->rate_cap > 0
-                                ? active[i]->rate_cap
-                                : std::numeric_limits<double>::infinity());
-    count.push_back(1);
-  }
+void Network::MarkFlowResourcesDirty(const Flow& f) {
+  for (int r : f.resources) MarkResDirty(r);
+}
 
-  std::vector<bool> frozen(active.size(), false);
-  std::size_t unfrozen = active.size();
+void Network::ScheduleDeferredReconfigure() {
+  if (reconfigure_pending_) return;
+  reconfigure_pending_ = true;
+  sim_.Schedule(0, [this] {
+    reconfigure_pending_ = false;
+    Reconfigure();
+  });
+}
+
+void Network::FreezeFlow(std::size_t idx, Rate share) {
+  new_rate_[idx] = share;
+  frozen_[idx] = 1;
+  for (int r : affected_[idx]->resources) {
+    rem_cap_[r] -= share;
+    // Epsilon floor: rounding must never leave a resource with negative
+    // remaining capacity, or its (negative) share would win every later
+    // bottleneck scan and freeze whole flow sets at rate zero.
+    if (rem_cap_[r] < 0) rem_cap_[r] = 0;
+    if (--res_count_[r] > 0) {
+      share_heap_.emplace_back(rem_cap_[r] / res_count_[r], r);
+      std::push_heap(share_heap_.begin(), share_heap_.end(), HeapLater{});
+    }
+  }
+}
+
+void Network::SolveRates() {
+  if (m_rate_recomputes_ != nullptr) m_rate_recomputes_->Add(1);
+  ++visit_token_;
+  ++dirty_token_;  // retires all current dirty marks
+  affected_.clear();
+  touched_res_.clear();
+  bfs_stack_.assign(dirty_res_.begin(), dirty_res_.end());
+  dirty_res_.clear();
+
+  // The max-min allocation decomposes over connected components of the
+  // bipartite flow/resource sharing graph: freezing order and arithmetic
+  // inside one component never reads another component's state. Solving
+  // only the components reachable from the perturbed resources therefore
+  // reproduces the global solution bit for bit, and every flow outside
+  // them keeps its rate (and completion event) untouched.
+  while (!bfs_stack_.empty()) {
+    const int r = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    if (res_visit_token_[r] == visit_token_) continue;
+    res_visit_token_[r] = visit_token_;
+    touched_res_.push_back(r);
+    std::vector<FlowId>& users = res_flows_[r];
+    std::size_t kept = 0;
+    for (FlowId id : users) {
+      auto it = flows_.find(id);
+      if (it == flows_.end()) continue;  // finished/cancelled tombstone
+      users[kept++] = id;
+      Flow& f = it->second;
+      if (f.visit_token == visit_token_) continue;
+      f.visit_token = visit_token_;
+      affected_.push_back(&f);
+      for (int r2 : f.resources) {
+        if (res_visit_token_[r2] != visit_token_) bfs_stack_.push_back(r2);
+      }
+    }
+    users.resize(kept);
+  }
+  if (affected_.empty()) {
+    for (int r : touched_res_) res_members_[r].clear();
+    return;
+  }
+  // Freeze ties in the order flows entered contention — a deterministic
+  // event-loop order, and stable under restriction: a component's flows
+  // appear in the same relative order as in a full solve.
+  std::sort(affected_.begin(), affected_.end(),
+            [](const Flow* a, const Flow* b) {
+              return a->contend_seq < b->contend_seq;
+            });
+  std::sort(touched_res_.begin(), touched_res_.end());
+
+  new_rate_.assign(affected_.size(), 0.0);
+  frozen_.assign(affected_.size(), 0);
+  for (int r : touched_res_) {
+    rem_cap_[r] = capacity_[r];
+    res_count_[r] = 0;
+    res_members_[r].clear();
+  }
+  for (std::size_t i = 0; i < affected_.size(); ++i) {
+    for (int r : affected_[i]->resources) {
+      res_members_[r].push_back(static_cast<int>(i));
+      ++res_count_[r];
+    }
+  }
+  share_heap_.clear();
+  cap_heap_.clear();
+  for (int r : touched_res_) {
+    if (res_count_[r] > 0) {
+      share_heap_.emplace_back(rem_cap_[r] / res_count_[r], r);
+    }
+  }
+  std::make_heap(share_heap_.begin(), share_heap_.end(), HeapLater{});
+  for (std::size_t i = 0; i < affected_.size(); ++i) {
+    // Each capped flow gets a virtual resource holding only itself (its
+    // single-connection TCP ceiling). Uncapped flows would have an
+    // infinite share — never the bottleneck, so they are not enqueued.
+    if (affected_[i]->rate_cap > 0) {
+      cap_heap_.emplace_back(affected_[i]->rate_cap, static_cast<int>(i));
+    }
+  }
+  std::make_heap(cap_heap_.begin(), cap_heap_.end(), HeapLater{});
+
+  // Progressive filling with lazy heaps: entries are invalidated by later
+  // freezes rather than updated in place, and validated on pop — a stale
+  // real-resource entry is one whose stored share no longer equals the
+  // resource's current fair share.
+  std::size_t unfrozen = affected_.size();
   while (unfrozen > 0) {
-    // The bottleneck resource has the smallest fair share among resources
-    // carrying at least one unfrozen flow.
-    double best_share = std::numeric_limits<double>::infinity();
     int best_res = -1;
-    for (std::size_t r = 0; r < remaining_cap.size(); ++r) {
-      if (count[r] <= 0) continue;
-      double share = remaining_cap[r] / count[r];
-      if (share < best_share) {
+    double best_share = 0;
+    while (!share_heap_.empty()) {
+      const auto [share, r] = share_heap_.front();
+      if (res_count_[r] > 0 && share == rem_cap_[r] / res_count_[r]) {
+        best_res = r;
         best_share = share;
-        best_res = static_cast<int>(r);
+        break;
       }
+      std::pop_heap(share_heap_.begin(), share_heap_.end(), HeapLater{});
+      share_heap_.pop_back();
     }
-    if (best_res < 0) break;  // should not happen: every flow has resources
-    best_share = std::max(best_share, 0.0);
+    while (!cap_heap_.empty() && frozen_[cap_heap_.front().second]) {
+      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), HeapLater{});
+      cap_heap_.pop_back();
+    }
+    if (best_res < 0 && cap_heap_.empty()) break;  // every flow has resources
 
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (frozen[i]) continue;
-      Flow* f = active[i];
-      bool on_bottleneck =
-          static_cast<std::size_t>(best_res) == base + i ||
-          std::find(f->resources.begin(), f->resources.end(), best_res) !=
-              f->resources.end();
-      if (!on_bottleneck) continue;
-      f->rate = best_share;
-      frozen[i] = true;
+    if (!cap_heap_.empty() &&
+        (best_res < 0 || cap_heap_.front().first < best_share)) {
+      // A TCP ceiling is the strict bottleneck: freeze just that flow.
+      const auto [cap, idx] = cap_heap_.front();
+      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), HeapLater{});
+      cap_heap_.pop_back();
+      FreezeFlow(static_cast<std::size_t>(idx), cap);
       --unfrozen;
-      for (int r : f->resources) {
-        remaining_cap[r] -= best_share;
-        --count[r];
-      }
-      count[base + i] = 0;
+      continue;
+    }
+
+    double share = std::max(best_share, 0.0);
+    if (share <= 0 && capacity_[best_res] > 0) {
+      share = capacity_[best_res] * kStarvationRateFraction;
+      if (m_starvation_guards_ != nullptr) m_starvation_guards_->Add(1);
+    }
+    for (int idx : res_members_[best_res]) {
+      if (frozen_[idx]) continue;
+      FreezeFlow(static_cast<std::size_t>(idx), share);
+      --unfrozen;
     }
   }
+  if (m_solver_flows_ != nullptr) {
+    m_solver_flows_->Add(static_cast<std::int64_t>(affected_.size()));
+  }
+}
+
+void Network::AdvanceFlow(Flow& f, SimTime now) {
+  if (now <= f.last_update) return;
+  AttributeFlowProgress(f, f.last_update, now);
+  f.remaining -= f.rate * (now - f.last_update);
+  if (f.remaining < 0) f.remaining = 0;  // floating-point overshoot
+  f.last_update = now;
+}
+
+void Network::ScheduleCompletion(Flow& f, SimTime now) {
+  const SimTime when = now + f.remaining / f.rate;
+  if (!std::isfinite(when)) {
+    // A starvation-guard-level rate can overflow remaining/rate to
+    // infinity. An infinite deadline would corrupt the clock when it
+    // fires; treat the flow as stalled instead — it resumes when the next
+    // perturbation re-rates its component.
+    f.rate = 0;
+    if (m_starvation_guards_ != nullptr) m_starvation_guards_->Add(1);
+    return;
+  }
+  const FlowId id = f.id;
+  f.completion_event =
+      sim_.ScheduleAt(when, [this, id] { OnFlowDeadline(id); });
+  if (m_reschedules_ != nullptr) m_reschedules_->Add(1);
 }
 
 void Network::Reconfigure() {
   CatchUpJitter();
   const SimTime now = sim_.Now();
-  // Advance progress at old rates and collect flows that are done.
-  std::vector<FlowId> done;
-  for (auto& [id, f] : flows_) {
-    AttributeFlowProgress(f, f.last_update, now);
-    f.remaining -= f.rate * (now - f.last_update);
-    f.last_update = now;
-    if (f.remaining < 0) f.remaining = 0;  // floating-point overshoot
-    if (f.started && f.remaining <= kByteEpsilon) {
-      // Snap sub-epsilon residue to zero so the flow's progress is exact
-      // by the time it is settled; SettleFlowResidual then attributes the
-      // integer remainder and conservation holds bit for bit.
-      f.remaining = 0;
-      done.push_back(id);
+  if (!dirty_res_.empty()) {
+    SolveRates();
+    for (std::size_t i = 0; i < affected_.size(); ++i) {
+      Flow& f = *affected_[i];
+      const Rate rate = new_rate_[i];
+      // Exactness of the reschedule skip: `remaining` and `last_update`
+      // only change when the rate changes (AdvanceFlow below) or when the
+      // completion event itself fires. So if the solve reproduced the old
+      // rate, the pending event's absolute time was computed from exactly
+      // the same (remaining, last_update, rate) triple that is current
+      // now — cancelling and rescheduling would rebuild the identical
+      // double. Skipping it changes no observable behavior, only queue
+      // churn.
+      if (rate == f.rate) continue;
+      AdvanceFlow(f, now);
+      f.rate = rate;
+      f.completion_event.Cancel();
+      if (rate > 0) ScheduleCompletion(f, now);
     }
+    for (int r : touched_res_) res_members_[r].clear();
   }
-  if (!done.empty()) {
-    // FinishFlow triggers a fresh Reconfigure once the map is updated.
-    for (FlowId id : done) FinishFlow(id);
-    return;
-  }
-
-  ComputeMaxMinRates();
-
-  for (auto& [id, f] : flows_) {
-    // Loopback flows (no resources) complete on a fixed-latency event that
-    // rate sharing must not touch — cancelling it here would silently lose
-    // the flow, since a zero-rate flow is never rescheduled.
-    if (f.resources.empty()) continue;
-    f.completion_event.Cancel();
-    if (f.rate <= 0) continue;  // still in connection setup or starved
-    SimTime eta = f.remaining / f.rate;
-    f.completion_event = sim_.Schedule(eta, [this] { Reconfigure(); });
+  if (!pending_resched_.empty()) {
+    // Flows whose deadline fired with residue left (rounding moved the
+    // fluid finish past the predicted instant) but whose rate did not
+    // change in the solve above: re-derive their completion event from
+    // the advanced remainder.
+    for (FlowId id : pending_resched_) {
+      auto it = flows_.find(id);
+      if (it == flows_.end()) continue;
+      Flow& f = it->second;
+      if (f.rate > 0 && !f.completion_event.pending()) {
+        AdvanceFlow(f, now);
+        ScheduleCompletion(f, now);
+      }
+    }
+    pending_resched_.clear();
   }
   MaintainJitterEvent();
 }
 
-void Network::FinishFlow(FlowId id) {
+void Network::OnFlowDeadline(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  SettleFlowResidual(it->second);
-  CompletionFn cb = std::move(it->second.on_complete);
-  it->second.completion_event.Cancel();
+  Flow& f = it->second;
+  AdvanceFlow(f, sim_.Now());
+  if (f.remaining <= kByteEpsilon) {
+    // Snap sub-epsilon residue to zero so the flow's progress is exact by
+    // the time it is settled; SettleFlowResidual then attributes the
+    // integer remainder and conservation holds bit for bit.
+    f.remaining = 0;
+    FinishFlow(it);
+  } else {
+    pending_resched_.push_back(id);
+  }
+  // One deferred solve per instant, however many flows finish together.
+  ScheduleDeferredReconfigure();
+}
+
+void Network::FinishFlow(std::unordered_map<FlowId, Flow>::iterator it) {
+  Flow& f = it->second;
+  SettleFlowResidual(f);
+  CompletionFn cb = std::move(f.on_complete);
+  f.completion_event.Cancel();
   if (m_flows_completed_ != nullptr) m_flows_completed_->Add(1);
-  if (observer_ && it->second.src != it->second.dst) {
-    const Flow& f = it->second;
+  if (observer_ && f.src != f.dst) {
     observer_(FlowRecord{f.id, f.src, f.dst, f.kind, f.total, f.created_at,
                          sim_.Now()});
   }
+  if (f.started) MarkFlowResourcesDirty(f);
   flows_.erase(it);
   if (m_active_flows_ != nullptr) {
     m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
@@ -342,7 +540,6 @@ void Network::FinishFlow(FlowId id) {
   // Run the completion through the simulator so that callbacks observe a
   // consistent network state and cannot reenter Reconfigure mid-loop.
   sim_.Schedule(0, std::move(cb));
-  Reconfigure();
 }
 
 void Network::EnableUtilization(SimTime bucket_width) {
@@ -386,8 +583,10 @@ void Network::SettleFlowResidual(Flow& f) {
 void Network::CatchUpJitter() {
   if (!JitterEnabled()) return;
   const SimTime now = sim_.Now();
+  bool drawn = false;
   while (last_resample_ + config_.jitter_interval <= now) {
     last_resample_ += config_.jitter_interval;
+    drawn = true;
     for (int l = 0; l < topo_.num_wan_links(); ++l) {
       const WanLinkSpec& spec = topo_.wan_link(l);
       double deviation = wan_current_[l] - spec.base_rate;
@@ -399,6 +598,9 @@ void Network::CatchUpJitter() {
       wan_current_[l] = next;
       capacity_[WanRes(l)] = next * degrade_[l];
     }
+  }
+  if (drawn) {
+    for (int l = 0; l < topo_.num_wan_links(); ++l) MarkResDirty(WanRes(l));
   }
 }
 
@@ -412,8 +614,9 @@ void Network::MaintainJitterEvent() {
   SimTime next_at = last_resample_ + config_.jitter_interval;
   if (next_at < sim_.Now()) next_at = sim_.Now();
   resample_event_ = sim_.ScheduleAt(next_at, [this] {
-    // CatchUpJitter (via Reconfigure) performs the due draw; Reconfigure
-    // then re-shares bandwidth under the new capacities.
+    // CatchUpJitter (via Reconfigure) performs the due draw and marks the
+    // WAN resources dirty; Reconfigure then re-shares bandwidth under the
+    // new capacities.
     Reconfigure();
   });
 }

@@ -3,8 +3,10 @@
 // Each transfer is a fluid flow over up to three shared resources — the
 // sender uplink NIC, one directed WAN link, and the receiver downlink NIC.
 // Whenever the set of flows or a link capacity changes, rates are recomputed
-// with progressive filling (max-min fairness) and every flow's completion
-// event is rescheduled. This captures the two effects the paper builds on:
+// with progressive filling (max-min fairness) over the flows reachable from
+// the perturbed resources, and only flows whose rate actually changed get
+// their completion event rescheduled (docs/PERF.md, "Netsim hot path").
+// This captures the two effects the paper builds on:
 //
 //  * a stage-barrier fetch start makes many flows share the bottleneck WAN
 //    link simultaneously (Fig. 1a), while per-mapper pushes serialize onto
@@ -23,6 +25,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -174,9 +177,14 @@ class Network {
     Rate rate = 0;
     Rate rate_cap = 0;  // per-flow TCP ceiling; 0 = uncapped
     SimTime created_at = 0;
-    SimTime last_update = 0;
+    SimTime last_update = 0;  // remaining is exact as of this time
     int wan_link = -1;     // directed WAN link index; -1 for intra-DC flows
     Bytes attributed = 0;  // bytes already credited to utilization buckets
+    // Order in which the flow entered contention (setup completed). The
+    // solver freezes ties in this order, making restricted solves
+    // independent of unordered_map iteration order.
+    std::int64_t contend_seq = -1;
+    std::int64_t visit_token = 0;  // solver BFS stamp
     std::vector<int> resources;  // indices into capacity_
     CompletionFn on_complete;
     EventHandle completion_event;
@@ -188,12 +196,36 @@ class Network {
   int DownlinkRes(NodeIndex n) const { return topo_.num_nodes() + n; }
   int WanRes(int link_idx) const { return 2 * topo_.num_nodes() + link_idx; }
 
-  // Advances every flow's remaining byte count to `Now()` at its current
-  // rate, then recomputes max-min rates and reschedules completions.
+  // Catches up jitter, re-solves rates for flows reachable from the dirty
+  // resources, and reschedules completion events whose rate changed.
   void Reconfigure();
+  // Schedules a zero-delay Reconfigure unless one is already pending; lets
+  // k same-instant perturbations (flow setups, completions) share a single
+  // solver pass.
+  void ScheduleDeferredReconfigure();
 
-  void ComputeMaxMinRates();
-  void FinishFlow(FlowId id);
+  // Progressive filling restricted to the connected component(s) of the
+  // flow/resource sharing graph reachable from dirty_res_. Fills affected_
+  // and new_rate_ (parallel arrays); leaves untouched flows' rates alone.
+  void SolveRates();
+  void FreezeFlow(std::size_t idx, Rate share);
+
+  // Marks a resource as perturbed since the last solve.
+  void MarkResDirty(int r);
+  void MarkFlowResourcesDirty(const Flow& f);
+
+  // Brings `remaining`/`last_update` up to `now` at the current rate,
+  // attributing fluid progress to utilization buckets on the way.
+  void AdvanceFlow(Flow& f, SimTime now);
+  // Cancels and re-creates the completion event at now + remaining/rate.
+  // Requires rate > 0 and last_update == now.
+  void ScheduleCompletion(Flow& f, SimTime now);
+  // Fires when a flow's completion event comes due: advances it, finishes
+  // it if done, or queues it for rescheduling at the batched Reconfigure.
+  void OnFlowDeadline(FlowId id);
+  // Settles, records and erases the flow; defers the completion callback
+  // and marks its resources dirty. Does not solve.
+  void FinishFlow(std::unordered_map<FlowId, Flow>::iterator it);
 
   // Credits the flow's fluid progress over [from, to] (at its current rate)
   // to utilization buckets, using cumulative integer rounding so no byte is
@@ -225,7 +257,41 @@ class Network {
   EventHandle resample_event_;
   std::unordered_map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;
+  std::int64_t next_contend_seq_ = 0;
   FlowObserverFn observer_;
+
+  // --- incremental solver state ---
+  // Per resource: ids of started flows using it. Entries for finished or
+  // cancelled flows are tombstones, compacted whenever the solver walks the
+  // list.
+  std::vector<std::vector<FlowId>> res_flows_;
+  std::vector<int> dirty_res_;  // resources perturbed since the last solve
+  // Stamp arrays (avoid clearing per solve): a mark is valid when the
+  // stored token equals the current one.
+  std::vector<std::int64_t> res_dirty_token_;
+  std::vector<std::int64_t> res_visit_token_;
+  std::int64_t dirty_token_ = 1;
+  std::int64_t visit_token_ = 0;
+  bool reconfigure_pending_ = false;  // zero-delay batched solve scheduled
+  // Flows whose deadline fired with residue left (float drift) but whose
+  // rate did not change: they need their completion event re-created.
+  std::vector<FlowId> pending_resched_;
+
+  // Solver scratch, reused across solves (tentpole (a): no per-call
+  // allocation in steady state).
+  std::vector<Flow*> affected_;     // flows in the dirty component(s)
+  std::vector<Rate> new_rate_;      // parallel to affected_
+  std::vector<char> frozen_;        // parallel to affected_
+  std::vector<int> touched_res_;    // resources in the dirty component(s)
+  std::vector<int> bfs_stack_;
+  std::vector<double> rem_cap_;     // per resource (touched entries valid)
+  std::vector<int> res_count_;      // unfrozen flows per touched resource
+  std::vector<std::vector<int>> res_members_;  // affected_ indices
+  // Lazy min-heaps (validate on pop): real resources keyed by
+  // (share, resource index), per-flow TCP caps keyed by (cap, affected
+  // index). Stale entries are skipped when their key no longer matches.
+  std::vector<std::pair<double, int>> share_heap_;
+  std::vector<std::pair<double, int>> cap_heap_;
 
   std::unique_ptr<LinkUtilization> util_;
 
@@ -235,6 +301,10 @@ class Network {
   Counter* m_flows_completed_ = nullptr;
   Counter* m_flows_cancelled_ = nullptr;
   Counter* m_wan_stalls_ = nullptr;
+  Counter* m_rate_recomputes_ = nullptr;
+  Counter* m_solver_flows_ = nullptr;
+  Counter* m_reschedules_ = nullptr;
+  Counter* m_starvation_guards_ = nullptr;
   Gauge* m_active_flows_ = nullptr;
   Histogram* m_fetch_bytes_ = nullptr;
   Histogram* m_push_bytes_ = nullptr;

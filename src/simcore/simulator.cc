@@ -1,5 +1,6 @@
 #include "simcore/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -8,11 +9,19 @@
 namespace gs {
 
 void EventHandle::Cancel() {
-  if (state_ && !state_->fired) state_->cancelled = true;
+  if (!state_ || state_->fired || state_->cancelled) return;
+  state_->cancelled = true;
+  if (state_->owner != nullptr) state_->owner->NoteCancelled();
 }
 
 bool EventHandle::pending() const {
   return state_ && !state_->fired && !state_->cancelled;
+}
+
+Simulator::~Simulator() {
+  // Outstanding handles may be cancelled after the simulator is gone; break
+  // the accounting backpointer so they don't reach freed memory.
+  for (Event& ev : heap_) ev.state->owner = nullptr;
 }
 
 EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
@@ -25,26 +34,55 @@ EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
                                                           << now_);
   GS_CHECK(fn != nullptr);
   auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Event{when, next_seq_++, std::move(fn), state});
-  ++live_events_;
+  state->owner = this;
+  heap_.push_back(Event{when, next_seq_++, std::move(fn), state});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (m_scheduled_ != nullptr) m_scheduled_->Add(1);
   return EventHandle(state);
 }
 
-void Simulator::SkimCancelled() {
-  while (!queue_.empty() && queue_.top().state->cancelled) {
-    queue_.pop();
-    --live_events_;
+void Simulator::NoteCancelled() {
+  ++dead_events_;
+  if (dead_events_ >= kCompactMinDead && dead_events_ * 2 >= heap_.size()) {
+    Compact();
+  } else {
+    UpdateDeadGauge();
   }
+}
+
+void Simulator::Compact() {
+  std::erase_if(heap_, [](const Event& ev) { return ev.state->cancelled; });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  dead_events_ = 0;
+  ++compactions_;
+  if (m_compactions_ != nullptr) m_compactions_->Add(1);
+  UpdateDeadGauge();
+}
+
+void Simulator::UpdateDeadGauge() {
+  if (m_cancelled_pending_ != nullptr) {
+    m_cancelled_pending_->Set(static_cast<std::int64_t>(dead_events_));
+  }
+}
+
+void Simulator::SkimCancelled() {
+  bool skimmed = false;
+  while (!heap_.empty() && heap_.front().state->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    --dead_events_;
+    skimmed = true;
+  }
+  if (skimmed) UpdateDeadGauge();
 }
 
 bool Simulator::Step() {
   SkimCancelled();
-  if (queue_.empty()) return false;
+  if (heap_.empty()) return false;
   // Move the event out before running it: the callback may schedule more.
-  Event ev = queue_.top();
-  queue_.pop();
-  --live_events_;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   GS_CHECK(ev.when >= now_);
   now_ = ev.when;
   ev.state->fired = true;
@@ -63,7 +101,7 @@ SimTime Simulator::Run() {
 SimTime Simulator::RunUntil(SimTime deadline) {
   for (;;) {
     SkimCancelled();
-    if (queue_.empty() || queue_.top().when > deadline) break;
+    if (heap_.empty() || heap_.front().when > deadline) break;
     Step();
   }
   if (now_ < deadline) now_ = deadline;

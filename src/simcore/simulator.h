@@ -1,16 +1,21 @@
 // Discrete-event simulation core.
 //
-// A Simulator owns a priority queue of timestamped events. Components
+// A Simulator owns a binary heap of timestamped events. Components
 // schedule callbacks at future simulated times; Run() drains the queue in
 // time order (FIFO among equal timestamps). Events can be cancelled, which
 // is how the network model reschedules flow-completion events when max-min
 // fair rates change.
+//
+// Cancelled events are removed lazily: a cancelled entry stays in the heap
+// until it reaches the top (where it is skimmed) or until the dead fraction
+// grows past a threshold, at which point the heap is compacted in one
+// O(n) pass. Dead entries are tracked explicitly so pending_events() and
+// the queue-health metrics reflect only live work.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
@@ -18,6 +23,8 @@
 namespace gs {
 
 class Counter;  // common/metrics_registry.h
+class Gauge;    // common/metrics_registry.h
+class Simulator;
 
 // Handle to a scheduled event; allows cancellation. Copyable; all copies
 // refer to the same scheduled event.
@@ -37,6 +44,9 @@ class EventHandle {
   struct State {
     bool cancelled = false;
     bool fired = false;
+    // Owning simulator, for dead-entry accounting on Cancel(); nulled when
+    // the simulator is destroyed before the event fires.
+    Simulator* owner = nullptr;
   };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
@@ -45,6 +55,7 @@ class EventHandle {
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -66,8 +77,14 @@ class Simulator {
   // Executes a single event, if any. Returns false when the queue is empty.
   bool Step();
 
-  std::size_t pending_events() const { return live_events_; }
+  // Events scheduled, not yet fired and not cancelled.
+  std::size_t pending_events() const { return heap_.size() - dead_events_; }
   std::int64_t executed_events() const { return executed_events_; }
+
+  // Cancelled events still occupying heap slots, and how many times the
+  // heap has been compacted to evict them in bulk.
+  std::size_t cancelled_pending() const { return dead_events_; }
+  std::int64_t heap_compactions() const { return compactions_; }
 
   // Observability hook: bump `scheduled` at every Schedule/ScheduleAt and
   // `executed` at every executed event. Either may be null; the counters
@@ -77,7 +94,18 @@ class Simulator {
     m_executed_ = executed;
   }
 
+  // Queue-health hook: `cancelled_pending` tracks dead heap entries,
+  // `compactions` counts bulk evictions. Either may be null; both must
+  // outlive the simulator.
+  void AttachQueueHealthMetrics(Gauge* cancelled_pending,
+                                Counter* compactions) {
+    m_cancelled_pending_ = cancelled_pending;
+    m_compactions_ = compactions;
+  }
+
  private:
+  friend class EventHandle;
+
   struct Event {
     SimTime when;
     std::int64_t seq;  // tie-break: FIFO among equal timestamps
@@ -91,16 +119,30 @@ class Simulator {
     }
   };
 
+  // Compact once dead entries are both numerous and the majority: small
+  // queues never pay the O(n) pass, large ones amortize it against the
+  // cancellations that made it necessary.
+  static constexpr std::size_t kCompactMinDead = 64;
+
   // Pops cancelled events off the top of the queue.
   void SkimCancelled();
+  // Called by EventHandle::Cancel on the first cancellation of a pending
+  // event; triggers compaction past the dead-fraction threshold.
+  void NoteCancelled();
+  // Erases every cancelled entry and re-heapifies.
+  void Compact();
+  void UpdateDeadGauge();
 
   SimTime now_ = 0;
   Counter* m_scheduled_ = nullptr;
   Counter* m_executed_ = nullptr;
+  Gauge* m_cancelled_pending_ = nullptr;
+  Counter* m_compactions_ = nullptr;
   std::int64_t next_seq_ = 0;
   std::int64_t executed_events_ = 0;
-  std::size_t live_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::int64_t compactions_ = 0;
+  std::size_t dead_events_ = 0;  // cancelled entries still in heap_
+  std::vector<Event> heap_;      // binary heap ordered by Later
 };
 
 }  // namespace gs

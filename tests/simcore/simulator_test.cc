@@ -139,5 +139,75 @@ TEST(SimulatorTest, NullCallbackThrows) {
   EXPECT_THROW(sim.Schedule(1.0, nullptr), CheckFailure);
 }
 
+TEST(SimulatorTest, CancelledEventsAreAccountedAsDead) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.Schedule(1.0 + i, [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 10u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  for (int i = 0; i < 4; ++i) handles[i].Cancel();
+  // pending_events counts only live work; the dead entries are visible
+  // through the queue-health gauge until skimmed or compacted.
+  EXPECT_EQ(sim.pending_events(), 6u);
+  EXPECT_EQ(sim.cancelled_pending(), 4u);
+  // Double-cancel must not double-count.
+  handles[0].Cancel();
+  EXPECT_EQ(sim.cancelled_pending(), 4u);
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 6);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(SimulatorTest, CompactsHeapWhenMostlyDead) {
+  Simulator sim;
+  // One live far-future event keeps dead entries buried below the top, so
+  // only compaction (not skimming) can evict them.
+  int live_runs = 0;
+  sim.Schedule(1e6, [&] { ++live_runs; });
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(sim.Schedule(1e7 + i, [] {}));
+  }
+  for (EventHandle& h : handles) h.Cancel();
+  EXPECT_GE(sim.heap_compactions(), 1);
+  // Compactions keep the dead population below the trigger threshold; the
+  // final stragglers (cancelled after the last compaction) may remain.
+  EXPECT_LT(sim.cancelled_pending(), 64u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(live_runs, 1);
+  EXPECT_EQ(sim.executed_events(), 1);
+}
+
+TEST(SimulatorTest, CompactionPreservesOrderAndFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> dead;
+  // Interleave live and to-be-cancelled events, including FIFO ties.
+  for (int i = 0; i < 100; ++i) {
+    sim.Schedule(5.0, [&order, i] { order.push_back(i); });
+    dead.push_back(sim.Schedule(4.0, [] {}));
+  }
+  for (EventHandle& h : dead) h.Cancel();
+  EXPECT_GE(sim.heap_compactions(), 1);
+  sim.Run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, CancelAfterSimulatorDestructionIsSafe) {
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.Schedule(1.0, [] {});
+  }
+  h.Cancel();  // must not touch the dead simulator
+  EXPECT_FALSE(h.pending());
+}
+
 }  // namespace
 }  // namespace gs
