@@ -36,7 +36,7 @@ int main() {
         cfg.aggregator_policy = policy;
         GeoCluster cluster(MakeTopology(h), cfg);
         auto wl = MakeWorkload(name, params);
-        JobResult res = wl->Run(cluster, static_cast<std::uint64_t>(r) * 7919 + 13);
+        RunResult res = wl->Run(cluster, static_cast<std::uint64_t>(r) * 7919 + 13);
         jcts.push_back(res.metrics.jct());
         traffic.push_back(ToMiB(res.metrics.cross_dc_bytes));
       }

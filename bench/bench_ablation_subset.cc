@@ -36,7 +36,7 @@ int main() {
         WorkloadParams params;
         params.scale = h.scale;
         auto wl = MakeWorkload(name, params);
-        JobResult res =
+        RunResult res =
             wl->Run(cluster, static_cast<std::uint64_t>(r) * 7919 + 13);
         jcts.push_back(res.metrics.jct());
         traffic.push_back(ToMiB(res.metrics.cross_dc_bytes));

@@ -32,7 +32,7 @@ int main() {
       RunConfig cfg = MakeRunConfig(h, Scheme::kAggShuffle, r + 1);
       GeoCluster cluster(MakeTopology(h), cfg);
       auto wl = MakeWorkload("TeraSort", params);
-      JobResult res =
+      RunResult res =
           wl->Run(cluster, static_cast<std::uint64_t>(r) * 7919 + 13);
       jcts.push_back(res.metrics.jct());
       traffic.push_back(ToMiB(res.metrics.cross_dc_bytes));

@@ -46,7 +46,7 @@ int main() {
       cfg.fault.failure_point = 0.5;
       GeoCluster cluster(MakeTopology(h), cfg);
       auto wl = MakeWorkload("Sort", params);
-      JobResult r = wl->Run(cluster, /*data_seed=*/99);
+      RunResult r = wl->Run(cluster, /*data_seed=*/99);
       jct[failing] = r.metrics.jct();
       traffic[failing] = r.metrics.cross_dc_bytes;
     }

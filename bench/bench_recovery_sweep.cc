@@ -48,7 +48,7 @@ int main() {
   for (Scheme scheme : AllSchemes()) {
     // Healthy probe: baseline and the map-stage window.
     GeoCluster healthy(MakeTopology(h), deterministic(scheme));
-    JobResult base = MakeWorkload("Sort", params)->Run(healthy, 99);
+    RunResult base = MakeWorkload("Sort", params)->Run(healthy, 99);
     SimTime map_start = 0, map_end = 0;
     for (const StageMetrics& s : base.metrics.stages) {
       if (s.num_tasks == params.map_partitions) {
@@ -65,7 +65,7 @@ int main() {
       crash.node = victim;
       cfg.fault.plan.node_crashes.push_back(crash);
       GeoCluster cluster(MakeTopology(h), cfg);
-      JobResult r = MakeWorkload("Sort", params)->Run(cluster, 99);
+      RunResult r = MakeWorkload("Sort", params)->Run(cluster, 99);
       const Bytes extra =
           r.metrics.cross_dc_bytes - base.metrics.cross_dc_bytes;
       if (f == 0.9) extra_at_90[scheme_idx] = extra;
@@ -88,14 +88,14 @@ int main() {
                    "extra cross-DC", "crashes"});
   for (Scheme scheme : AllSchemes()) {
     GeoCluster healthy(MakeTopology(h), deterministic(scheme));
-    JobResult base = MakeWorkload("Sort", params)->Run(healthy, 99);
+    RunResult base = MakeWorkload("Sort", params)->Run(healthy, 99);
     for (SimTime gap : {Seconds(4), Seconds(2), Seconds(1)}) {
       RunConfig cfg = deterministic(scheme);
       cfg.fault.plan.random_crashes.mean_interarrival = gap;
       cfg.fault.plan.random_crashes.restart_after = Seconds(5);
       cfg.fault.plan.random_crashes.max_crashes = 4;
       GeoCluster cluster(MakeTopology(h), cfg);
-      JobResult r = MakeWorkload("Sort", params)->Run(cluster, 99);
+      RunResult r = MakeWorkload("Sort", params)->Run(cluster, 99);
       chaos.AddRow(
           {SchemeName(scheme), FmtDouble(gap, 0) + "s",
            FmtDouble(r.metrics.jct(), 2) + "s",

@@ -51,7 +51,7 @@ RunOutcome RunOnce(const HarnessConfig& h, const std::string& workload,
   const double wall_start = WallSeconds();
   GeoCluster cluster(MakeTopology(h), MakeRunConfig(h, scheme, seed));
   auto wl = MakeWorkload(workload, params);
-  JobResult result = wl->Run(cluster, /*data_seed=*/seed * 7919 + 13);
+  RunResult result = wl->Run(cluster, /*data_seed=*/seed * 7919 + 13);
   RunOutcome out;
   out.jct_seconds = result.metrics.jct();
   out.wall_seconds = WallSeconds() - wall_start;

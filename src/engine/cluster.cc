@@ -133,12 +133,6 @@ Dataset GeoCluster::Parallelize(std::string name,
   return CreateSource(std::move(name), std::move(partitions));
 }
 
-TraceCollector& GeoCluster::EnableTracing() {
-  legacy_trace_ = true;
-  StartTraceRecording();
-  return *trace_;
-}
-
 void GeoCluster::StartTraceRecording() {
   if (!trace_) {
     trace_ = std::make_unique<TraceCollector>();
@@ -186,7 +180,10 @@ void GeoCluster::CrashNode(NodeIndex node, SimTime restart_after) {
               << (restart_after > 0 ? " (will restart)" : "");
   scheduler_->SetNodeDown(node);
   blocks_->DropNode(node);
-  if (active_runner_ != nullptr) active_runner_->OnNodeCrashed(node);
+  // Notify every executing job, in job-id order (determinism).
+  for (const auto& js : jobs_) {
+    if (js->runner != nullptr) js->runner->OnNodeCrashed(node);
+  }
   if (restart_after > 0) {
     sim_.Schedule(restart_after, [this, node] { RestartNode(node); });
   }
@@ -244,33 +241,208 @@ DcIndex GeoCluster::ChooseCentralDc(const RddPtr& final_rdd) const {
   return best;
 }
 
-RunResult GeoCluster::RunJob(const RddPtr& final_rdd, ActionKind action) {
-  RddPtr rdd = MaybeRewrite(final_rdd);
-  const int job_id = next_job_id_++;
-  GS_LOG_INFO << "job " << job_id << " (" << SchemeName(config_.scheme)
-              << ") starting at t=" << sim_.Now();
-  JobRunner runner(*this, rdd, action,
-                   root_rng_.Split(static_cast<std::uint64_t>(job_id) + 17));
-  active_runner_ = &runner;
-  RunResult result = runner.Run();
-  active_runner_ = nullptr;
-  last_metrics_ = result.metrics;
-  if (trace_) {
-    if (legacy_trace_) {
-      // EnableTracing() callers read the cluster-owned collector, which
-      // accumulates across jobs; the result gets a copy of what exists.
-      result.trace = std::make_unique<TraceCollector>(*trace_);
-    } else {
-      result.trace = std::make_unique<TraceCollector>(std::move(*trace_));
-      trace_->Clear();
-    }
+// ---------------------------------------------------------------------------
+// Job service
+// ---------------------------------------------------------------------------
+
+JobHandle GeoCluster::Submit(const RddPtr& final_rdd, ActionKind action,
+                             JobOptions opts) {
+  GS_CHECK(final_rdd != nullptr);
+  GS_CHECK_MSG(opts.weight > 0, "JobOptions::weight must be positive");
+  GS_CHECK_MSG(opts.arrival_delay >= 0, "negative arrival_delay");
+  const JobId id = next_job_id_++;
+  GS_CHECK(static_cast<std::size_t>(id) == jobs_.size());
+  auto js = std::make_unique<JobState>();
+  js->id = id;
+  js->opts = std::move(opts);
+  js->action = action;
+  js->rdd = final_rdd;
+  const SimTime delay = js->opts.arrival_delay;
+  jobs_.push_back(std::move(js));
+  if (registry_ != nullptr) {
+    registry_->counter("service.jobs_submitted").Add(1);
   }
-  result.report = BuildReport(result.metrics, result.trace.get());
-  GS_LOG_INFO << "job " << job_id << " finished in "
-              << result.metrics.jct() << "s, cross-DC "
-              << ToMiB(result.metrics.cross_dc_bytes) << " MiB";
-  return result;
+  if (delay > 0) {
+    sim_.Schedule(delay, [this, id] { ArriveJob(id); });
+  } else {
+    ArriveJob(id);
+  }
+  return JobHandle(this, id);
 }
+
+RunResult GeoCluster::RunJob(const RddPtr& final_rdd, ActionKind action) {
+  return Submit(final_rdd, action).Wait();
+}
+
+void GeoCluster::RunUntilQuiescent() {
+  sim_.Run();
+  for (const auto& js : jobs_) {
+    GS_CHECK_MSG(js->finalized,
+                 "simulation drained before job " << js->id
+                 << " completed — a task or flow was lost");
+  }
+  ReapRunners();
+}
+
+void GeoCluster::ReapRunners() {
+  // Only safe at full quiescence: a finalized job's runner can still be
+  // the target of queued events (epoch-guarded stale callbacks, and live
+  // speculative backups that finish — and release their executor slots —
+  // after the result stage). Destroying it earlier would fire those events
+  // into freed memory and leak the backups' slots.
+  for (const auto& js : jobs_) {
+    if (js->finalized) js->runner.reset();
+  }
+}
+
+void GeoCluster::ArriveJob(JobId id) {
+  JobState& js = *jobs_[static_cast<std::size_t>(id)];
+  js.submitted_at = sim_.Now();
+  admission_queue_.push_back(id);
+  TryAdmit();
+}
+
+void GeoCluster::TryAdmit() {
+  const int cap = config_.service.max_concurrent_jobs;
+  while (!admission_queue_.empty() && (cap <= 0 || running_jobs_ < cap)) {
+    // Highest priority first; FIFO (arrival order) among equals.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < admission_queue_.size(); ++i) {
+      if (jobs_[static_cast<std::size_t>(admission_queue_[i])]->opts.priority >
+          jobs_[static_cast<std::size_t>(admission_queue_[best])]
+              ->opts.priority) {
+        best = i;
+      }
+    }
+    const JobId id = admission_queue_[best];
+    admission_queue_.erase(admission_queue_.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+    AdmitJob(*jobs_[static_cast<std::size_t>(id)]);
+  }
+  if (registry_ != nullptr) {
+    registry_->gauge("service.queued_jobs").Set(queued_jobs());
+    registry_->gauge("service.running_jobs").Set(running_jobs_);
+  }
+}
+
+void GeoCluster::AdmitJob(JobState& js) {
+  GS_CHECK(!js.admitted);
+  js.admitted = true;
+  ++running_jobs_;
+  const SimTime queue_delay = sim_.Now() - js.submitted_at;
+  if (registry_ != nullptr) {
+    registry_->counter("service.jobs_admitted").Add(1);
+    // 0.1s .. ~6500s in x3 steps, like engine.task_duration_s.
+    const std::vector<double> bounds = ExponentialBounds(0.1, 3, 11);
+    registry_->histogram("service.queue_delay_s", bounds)
+        .Observe(queue_delay);
+    registry_
+        ->histogram("service.tenant." + js.opts.tenant + ".queue_delay_s",
+                    bounds)
+        .Observe(queue_delay);
+  }
+  GS_LOG_INFO << "job " << js.id << " (" << SchemeName(config_.scheme)
+              << ", tenant " << js.opts.tenant << ") starting at t="
+              << sim_.Now() << (queue_delay > 0 ? " after queueing" : "");
+  const int tenant = TenantIndex(js.opts.tenant);
+  scheduler_->SetTenantWeight(tenant, js.opts.weight);
+  js.runner = std::make_unique<JobRunner>(
+      *this, MaybeRewrite(js.rdd), js.action,
+      root_rng_.Split(static_cast<std::uint64_t>(js.id) + 17), js.id,
+      tenant);
+  js.runner->Start();
+}
+
+void GeoCluster::OnRunnerDone(JobId id) {
+  // Finalization is deferred one event so the runner's own call stack
+  // fully unwinds first.
+  sim_.Schedule(0, [this, id] { FinalizeJob(id); });
+}
+
+void GeoCluster::FinalizeJob(JobId id) {
+  JobState& js = *jobs_[static_cast<std::size_t>(id)];
+  GS_CHECK(js.runner != nullptr && js.runner->done());
+  js.result = js.runner->TakeResult();
+  // The runner itself stays alive until quiescence (ReapRunners): its
+  // speculative backups may still be running and must complete to give
+  // their slots back.
+  --running_jobs_;
+
+  js.result.metrics.job_id = id;
+  js.result.metrics.tenant = js.opts.tenant;
+  js.result.metrics.submitted = js.submitted_at;
+
+  RunReport::JobRow row;
+  row.job_id = id;
+  row.tenant = js.opts.tenant;
+  row.label = js.opts.label;
+  row.submitted = js.submitted_at;
+  row.started = js.result.metrics.started;
+  row.completed = js.result.metrics.completed;
+  row.cross_dc_bytes = js.result.metrics.cross_dc_bytes;
+  row.task_failures = js.result.metrics.task_failures;
+  job_rows_.push_back(row);
+
+  if (registry_ != nullptr) {
+    registry_->counter("service.jobs_completed").Add(1);
+    const std::vector<double> bounds = ExponentialBounds(0.1, 3, 11);
+    registry_->histogram("service.jct_s", bounds).Observe(row.jct());
+    registry_->histogram("service.tenant." + js.opts.tenant + ".jct_s",
+                         bounds)
+        .Observe(row.jct());
+  }
+  if (trace_) {
+    js.result.trace = std::make_unique<TraceCollector>(std::move(*trace_));
+    trace_->Clear();
+  }
+  // The RunReport snapshot is deferred to TakeJobResult: cluster-wide
+  // counters keep moving while the job's trailing events (stale fetches,
+  // speculative backups) drain, and the sync path reports them settled.
+  js.finalized = true;
+  GS_LOG_INFO << "job " << id << " finished in " << js.result.metrics.jct()
+              << "s, cross-DC " << ToMiB(js.result.metrics.cross_dc_bytes)
+              << " MiB";
+  // A finished job may free admission room for queued arrivals.
+  TryAdmit();
+}
+
+bool GeoCluster::JobFinalized(JobId id) const {
+  GS_CHECK(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+  return jobs_[static_cast<std::size_t>(id)]->finalized;
+}
+
+RunResult GeoCluster::TakeJobResult(JobId id) {
+  GS_CHECK(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+  JobState& js = *jobs_[static_cast<std::size_t>(id)];
+  while (!js.finalized) {
+    GS_CHECK_MSG(sim_.Step(),
+                 "simulation drained before job " << id
+                 << " completed — a task or flow was lost");
+  }
+  // With no other job in flight, drain the trailing events the job left
+  // behind (speculative backups, expired timers) so a synchronous Run()
+  // ends quiescent, exactly like the pre-service single-job loop.
+  if (running_jobs_ == 0 && admission_queue_.empty()) {
+    sim_.Run();
+    ReapRunners();
+  }
+  GS_CHECK_MSG(!js.taken, "result of job " << id << " already taken");
+  js.taken = true;
+  js.result.report = BuildReport(js.result.metrics, js.result.trace.get());
+  return std::move(js.result);
+}
+
+int GeoCluster::TenantIndex(const std::string& name) {
+  auto it = tenant_ids_.find(name);
+  if (it != tenant_ids_.end()) return it->second;
+  const int id = static_cast<int>(tenant_ids_.size());
+  tenant_ids_.emplace(name, id);
+  return id;
+}
+
+bool JobHandle::done() const { return cluster_->JobFinalized(id_); }
+
+RunResult JobHandle::Wait() { return cluster_->TakeJobResult(id_); }
 
 RunReport GeoCluster::BuildReport(const JobMetrics& job,
                                   const TraceCollector* trace) const {
@@ -281,6 +453,7 @@ RunReport GeoCluster::BuildReport(const JobMetrics& job,
   report.num_datacenters = topo_.num_datacenters();
   report.num_nodes = topo_.num_nodes();
   report.job = job;
+  report.jobs = job_rows_;
 
   if (registry_ != nullptr) {
     report.metrics_enabled = true;

@@ -3,8 +3,14 @@
 // Owns the simulated cluster (event loop, network, storage, scheduler) and
 // executes jobs under one of the three schemes. Datasets are created via
 // CreateSource()/Parallelize() and transformed through the Dataset facade
-// (engine/dataset.h); actions on a Dataset run a job to completion on the
-// simulated cluster and return results plus metrics.
+// (engine/dataset.h); actions on a Dataset run a job on the simulated
+// cluster and return results plus metrics.
+//
+// The cluster is a multi-job *service* (engine/job_api.h, docs/SERVICE.md):
+// Submit() enqueues a job and returns a JobHandle immediately; concurrent
+// jobs share executors and WAN links, with executor slots divided across
+// tenants by weighted fair sharing. Dataset::Run(ActionKind) is a thin
+// Submit + Wait for the common synchronous case.
 //
 // Typical use:
 //
@@ -18,6 +24,14 @@
 //   auto counts = text.FlatMap(tokenize).ReduceByKey(gs::SumInt64(), 8);
 //   gs::RunResult result = counts.Run(gs::ActionKind::kCollect);
 //   // result.records, result.metrics, result.trace, result.report
+//
+// Concurrent jobs:
+//
+//   gs::JobHandle a = ds1.Submit(gs::ActionKind::kSave, {.tenant = "etl"});
+//   gs::JobHandle b = ds2.Submit(gs::ActionKind::kCollect,
+//                                {.tenant = "adhoc", .weight = 2.0});
+//   cluster.RunUntilQuiescent();
+//   gs::RunResult ra = a.Wait(), rb = b.Wait();
 #pragma once
 
 #include <memory>
@@ -28,6 +42,7 @@
 #include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/threadpool.h"
+#include "engine/job_api.h"
 #include "engine/metrics.h"
 #include "engine/run_config.h"
 #include "engine/run_report.h"
@@ -47,29 +62,6 @@ class Dataset;
 class FaultInjector;
 class JobRunner;
 
-// How a job's result stage delivers its output.
-enum class ActionKind {
-  kCollect,  // full partition contents flow to the driver
-  kSave,     // output persists on the workers; only a small ack is sent
-};
-
-// Everything one action produces. Move-only (the trace is owned).
-struct RunResult {
-  std::vector<Record> records;  // empty for kSave
-  JobMetrics metrics;           // this job only
-  // Spans recorded during the run; null unless RunConfig::observe.trace
-  // (or the deprecated EnableTracing()) turned tracing on.
-  std::unique_ptr<TraceCollector> trace;
-  // Metrics snapshot, WAN-link utilization timeseries, cost and trace
-  // summary. The registry/utilization/cost sections are cumulative over
-  // the cluster's lifetime; `report.job` mirrors `metrics`.
-  RunReport report;
-};
-
-// Deprecated spelling of RunResult, kept so pre-observability callers
-// (`JobResult r = cluster.RunJob(...)`) keep compiling.
-using JobResult = RunResult;
-
 class GeoCluster {
  public:
   GeoCluster(Topology topo, RunConfig config);
@@ -87,14 +79,28 @@ class GeoCluster {
   Dataset Parallelize(std::string name, const std::vector<Record>& records,
                       int partitions_per_dc = 1);
 
-  // Runs a job computing `final`; called by Dataset actions.
+  // --- job service (engine/job_api.h) ---
+
+  // Submits a job computing `final_rdd` and returns without running it.
+  // The job arrives now (or after opts.arrival_delay) and is admitted
+  // immediately, or queued behind ServiceConfig::max_concurrent_jobs.
+  // Drive it with JobHandle::Wait() or RunUntilQuiescent().
+  JobHandle Submit(const RddPtr& final_rdd, ActionKind action,
+                   JobOptions opts = {});
+
+  // Runs a job to completion synchronously (Submit + Wait); called by
+  // Dataset actions.
   RunResult RunJob(const RddPtr& final_rdd, ActionKind action);
 
-  // Deprecated: read `metrics` off the RunResult an action returns.
-  [[deprecated("use the RunResult returned by the action instead")]]
-  const JobMetrics& last_job_metrics() const {
-    return last_metrics_;
-  }
+  // Drains the simulation until every submitted job has finished; fatal if
+  // a job is lost (the queue runs dry with a job incomplete). Results stay
+  // with their handles.
+  void RunUntilQuiescent();
+
+  int running_jobs() const { return running_jobs_; }
+  int queued_jobs() const { return static_cast<int>(admission_queue_.size()); }
+  // One row per completed job, in completion order (mirrors report.jobs).
+  const std::vector<RunReport::JobRow>& job_rows() const { return job_rows_; }
 
   const Topology& topology() const { return topo_; }
   const RunConfig& config() const { return config_; }
@@ -115,21 +121,14 @@ class GeoCluster {
   MetricsRegistry* metrics_registry() { return registry_.get(); }
 
   // Builds a report of everything observed so far, with `job` as the
-  // per-job section. RunJob attaches one to every RunResult; call this
-  // directly for a mid-workload or whole-workload snapshot.
+  // per-job section. Every finishing job attaches one to its RunResult;
+  // call this directly for a mid-workload or whole-workload snapshot.
   RunReport BuildReport(const JobMetrics& job,
                         const TraceCollector* trace) const;
 
   // Id allocators shared by the Dataset facade and graph rewrites.
   RddId NextRddId() { return next_rdd_id_++; }
   ShuffleId NextShuffleId() { return next_shuffle_id_++; }
-
-  // Deprecated: set RunConfig::observe.trace and read RunResult::trace.
-  // Starts recording task/stage/flow spans into a cluster-owned collector
-  // that accumulates across jobs (the pre-observability contract); results
-  // additionally receive a copy of the spans recorded so far.
-  [[deprecated("set RunConfig::observe.trace; read RunResult::trace")]]
-  TraceCollector& EnableTracing();
 
   // Live collector spans are recorded into, or nullptr when tracing is
   // off. Internal: JobRunner adds task/stage spans through this.
@@ -156,19 +155,40 @@ class GeoCluster {
 
  private:
   friend class JobRunner;
+  friend class JobHandle;
+
+  // One submitted job's lifecycle state, indexed by JobId in jobs_.
+  struct JobState {
+    JobId id = -1;
+    JobOptions opts;
+    ActionKind action = ActionKind::kCollect;
+    RddPtr rdd;
+    SimTime submitted_at = 0;  // arrival time (after arrival_delay)
+    bool admitted = false;
+    bool finalized = false;
+    bool taken = false;  // the handle moved the result out
+    std::unique_ptr<JobRunner> runner;  // live while executing
+    RunResult result;
+  };
 
   // AggShuffle: memoized graph rewrite inserting transferTo before each
   // shuffle. The memo persists across actions so cached datasets keep their
   // identity between jobs.
   RddPtr MaybeRewrite(const RddPtr& final_rdd);
 
-  // Centralized: move every source partition in the graph into the central
-  // datacenter (once), measuring the flows as part of the job.
-  void CentralizeInputs(const RddPtr& final_rdd);
-
-  // Installs the flow observer feeding trace_ (shared by observe.trace and
-  // the deprecated EnableTracing()).
+  // Installs the flow observer feeding trace_ (RunConfig::observe.trace).
   void StartTraceRecording();
+
+  // --- job service internals ---
+  void ArriveJob(JobId id);          // arrival: join the admission queue
+  void TryAdmit();                   // admit while under the concurrency cap
+  void AdmitJob(JobState& js);       // start a runner for the job
+  void OnRunnerDone(JobId id);       // runner callback: defer finalization
+  void FinalizeJob(JobId id);        // harvest the result, build the report
+  void ReapRunners();                // at quiescence: free finished runners
+  bool JobFinalized(JobId id) const;
+  RunResult TakeJobResult(JobId id);  // JobHandle::Wait: pump + move out
+  int TenantIndex(const std::string& name);
 
   Topology topo_;
   RunConfig config_;
@@ -183,19 +203,21 @@ class GeoCluster {
   std::unique_ptr<DiskModel> disk_;
   std::unique_ptr<ThreadPool> compute_pool_;
   std::unique_ptr<FaultInjector> faults_;
-  // The runner of the job currently executing (crash notifications).
-  JobRunner* active_runner_ = nullptr;
   NodeIndex driver_node_ = 0;
 
   RddId next_rdd_id_ = 0;
   ShuffleId next_shuffle_id_ = 0;
   int next_job_id_ = 0;
 
-  JobMetrics last_metrics_;
+  // Job-service state: jobs_[id] is the job with that id (ids are dense).
+  std::vector<std::unique_ptr<JobState>> jobs_;
+  std::vector<JobId> admission_queue_;  // arrived, not yet admitted
+  int running_jobs_ = 0;
+  std::vector<RunReport::JobRow> job_rows_;  // completed jobs, in order
+  // Tenant name -> dense scheduler tenant id, in first-seen order.
+  std::unordered_map<std::string, int> tenant_ids_;
+
   std::unique_ptr<TraceCollector> trace_;
-  // EnableTracing() contract: the cluster-owned collector accumulates
-  // across jobs, so results get copies instead of the spans moving out.
-  bool legacy_trace_ = false;
   std::unordered_map<const Rdd*, RddPtr> rewrite_memo_;
   // (source rdd id, partition) -> relocated node (Centralized scheme).
   std::unordered_map<std::int64_t, NodeIndex> relocations_;

@@ -95,6 +95,10 @@ RunResult Dataset::Run(ActionKind action) const {
   return cluster_->RunJob(rdd_, action);
 }
 
+JobHandle Dataset::Submit(ActionKind action, JobOptions opts) const {
+  return cluster_->Submit(rdd_, action, std::move(opts));
+}
+
 std::vector<Record> Dataset::Collect() const {
   return Run(ActionKind::kCollect).records;
 }
@@ -110,10 +114,6 @@ std::int64_t Dataset::Count() const {
   return count;
 }
 
-void Dataset::Save() const { (void)Run(ActionKind::kSave); }
-
-RunResult Dataset::RunCollect() const { return Run(ActionKind::kCollect); }
-
-RunResult Dataset::RunSave() const { return Run(ActionKind::kSave); }
+RunResult Dataset::Save() const { return Run(ActionKind::kSave); }
 
 }  // namespace gs

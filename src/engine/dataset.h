@@ -60,15 +60,15 @@ class Dataset {
   // ---- Actions ------------------------------------------------------------
   // Every action funnels through Run(): one job execution path, one result
   // type carrying records, metrics, trace and report (engine/cluster.h).
-  // The named actions are thin conveniences over it.
+  // Run() is synchronous (Submit + Wait); Submit() enqueues the job on the
+  // cluster's service and returns a handle, letting several jobs execute
+  // concurrently (engine/job_api.h).
   RunResult Run(ActionKind action) const;
+  JobHandle Submit(ActionKind action, JobOptions opts = {}) const;
 
   std::vector<Record> Collect() const;
   std::int64_t Count() const;  // records in the dataset; Save-style traffic
-  void Save() const;           // materialize on workers, ack to driver
-
-  [[deprecated("use Run(ActionKind::kCollect)")]] RunResult RunCollect() const;
-  [[deprecated("use Run(ActionKind::kSave)")]] RunResult RunSave() const;
+  RunResult Save() const;      // materialize on workers, ack to driver
 
  private:
   GeoCluster* cluster_;

@@ -1,0 +1,87 @@
+// Job-service surface shared by GeoCluster and the Dataset facade.
+//
+// The engine is a multi-job *service*: GeoCluster::Submit enqueues a job
+// and returns a JobHandle immediately; N submitted jobs share the
+// executors and WAN links of one simulated cluster and run concurrently as
+// the simulation advances. JobHandle::Wait() (or
+// GeoCluster::RunUntilQuiescent()) drives the event loop to completion.
+// Dataset::Run(ActionKind) remains the one-call synchronous path — a thin
+// Submit + Wait. See docs/SERVICE.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "data/record.h"
+#include "engine/metrics.h"
+#include "engine/run_report.h"
+#include "engine/trace.h"
+
+namespace gs {
+
+class GeoCluster;
+
+// How a job's result stage delivers its output.
+enum class ActionKind {
+  kCollect,  // full partition contents flow to the driver
+  kSave,     // output persists on the workers; only a small ack is sent
+};
+
+// Per-job submission options. The tenant name groups jobs for weighted
+// fair sharing of executor slots (sched/task_scheduler.h); admission
+// beyond ServiceConfig::max_concurrent_jobs queues by priority.
+struct JobOptions {
+  std::string tenant = "default";
+  // Fair-share weight of this tenant's slot allocation (> 0). The last
+  // submitted weight for a tenant wins.
+  double weight = 1.0;
+  // Admission order among queued jobs: higher first, FIFO among equals.
+  int priority = 0;
+  // Submit the job this much simulated time in the future (open-loop
+  // arrival processes; see workloads/arrivals.h). The queueing-delay
+  // clock starts at arrival, not at Submit().
+  SimTime arrival_delay = 0;
+  // Free-form label surfaced in the report's per-job row.
+  std::string label;
+};
+
+// Everything one action produces. Move-only (the trace is owned).
+struct RunResult {
+  std::vector<Record> records;  // empty for kSave
+  JobMetrics metrics;           // this job only
+  // Spans recorded during the run; null unless RunConfig::observe.trace
+  // turned tracing on. With concurrent jobs the collector is shared: each
+  // finishing job takes every span recorded since the previous job
+  // finished (use the cluster-level report for a cross-job view).
+  std::unique_ptr<TraceCollector> trace;
+  // Metrics snapshot, WAN-link utilization timeseries, cost and trace
+  // summary. The registry/utilization/cost/jobs sections are cumulative
+  // over the cluster's lifetime; `report.job` mirrors `metrics`.
+  RunReport report;
+};
+
+// Handle to a submitted job. Cheap to copy; the result can be taken once.
+class JobHandle {
+ public:
+  JobId id() const { return id_; }
+
+  // True once the job finished and its result is ready to take.
+  bool done() const;
+
+  // Pumps the simulation until this job completes, then returns its
+  // result. Must be called from outside the event loop (not from a
+  // simulator callback); fatal if the result was already taken.
+  RunResult Wait();
+
+ private:
+  friend class GeoCluster;
+  JobHandle(GeoCluster* cluster, JobId id) : cluster_(cluster), id_(id) {}
+
+  GeoCluster* cluster_;
+  JobId id_;
+};
+
+}  // namespace gs

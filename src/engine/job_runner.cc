@@ -26,14 +26,16 @@ constexpr double kEarlyPushFraction = 0.3;
 }  // namespace
 
 JobRunner::JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
-                     Rng rng)
+                     Rng rng, JobId job_id, int tenant)
     : cluster_(cluster),
       sim_(cluster.simulator()),
       topo_(cluster.topology()),
       config_(cluster.config()),
       final_rdd_(std::move(final_rdd)),
       action_(action),
-      rng_(std::move(rng)) {}
+      rng_(std::move(rng)),
+      job_id_(job_id),
+      tenant_(tenant) {}
 
 JobRunner::~JobRunner() {
   // Compute jobs of discarded attempts are never joined (their stale
@@ -42,14 +44,8 @@ JobRunner::~JobRunner() {
   cluster_.compute_pool().WaitIdle();
 }
 
-RunResult JobRunner::Run() {
+void JobRunner::Start() {
   metrics_.started = sim_.Now();
-  const TrafficMeter& meter = cluster_.network().meter();
-  meter_before_total_ = meter.cross_dc_total();
-  meter_before_collect_ = meter.cross_dc_of_kind(FlowKind::kCollect);
-  meter_before_fetch_ = meter.cross_dc_of_kind(FlowKind::kShuffleFetch);
-  meter_before_push_ = meter.cross_dc_of_kind(FlowKind::kShufflePush);
-  meter_before_centralize_ = meter.cross_dc_of_kind(FlowKind::kCentralize);
 
   std::vector<Stage> stages = BuildStages(final_rdd_);
   for (Stage& s : stages) {
@@ -71,25 +67,14 @@ RunResult JobRunner::Run() {
   } else {
     SubmitReadyStages();
   }
-  sim_.Run();
-  GS_CHECK_MSG(job_done_, "simulation drained before the job completed — "
-                          "a task or flow was lost");
+}
+
+RunResult JobRunner::TakeResult() {
+  GS_CHECK_MSG(job_done_, "TakeResult before the job completed");
 
   for (const auto& sr : stage_runs_) {
     if (!sr->skipped) metrics_.stages.push_back(sr->metrics);
   }
-
-  const Bytes collect_delta =
-      meter.cross_dc_of_kind(FlowKind::kCollect) - meter_before_collect_;
-  metrics_.cross_dc_bytes =
-      (meter.cross_dc_total() - meter_before_total_) - collect_delta;
-  metrics_.cross_dc_fetch_bytes =
-      meter.cross_dc_of_kind(FlowKind::kShuffleFetch) - meter_before_fetch_;
-  metrics_.cross_dc_push_bytes =
-      meter.cross_dc_of_kind(FlowKind::kShufflePush) - meter_before_push_;
-  metrics_.cross_dc_centralize_bytes =
-      meter.cross_dc_of_kind(FlowKind::kCentralize) -
-      meter_before_centralize_;
 
   if (MetricsRegistry* reg = cluster_.metrics_registry()) {
     reg->counter("engine.jobs_completed").Add(1);
@@ -284,6 +269,7 @@ void JobRunner::OnStageDone(StageId id) {
   if (id == result_stage_) {
     job_done_ = true;
     metrics_.completed = sim_.Now();
+    cluster_.OnRunnerDone(job_id_);
     return;
   }
   SubmitReadyStages();
@@ -336,12 +322,13 @@ void JobRunner::SubmitTask(TaskRun& task) {
   }
   TaskRun* task_ptr = &task;
   const int epoch = task.epoch;
+  request.tenant = tenant_;
   request.on_assigned = [this, task_ptr, epoch](NodeIndex node,
                                                 LocalityLevel) {
     if (task_ptr->epoch != epoch) {
       // The task was restarted or parked while this assignment was in
       // flight; give the slot back (a fresh submission is already queued).
-      cluster_.scheduler().ReleaseSlot(node);
+      cluster_.scheduler().ReleaseSlot(node, tenant_);
       return;
     }
     OnAssigned(*task_ptr, node);
@@ -353,7 +340,9 @@ void JobRunner::OnAssigned(TaskRun& task, NodeIndex node) {
   StageRun& sr = stage_run(task.stage);
   if (!cluster_.scheduler().node_up(node)) {
     // The node crashed between the slot grant and its delivery; the slot
-    // died with the executor. Queue the task again.
+    // died with the executor. Balance the tenant's busy accounting and
+    // queue the task again.
+    cluster_.scheduler().ReleaseSlot(node, tenant_);
     SubmitTask(task);
     return;
   }
@@ -411,6 +400,7 @@ void JobRunner::StartGather(TaskRun& task) {
   auto add_flow = [&](NodeIndex from, Bytes bytes, FlowKind kind) {
     ++task.pending_gathers;
     task.gather_srcs.push_back(from);
+    AccountFlow(from, task.node, bytes, kind);
     cluster_.network().StartFlow(from, task.node, bytes, kind,
                                  [this, t, epoch] {
                                    if (t->epoch != epoch) return;
@@ -633,7 +623,7 @@ void JobRunner::OnTaskFailed(TaskRun& task) {
   ++metrics_.task_failures;
   GS_LOG_INFO << "task " << sr.stage.id << "/" << task.partition
               << " failed on " << topo_.node(task.node).name << ", retrying";
-  cluster_.scheduler().ReleaseSlot(task.node);
+  cluster_.scheduler().ReleaseSlot(task.node, tenant_);
   ++task.epoch;
   ++task.attempt;
   task.assigned = false;
@@ -711,7 +701,7 @@ void JobRunner::FinishTask(TaskRun& task) {
   StageRun& sr = stage_run(task.stage);
   GS_CHECK(!task.done);
   task.done = true;
-  cluster_.scheduler().ReleaseSlot(task.node);
+  cluster_.scheduler().ReleaseSlot(task.node, tenant_);
   // Losing attempt of a speculated partition: its twin already finished.
   if (sr.partition_done[task.partition]) return;
   sr.partition_done[task.partition] = true;
@@ -882,9 +872,10 @@ void JobRunner::RestartTask(TaskRun& task) {
       recv.inbox_bytes = 0;
     }
   }
-  // No-op if the node is down (the slot died with it); releases the held
-  // slot when the task is restarted because a gather *source* died.
-  cluster_.scheduler().ReleaseSlot(task.node);
+  // Frees the held slot when the task is restarted because a gather
+  // *source* died; with the task's own node down only the tenant's busy
+  // count balances (the slot died with the executor).
+  cluster_.scheduler().ReleaseSlot(task.node, tenant_);
   ++task.attempt;
   task.assigned = false;
   task.node = kNoNode;
@@ -950,7 +941,7 @@ void JobRunner::HandleFetchFailure(TaskRun& task, ShuffleId sid,
   // regenerates the lost outputs. The eventual retry re-fetches the whole
   // shard — over the WAN under fetch-based shuffle, within the aggregator
   // datacenter under Push/Aggregate (the paper's Fig. 2 asymmetry).
-  cluster_.scheduler().ReleaseSlot(task.node);
+  cluster_.scheduler().ReleaseSlot(task.node, tenant_);
   ++task.epoch;
   ++task.attempt;
   task.assigned = false;
@@ -987,6 +978,12 @@ void JobRunner::HandleFetchFailure(TaskRun& task, ShuffleId sid,
 void JobRunner::RecoverReceiver(TaskRun& receiver) {
   StageRun& consumer = stage_run(receiver.stage);
   ++receiver.epoch;
+  if (receiver.assigned) {
+    // The receiver held a write-phase slot on the crashed node; balance
+    // the tenant's busy accounting (the slot itself died with the node).
+    cluster_.scheduler().ReleaseSlot(receiver.node, tenant_);
+    receiver.assigned = false;
+  }
   receiver.receiver_started = false;
   receiver.data_landed = false;
   if (!receiver.producer_done) {
@@ -1151,6 +1148,8 @@ void JobRunner::TryDeliver(TaskRun& receiver) {
       ReceiverGotData(*r);
     });
   } else {
+    AccountFlow(receiver.producer_node, receiver.node, receiver.inbox_bytes,
+                FlowKind::kShufflePush);
     cluster_.network().StartFlow(receiver.producer_node, receiver.node,
                                  receiver.inbox_bytes, FlowKind::kShufflePush,
                                  [this, r, epoch] {
@@ -1220,6 +1219,28 @@ void JobRunner::ExecuteReceiver(TaskRun& receiver) {
 // ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
+
+void JobRunner::AccountFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
+                            FlowKind kind) {
+  if (topo_.dc_of(src) == topo_.dc_of(dst)) return;
+  switch (kind) {
+    case FlowKind::kShuffleFetch:
+      metrics_.cross_dc_fetch_bytes += bytes;
+      break;
+    case FlowKind::kShufflePush:
+      metrics_.cross_dc_push_bytes += bytes;
+      break;
+    case FlowKind::kCentralize:
+      metrics_.cross_dc_centralize_bytes += bytes;
+      break;
+    case FlowKind::kCollect:
+      // Driver traffic is excluded from the paper's Fig. 8 metric.
+      return;
+    case FlowKind::kOther:
+      break;
+  }
+  metrics_.cross_dc_bytes += bytes;
+}
 
 double JobRunner::StragglerFactor() {
   const CostModel& cost = config_.cost;
@@ -1362,6 +1383,7 @@ void JobRunner::CentralizeInputsThenStart() {
           (static_cast<std::int64_t>(src->id()) << 32) | p;
       ++*pending;
       metrics_slot->num_tasks++;
+      AccountFlow(loc, dest, src->partition(p).bytes, FlowKind::kCentralize);
       cluster_.network().StartFlow(
           loc, dest, src->partition(p).bytes, FlowKind::kCentralize,
           [this, key, dest, done_one] {

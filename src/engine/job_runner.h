@@ -31,15 +31,24 @@ namespace gs {
 class JobRunner {
  public:
   JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
-            Rng rng);
+            Rng rng, JobId job_id, int tenant);
   // Blocks until the compute pool is idle: attempts discarded by crash
   // recovery may still be computing jobs that reference this runner's
   // stage structures.
   ~JobRunner();
 
-  // Runs the job to completion (drains the simulator) and returns results.
-  // The trace and report slots are filled in by GeoCluster::RunJob.
-  RunResult Run();
+  // Builds the stage graph and schedules the job's first events; the job
+  // then executes as the shared simulator advances, concurrently with any
+  // other submitted jobs. On completion the runner notifies GeoCluster
+  // (OnRunnerDone), which harvests TakeResult() and destroys the runner.
+  void Start();
+
+  bool done() const { return job_done_; }
+
+  // Assembles stage metrics, engine counters and the result records.
+  // Requires done(); call exactly once. The trace and report slots are
+  // filled in by GeoCluster::FinalizeJob.
+  RunResult TakeResult();
 
   // Fault notification from GeoCluster::CrashNode: the node's executor and
   // blocks are already gone; restart every affected in-flight task and
@@ -183,6 +192,11 @@ class JobRunner {
   void ExecuteReceiver(TaskRun& receiver);  // slot acquired: run the chain
 
   // --- helpers ---
+  // Per-flow cross-datacenter traffic accounting, called at every
+  // StartFlow site this job owns. Equivalent to metering: the TrafficMeter
+  // also records at flow start, but its totals span all concurrent jobs,
+  // so per-job numbers must be attributed at the call site.
+  void AccountFlow(NodeIndex src, NodeIndex dst, Bytes bytes, FlowKind kind);
   double StragglerFactor();
   // The top-k datacenters by stage-input bytes (k = aggregator_dc_count;
   // policy may invert or randomize the ranking for ablations).
@@ -198,6 +212,8 @@ class JobRunner {
   RddPtr final_rdd_;
   ActionKind action_;
   Rng rng_;
+  JobId job_id_ = -1;
+  int tenant_ = 0;  // scheduler tenant id tasks bill their slots to
 
   std::vector<std::unique_ptr<StageRun>> stage_runs_;
   StageId result_stage_ = -1;
@@ -209,11 +225,6 @@ class JobRunner {
 
   std::vector<std::vector<Record>> results_;  // per result partition
   JobMetrics metrics_;
-  Bytes meter_before_total_ = 0;
-  Bytes meter_before_collect_ = 0;
-  Bytes meter_before_fetch_ = 0;
-  Bytes meter_before_push_ = 0;
-  Bytes meter_before_centralize_ = 0;
 };
 
 }  // namespace gs

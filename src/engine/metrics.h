@@ -22,7 +22,13 @@ struct StageMetrics {
 };
 
 struct JobMetrics {
-  SimTime started = 0;
+  // Service identity (engine/job_api.h): filled by GeoCluster when the
+  // job finalizes.
+  JobId job_id = -1;
+  std::string tenant;
+
+  SimTime submitted = 0;  // arrival at the service (admission may queue it)
+  SimTime started = 0;    // admission: the runner began executing
   SimTime completed = 0;
   std::vector<StageMetrics> stages;
 
@@ -44,6 +50,7 @@ struct JobMetrics {
   int push_fallbacks = 0;      // pushes degraded to producer-local (fetch)
 
   SimTime jct() const { return completed - started; }
+  SimTime queue_delay() const { return started - submitted; }
 };
 
 }  // namespace gs

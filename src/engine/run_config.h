@@ -15,8 +15,8 @@
 // `cfg.observe.metrics`, `cfg.observe.utilization_bucket` — and the
 // recorded data comes back on the RunResult every action returns
 // (result.trace, result.report; see engine/cluster.h and
-// docs/OBSERVABILITY.md). EnableTracing()/last_job_metrics() survive as
-// deprecated shims.
+// docs/OBSERVABILITY.md). The EnableTracing()/last_job_metrics() shims
+// that briefly survived that move have since been removed.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +81,14 @@ struct SpeculationConfig {
   double multiplier = 1.5;
 };
 
+// Multi-job service knobs (engine/job_api.h, docs/SERVICE.md).
+struct ServiceConfig {
+  // Jobs allowed to execute concurrently; arrivals beyond the cap wait in
+  // the admission queue (highest JobOptions::priority first, FIFO among
+  // equals). <= 0 means unlimited.
+  int max_concurrent_jobs = 0;
+};
+
 // What a run records and reports (docs/OBSERVABILITY.md). All collection
 // happens on the single-threaded event loop, so everything here is
 // deterministic in the seed and independent of compute_threads.
@@ -129,6 +137,7 @@ struct RunConfig {
 
   FaultConfig fault;
   SpeculationConfig speculation;
+  ServiceConfig service;
   ObservabilityConfig observe;
 
   // Centralized: destination datacenter; kNoDc = the one already holding

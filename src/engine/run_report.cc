@@ -29,7 +29,11 @@ void WriteStage(JsonWriter& w, const StageMetrics& s) {
 
 void WriteJob(JsonWriter& w, const JobMetrics& j) {
   w.BeginObject();
+  w.Key("job_id").Value(static_cast<std::int64_t>(j.job_id));
+  w.Key("tenant").Value(j.tenant);
+  w.Key("submitted").Value(j.submitted);
   w.Key("started").Value(j.started);
+  w.Key("queue_delay").Value(j.queue_delay());
   w.Key("completed").Value(j.completed);
   w.Key("jct").Value(j.jct());
   w.Key("cross_dc_bytes").Value(j.cross_dc_bytes);
@@ -74,6 +78,21 @@ void WriteMetric(JsonWriter& w, const MetricSnapshot& m) {
   w.EndObject();
 }
 
+void WriteJobRow(JsonWriter& w, const RunReport::JobRow& r) {
+  w.BeginObject();
+  w.Key("job_id").Value(static_cast<std::int64_t>(r.job_id));
+  w.Key("tenant").Value(r.tenant);
+  w.Key("label").Value(r.label);
+  w.Key("submitted").Value(r.submitted);
+  w.Key("started").Value(r.started);
+  w.Key("queue_delay").Value(r.queue_delay());
+  w.Key("completed").Value(r.completed);
+  w.Key("jct").Value(r.jct());
+  w.Key("cross_dc_bytes").Value(r.cross_dc_bytes);
+  w.Key("task_failures").Value(r.task_failures);
+  w.EndObject();
+}
+
 void WriteLink(JsonWriter& w, const RunReport::LinkSeries& l) {
   w.BeginObject();
   w.Key("src_dc").Value(static_cast<std::int64_t>(l.src_dc));
@@ -104,6 +123,9 @@ std::string RunReport::ToJson() const {
   w.EndObject();
   w.Key("job");
   WriteJob(w, job);
+  w.Key("jobs").BeginArray();
+  for (const JobRow& r : jobs) WriteJobRow(w, r);
+  w.EndArray();
   w.Key("metrics").BeginObject();
   w.Key("enabled").Value(metrics_enabled);
   w.Key("snapshots").BeginArray();

@@ -30,7 +30,9 @@ namespace gs {
 
 struct RunReport {
   // Bump when the JSON layout changes incompatibly.
-  static constexpr int kSchemaVersion = 1;
+  // v2: per-job `jobs` array; job section gained job_id/tenant/submitted/
+  //     queue_delay (multi-tenant service, docs/SERVICE.md).
+  static constexpr int kSchemaVersion = 2;
 
   // Run identity.
   std::string scheme;      // shuffle scheme name ("baseline", "transfer"...)
@@ -44,6 +46,23 @@ struct RunReport {
 
   // The job that produced this report's RunResult.
   JobMetrics job;
+
+  // One compact row per job completed on the cluster so far, in
+  // completion order (cumulative, like the metrics section below).
+  struct JobRow {
+    JobId job_id = -1;
+    std::string tenant;
+    std::string label;
+    SimTime submitted = 0;
+    SimTime started = 0;
+    SimTime completed = 0;
+    Bytes cross_dc_bytes = 0;
+    int task_failures = 0;
+
+    SimTime queue_delay() const { return started - submitted; }
+    SimTime jct() const { return completed - started; }
+  };
+  std::vector<JobRow> jobs;
 
   // MetricsRegistry snapshot (empty when metrics are disabled).
   bool metrics_enabled = false;

@@ -10,9 +10,7 @@
 //
 // Tracing is opt-in via RunConfig::observe.trace; each job's spans are
 // moved into the RunResult returned by the action (RunResult::trace).
-// Overhead when disabled is a null-pointer check. (The deprecated
-// GeoCluster::EnableTracing() side channel still works: it returns a
-// cluster-owned collector that accumulates across jobs.)
+// Overhead when disabled is a null-pointer check.
 #pragma once
 
 #include <cstdint>

@@ -14,7 +14,9 @@ TaskScheduler::TaskScheduler(Simulator& sim, const Topology& topo,
       topo_(topo),
       config_(config),
       free_(topo.num_nodes(), 0),
-      up_(topo.num_nodes(), true) {
+      up_(topo.num_nodes(), true),
+      weight_(1, 1.0),
+      busy_(1, 0) {
   for (NodeIndex n = 0; n < topo_.num_nodes(); ++n) {
     free_[n] = topo_.node(n).worker ? topo_.node(n).cores : 0;
   }
@@ -30,6 +32,7 @@ TaskScheduler::TaskScheduler(Simulator& sim, const Topology& topo,
 
 void TaskScheduler::Submit(TaskRequest request) {
   GS_CHECK(request.on_assigned != nullptr);
+  EnsureTenant(request.tenant);
   for (NodeIndex n : request.preferred) {
     GS_CHECK_MSG(n >= 0 && n < topo_.num_nodes(), "bad preferred node " << n);
   }
@@ -60,13 +63,46 @@ void TaskScheduler::Submit(TaskRequest request) {
   Pump();
 }
 
-void TaskScheduler::ReleaseSlot(NodeIndex node) {
+void TaskScheduler::ReleaseSlot(NodeIndex node, int tenant) {
   GS_CHECK(node >= 0 && node < topo_.num_nodes());
   GS_CHECK_MSG(topo_.node(node).worker, "released slot on non-worker");
+  EnsureTenant(tenant);
+  // The tenant's busy count balances even when the executor died: the
+  // grant happened, so the release must be accounted.
+  --busy_[tenant];
+  GS_CHECK_MSG(busy_[tenant] >= 0, "tenant " << tenant << " over-released");
   if (!up_[node]) return;  // executor crashed: the slot died with it
   ++free_[node];
   GS_CHECK(free_[node] <= topo_.node(node).cores);
   Pump();
+}
+
+void TaskScheduler::SetTenantWeight(int tenant, double weight) {
+  GS_CHECK_MSG(weight > 0, "tenant weight must be positive");
+  EnsureTenant(tenant);
+  weight_[tenant] = weight;
+  Pump();  // a weight change can reorder which tenant is offered next
+}
+
+int TaskScheduler::tenant_busy(int tenant) const {
+  GS_CHECK(tenant >= 0);
+  if (tenant >= static_cast<int>(busy_.size())) return 0;
+  return busy_[tenant];
+}
+
+void TaskScheduler::EnsureTenant(int tenant) {
+  GS_CHECK_MSG(tenant >= 0, "bad tenant id " << tenant);
+  if (tenant >= static_cast<int>(weight_.size())) {
+    weight_.resize(static_cast<std::size_t>(tenant) + 1, 1.0);
+    busy_.resize(static_cast<std::size_t>(tenant) + 1, 0);
+  }
+}
+
+bool TaskScheduler::SmallerShare(int a, int b) const {
+  const double lhs = static_cast<double>(busy_[a]) * weight_[b];
+  const double rhs = static_cast<double>(busy_[b]) * weight_[a];
+  if (lhs != rhs) return lhs < rhs;
+  return a < b;
 }
 
 void TaskScheduler::SetNodeDown(NodeIndex node) {
@@ -178,6 +214,7 @@ bool TaskScheduler::TryAssign(Pending& pending) {
   if (node == kNoNode) return false;
   --free_[node];
   GS_CHECK(free_[node] >= 0);
+  ++busy_[request.tenant];
   pending.wait_expiry.Cancel();
   if (m_assigned_ != nullptr) {
     m_assigned_->Add(1);
@@ -195,19 +232,40 @@ bool TaskScheduler::TryAssign(Pending& pending) {
 void TaskScheduler::Pump() {
   if (pumping_) return;
   pumping_ = true;
-  // First-fit in submission order. A task with unsatisfiable preferences
-  // does not block later tasks (no head-of-line blocking), matching Spark's
-  // per-offer matching.
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (auto it = queue_.begin(); it != queue_.end();) {
-      if (TryAssign(*it)) {
-        it = queue_.erase(it);
-        progress = true;
-      } else {
-        ++it;
+  // Weighted fair sharing: each round offers one slot to the queued tenant
+  // with the smallest busy/weight share; within a tenant, first-fit in
+  // submission order (a task with unsatisfiable preferences does not block
+  // later tasks, matching Spark's per-offer matching). If the favored
+  // tenant cannot place anything, the next-smallest share gets the offer —
+  // fair sharing never idles a slot a heavier tenant could use.
+  //
+  // With a single tenant this reproduces the original FIFO first-fit
+  // sequence exactly: assignments only consume slots and never advance
+  // time, so a task that failed to place earlier in the pass still fails
+  // after a later grant, and restarting from the head yields the same
+  // order as one continuing sweep.
+  bool assigned = true;
+  while (assigned) {
+    assigned = false;
+    std::vector<int> tenants;
+    for (const Pending& p : queue_) {
+      if (std::find(tenants.begin(), tenants.end(), p.request.tenant) ==
+          tenants.end()) {
+        tenants.push_back(p.request.tenant);
       }
+    }
+    std::sort(tenants.begin(), tenants.end(),
+              [this](int a, int b) { return SmallerShare(a, b); });
+    for (int tenant : tenants) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->request.tenant != tenant) continue;
+        if (TryAssign(*it)) {
+          queue_.erase(it);
+          assigned = true;
+          break;
+        }
+      }
+      if (assigned) break;
     }
   }
   pumping_ = false;

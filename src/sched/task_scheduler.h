@@ -39,6 +39,9 @@ enum class PlacementPolicy {
 
 struct TaskRequest {
   TaskId id = -1;
+  // Tenant this task bills its slot to (weighted fair sharing). The
+  // default tenant 0 always exists with weight 1.
+  int tenant = 0;
   // Preferred worker nodes, best first. Empty = no preference.
   std::vector<NodeIndex> preferred;
   PlacementPolicy policy = PlacementPolicy::kAnyAfterWait;
@@ -63,15 +66,24 @@ class TaskScheduler {
                 TaskSchedulerConfig config = {},
                 MetricsRegistry* metrics = nullptr);
 
-  // Enqueues a task; it will be assigned a slot as soon as one is free,
-  // respecting submission order per locality level.
+  // Enqueues a task; it will be assigned a slot as soon as one is free.
+  // Slots are offered to the queued tenant with the smallest weighted
+  // busy-slot share (busy/weight; ties to the lower tenant id), first-fit
+  // in submission order within the tenant. With one tenant this is plain
+  // FIFO first-fit.
   void Submit(TaskRequest request);
 
   // Releases the slot a task was holding and assigns queued tasks.
   // A failed task is Submit()ed again by the caller after release.
-  // Releasing a slot on a crashed node is a no-op: its executor (and every
-  // slot it held) is already gone.
-  void ReleaseSlot(NodeIndex node);
+  // On a crashed node the executor's slot is already gone, but the
+  // tenant's busy count is still decremented — every grant must be paired
+  // with exactly one release for fair-share accounting to balance.
+  void ReleaseSlot(NodeIndex node, int tenant = 0);
+
+  // Sets a tenant's fair-share weight (> 0); tenants default to weight 1.
+  void SetTenantWeight(int tenant, double weight);
+  // Slots currently held by the tenant's tasks (for tests/benches).
+  int tenant_busy(int tenant) const;
 
   // Marks a worker's executor as crashed: all of its slots (free and busy)
   // disappear and no task is assigned to it until SetNodeUp. The caller is
@@ -98,6 +110,10 @@ class TaskScheduler {
 
   bool TryAssign(Pending& pending);
   void Pump();
+  void EnsureTenant(int tenant);
+  // Orders tenant a before b by weighted busy share (cross-multiplied to
+  // avoid division), ties to the lower id.
+  bool SmallerShare(int a, int b) const;
 
   NodeIndex BestFreeNodeIn(const std::vector<NodeIndex>& candidates) const;
   NodeIndex LeastLoadedFreeWorker() const;
@@ -111,6 +127,10 @@ class TaskScheduler {
   std::vector<bool> up_;   // executor liveness per node
   std::deque<Pending> queue_;
   bool pumping_ = false;
+
+  // Per-tenant fair-share state, indexed by tenant id (grown on demand).
+  std::vector<double> weight_;
+  std::vector<int> busy_;
 
   // Metric handles (nullptr without a registry); event-loop-only updates.
   Counter* m_submitted_ = nullptr;

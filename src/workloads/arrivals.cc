@@ -1,0 +1,43 @@
+#include "workloads/arrivals.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gs {
+
+std::vector<SimTime> GenerateArrivals(const ArrivalConfig& config, int count,
+                                      std::uint64_t seed) {
+  GS_CHECK_MSG(count >= 0, "negative arrival count");
+  GS_CHECK_MSG(config.rate_per_s > 0, "arrival rate must be positive");
+  GS_CHECK_MSG(config.diurnal_amplitude >= 0 && config.diurnal_amplitude < 1,
+               "diurnal amplitude must be in [0, 1)");
+  GS_CHECK_MSG(config.diurnal_amplitude == 0 || config.diurnal_period > 0,
+               "diurnal period must be positive");
+
+  // Thinning (Lewis & Shedler): draw candidates from a homogeneous
+  // Poisson process at the peak rate, keep each with probability
+  // lambda(t) / peak. With amplitude 0 every candidate is kept and this
+  // reduces to plain exponential inter-arrival times.
+  Rng rng = Rng(seed).Split("arrivals");
+  const double peak = config.rate_per_s * (1.0 + config.diurnal_amplitude);
+  std::vector<SimTime> times;
+  times.reserve(static_cast<std::size_t>(count));
+  double t = 0;
+  while (static_cast<int>(times.size()) < count) {
+    t += rng.Exponential(1.0 / peak);
+    double accept = 1.0;
+    if (config.diurnal_amplitude > 0) {
+      constexpr double kTwoPi = 6.283185307179586;
+      const double phase = kTwoPi * t / config.diurnal_period;
+      const double lambda =
+          config.rate_per_s * (1.0 + config.diurnal_amplitude * std::sin(phase));
+      accept = lambda / peak;
+    }
+    if (accept >= 1.0 || rng.Bernoulli(accept)) times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace gs

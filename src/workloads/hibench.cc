@@ -55,7 +55,7 @@ class WordCount final : public Workload {
     return os.str();
   }
 
-  JobResult Run(GeoCluster& cluster, std::uint64_t data_seed) override {
+  Dataset Build(GeoCluster& cluster, std::uint64_t data_seed) override {
     Rng rng = Rng(data_seed).Split("wordcount");
     std::vector<std::string> vocab = MakeVocabulary(5000, rng);
     ZipfSampler zipf(vocab.size(), 1.1);
@@ -90,7 +90,7 @@ class WordCount final : public Workload {
                        return out;
                      })
             .ReduceByKey(SumInt64(), params().reduce_tasks);
-    return Finish(counts);
+    return counts;
   }
 
  private:
@@ -117,7 +117,7 @@ class Sort final : public Workload {
     return os.str();
   }
 
-  JobResult Run(GeoCluster& cluster, std::uint64_t data_seed) override {
+  Dataset Build(GeoCluster& cluster, std::uint64_t data_seed) override {
     Rng rng = Rng(data_seed).Split("sort");
     // HiBench Sort operates on generated *text* (RandomTextWriter), which
     // compresses well in shuffle files.
@@ -132,7 +132,7 @@ class Sort final : public Workload {
                         Weights(cluster.topology())));
     Dataset sorted = input.SortByKey(
         UniformBoundaries(params().reduce_tasks, kHexAlphabet));
-    return Finish(sorted);
+    return sorted;
   }
 
  private:
@@ -161,7 +161,7 @@ class TeraSort final : public Workload {
     return os.str();
   }
 
-  JobResult Run(GeoCluster& cluster, std::uint64_t data_seed) override {
+  Dataset Build(GeoCluster& cluster, std::uint64_t data_seed) override {
     Rng rng = Rng(data_seed).Split("terasort");
     // gensort-style records: high-entropy keys and values that barely
     // compress — combined with the bloating map below, the shuffle input
@@ -189,7 +189,7 @@ class TeraSort final : public Workload {
     });
     Dataset sorted = bloated.SortByKey(
         UniformBoundaries(params().reduce_tasks, kPrintableAlphabet));
-    return Finish(sorted);
+    return sorted;
   }
 
  private:
@@ -220,7 +220,7 @@ class PageRank final : public Workload {
     return os.str();
   }
 
-  JobResult Run(GeoCluster& cluster, std::uint64_t data_seed) override {
+  Dataset Build(GeoCluster& cluster, std::uint64_t data_seed) override {
     Rng rng = Rng(data_seed).Split("pagerank");
     std::vector<Record> raw = MakeRawPages(rng);
     Dataset input = cluster.CreateSource(
@@ -316,7 +316,7 @@ class PageRank final : public Workload {
       }
       return Record{r.key, rank};
     });
-    return Finish(ranks);
+    return ranks;
   }
 
  private:
@@ -372,7 +372,9 @@ class NaiveBayes final : public Workload {
     return os.str();
   }
 
-  JobResult Run(GeoCluster& cluster, std::uint64_t data_seed) override {
+  ActionKind action() const override { return ActionKind::kCollect; }
+
+  Dataset Build(GeoCluster& cluster, std::uint64_t data_seed) override {
     Rng rng = Rng(data_seed).Split("naivebayes");
     std::vector<std::string> vocab = MakeVocabulary(3000, rng);
     ZipfSampler zipf(vocab.size(), 1.1);
@@ -410,7 +412,7 @@ class NaiveBayes final : public Workload {
               }
               return Record{cls.key, std::move(model)};
             });
-    return model.Run(ActionKind::kCollect);
+    return model;
   }
 
  private:

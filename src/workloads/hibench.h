@@ -1,10 +1,12 @@
 // The five HiBench workloads of the paper's evaluation (Table I), scaled.
 //
 // Each workload deterministically generates its input from a data seed,
-// places it across datacenters, builds the job via the Dataset API, runs it
-// on a GeoCluster, and returns the JobResult. The same data seed produces
-// byte-identical inputs under every scheme, so scheme comparisons are
-// apples-to-apples.
+// places it across datacenters, and builds the job via the Dataset API.
+// Build() returns the final dataset without running it, so callers can
+// either run synchronously (Run()) or Submit() many workload jobs onto one
+// cluster concurrently (geosim --jobs, bench_multitenant). The same data
+// seed produces byte-identical inputs under every scheme, so scheme
+// comparisons are apples-to-apples.
 //
 // Paper-scale specifications (Table I), divided by `scale`:
 //   WordCount:  3.2 GB of generated text
@@ -48,18 +50,24 @@ class Workload {
   // Table I style specification line, at paper scale and at this scale.
   virtual std::string SpecSummary() const = 0;
 
+  // Generates input on `cluster` and builds the job graph; the returned
+  // dataset is the job's final RDD, not yet executed.
+  virtual Dataset Build(GeoCluster& cluster, std::uint64_t data_seed) = 0;
+
+  // The action this workload's job runs: Save by default, Collect when
+  // params.collect_results is set (NaiveBayes always collects its model).
+  virtual ActionKind action() const {
+    return params_.collect_results ? ActionKind::kCollect : ActionKind::kSave;
+  }
+
   // Generates input, runs the job on `cluster`, returns results + metrics.
-  virtual JobResult Run(GeoCluster& cluster, std::uint64_t data_seed) = 0;
+  RunResult Run(GeoCluster& cluster, std::uint64_t data_seed) {
+    return Build(cluster, data_seed).Run(action());
+  }
 
  protected:
   const WorkloadParams& params() const { return params_; }
   std::vector<double> Weights(const Topology& topo) const;
-
-  // Runs the final action: Save by default, Collect when requested.
-  JobResult Finish(const Dataset& dataset) const {
-    return dataset.Run(params_.collect_results ? ActionKind::kCollect
-                                               : ActionKind::kSave);
-  }
 
  private:
   WorkloadParams params_;

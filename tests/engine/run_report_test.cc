@@ -21,9 +21,21 @@ TEST(RunReportTest, GoldenJsonEncoding) {
   r.label = "golden";
   r.num_datacenters = 2;
   r.num_nodes = 4;
+  r.job.job_id = 3;
+  r.job.tenant = "etl";
+  r.job.submitted = 0.5;
   r.job.started = 1;
   r.job.completed = 2.5;
   r.job.cross_dc_bytes = 1024;
+  RunReport::JobRow row;
+  row.job_id = 3;
+  row.tenant = "etl";
+  row.label = "wc";
+  row.submitted = 0.5;
+  row.started = 1;
+  row.completed = 2.5;
+  row.cross_dc_bytes = 1024;
+  r.jobs.push_back(row);
   r.metrics_enabled = true;
   MetricSnapshot c;
   c.name = "netsim.flows_started";
@@ -44,16 +56,21 @@ TEST(RunReportTest, GoldenJsonEncoding) {
   r.cost_usd_full_scale = 25;
 
   const std::string expected =
-      "{\"schema_version\":1,"
+      "{\"schema_version\":2,"
       "\"scheme\":\"AggShuffle\",\"seed\":7,\"scale\":100,"
       "\"label\":\"golden\","
       "\"topology\":{\"num_datacenters\":2,\"num_nodes\":4},"
-      "\"job\":{\"started\":1,\"completed\":2.5,\"jct\":1.5,"
+      "\"job\":{\"job_id\":3,\"tenant\":\"etl\",\"submitted\":0.5,"
+      "\"started\":1,\"queue_delay\":0.5,\"completed\":2.5,\"jct\":1.5,"
       "\"cross_dc_bytes\":1024,\"cross_dc_fetch_bytes\":0,"
       "\"cross_dc_push_bytes\":0,\"cross_dc_centralize_bytes\":0,"
       "\"task_failures\":0,\"fetch_failures\":0,\"node_crashes\":0,"
       "\"map_resubmissions\":0,\"push_retries\":0,\"push_fallbacks\":0,"
       "\"stages\":[]},"
+      "\"jobs\":[{\"job_id\":3,\"tenant\":\"etl\",\"label\":\"wc\","
+      "\"submitted\":0.5,\"started\":1,\"queue_delay\":0.5,"
+      "\"completed\":2.5,\"jct\":1.5,\"cross_dc_bytes\":1024,"
+      "\"task_failures\":0}],"
       "\"metrics\":{\"enabled\":true,\"snapshots\":["
       "{\"name\":\"netsim.flows_started\",\"kind\":\"counter\","
       "\"value\":3}]},"
@@ -153,9 +170,15 @@ TEST(RunReportTest, RealRunFillsEverySection) {
   EXPECT_DOUBLE_EQ(rep.cost_usd_full_scale, rep.cost_usd * 100);
   EXPECT_FALSE(rep.trace.enabled);
 
+  // The report's per-job table has exactly this one completed job.
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_EQ(rep.jobs[0].job_id, rep.job.job_id);
+  EXPECT_EQ(rep.jobs[0].tenant, "default");
+  EXPECT_DOUBLE_EQ(rep.jobs[0].jct(), rep.job.jct());
+
   // The serialized form mentions each section exactly where expected.
   const std::string json = rep.ToJson();
-  EXPECT_EQ(json.rfind("{\"schema_version\":1,", 0), 0u);
+  EXPECT_EQ(json.rfind("{\"schema_version\":2,", 0), 0u);
   EXPECT_NE(json.find("\"utilization\":{\"bucket_seconds\":1,"),
             std::string::npos);
 }

@@ -226,5 +226,164 @@ TEST(TaskSchedulerTest, BadPreferredNodeThrows) {
   EXPECT_THROW(sched.Submit(Req(&a, &sim, {99})), CheckFailure);
 }
 
+// --- weighted fair sharing across tenants (docs/SERVICE.md) ---
+
+// Saturate a 12-slot cluster with two tenants at weights 2:1, each task
+// holding its slot for one second. Once churn starts, freed slots go to
+// the tenant with the smaller busy/weight share, so the standing split
+// settles at 8:4 and so does throughput while both queues stay
+// backlogged. (12 slots so the 2:1 split is exact in whole slots.)
+TEST(TaskSchedulerTest, WeightedFairShareUnderSaturation) {
+  Simulator sim;
+  Topology topo;
+  topo.AddDatacenter("dc0");
+  topo.AddDatacenter("dc1");
+  topo.AddNode({"a0", 0, 3, Gbps(1)});
+  topo.AddNode({"a1", 0, 3, Gbps(1)});
+  topo.AddNode({"b0", 1, 3, Gbps(1)});
+  topo.AddNode({"b1", 1, 3, Gbps(1)});
+  TaskScheduler sched(sim, topo);
+  sched.SetTenantWeight(1, 2.0);
+  sched.SetTenantWeight(2, 1.0);
+
+  int completed[3] = {0, 0, 0};
+  auto submit = [&](int tenant) {
+    TaskRequest r;
+    r.tenant = tenant;
+    r.on_assigned = [&, tenant](NodeIndex node, LocalityLevel) {
+      sim.ScheduleAt(sim.Now() + Seconds(1), [&, tenant, node] {
+        ++completed[tenant];
+        sched.ReleaseSlot(node, tenant);
+      });
+    };
+    sched.Submit(std::move(r));
+  };
+  for (int i = 0; i < 40; ++i) {
+    submit(1);
+    submit(2);
+  }
+
+  // Snapshot mid-run, while both tenants are still saturated. The first
+  // wave of slots is granted FIFO at submission (6/6) before any churn,
+  // so throughput is measured between two steady-state snapshots.
+  int busy1 = -1, busy2 = -1;
+  int base1 = -1, base2 = -1, done1 = -1, done2 = -1;
+  sim.ScheduleAt(Seconds(1.5), [&] {
+    base1 = completed[1];
+    base2 = completed[2];
+  });
+  sim.ScheduleAt(Seconds(4.5), [&] {
+    busy1 = sched.tenant_busy(1);
+    busy2 = sched.tenant_busy(2);
+    done1 = completed[1];
+    done2 = completed[2];
+  });
+  sim.Run();
+
+  EXPECT_EQ(busy1 + busy2, 12) << "cluster must stay saturated";
+  EXPECT_GE(busy1, 7);
+  EXPECT_LE(busy2, 5);
+  // Throughput over the steady-state window follows the slot share: ~2:1
+  // with both queues backlogged.
+  const int delta1 = done1 - base1, delta2 = done2 - base2;
+  EXPECT_GE(delta1, 2 * delta2 - 2);
+  EXPECT_LE(delta1, 2 * delta2 + 2);
+  // Everyone finishes eventually; no slot is leaked.
+  EXPECT_EQ(completed[1] + completed[2], 80);
+  EXPECT_EQ(sched.tenant_busy(1), 0);
+  EXPECT_EQ(sched.tenant_busy(2), 0);
+  EXPECT_EQ(sched.queued_tasks(), 0);
+}
+
+// Raising a tenant's weight mid-run shifts subsequent offers: with equal
+// backlogs and equal weights the split is even; after SetTenantWeight the
+// favored tenant converges to the larger share.
+TEST(TaskSchedulerTest, SetTenantWeightRebalancesOffers) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+
+  int held = 0;
+  auto submit = [&](int tenant) {
+    TaskRequest r;
+    r.tenant = tenant;
+    r.on_assigned = [&, tenant](NodeIndex node, LocalityLevel) {
+      ++held;
+      sim.ScheduleAt(sim.Now() + Seconds(1), [&, tenant, node] {
+        sched.ReleaseSlot(node, tenant);
+      });
+    };
+    sched.Submit(std::move(r));
+  };
+  for (int i = 0; i < 30; ++i) {
+    submit(1);
+    submit(2);
+  }
+  int even1 = -1, even2 = -1;
+  sim.ScheduleAt(Seconds(2.5), [&] {
+    even1 = sched.tenant_busy(1);
+    even2 = sched.tenant_busy(2);
+    sched.SetTenantWeight(1, 3.0);
+  });
+  int skew1 = -1, skew2 = -1;
+  sim.ScheduleAt(Seconds(5.5), [&] {
+    skew1 = sched.tenant_busy(1);
+    skew2 = sched.tenant_busy(2);
+  });
+  sim.Run();
+
+  EXPECT_EQ(even1, 4);
+  EXPECT_EQ(even2, 4);
+  EXPECT_GE(skew1, 5) << "weight 3:1 should shift the split";
+  EXPECT_LE(skew2, 3);
+}
+
+// A freed slot whose most-entitled tenant can't use it (its head tasks are
+// pinned to a full node) must fall through to the next tenant rather than
+// idle the slot.
+TEST(TaskSchedulerTest, OfferFallsThroughWhenFavoredTenantCannotPlace) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  sched.SetTenantWeight(1, 10.0);  // tenant 1 is strongly favored
+  sched.SetTenantWeight(2, 1.0);
+
+  // Fill the whole cluster with tenant-2 tasks.
+  std::vector<NodeIndex> held;
+  for (int i = 0; i < 8; ++i) {
+    TaskRequest r;
+    r.tenant = 2;
+    r.on_assigned = [&](NodeIndex node, LocalityLevel) {
+      held.push_back(node);
+    };
+    sched.Submit(std::move(r));
+  }
+  sim.Run();
+  ASSERT_EQ(held.size(), 8u);
+
+  // Tenant 1 queues a task pinned to node 0; tenant 2 queues a flexible
+  // one. Then a slot frees on node 3: tenant 1 is far more entitled but
+  // cannot take it, so tenant 2 must.
+  Assignment pinned, flexible;
+  TaskRequest p = Req(&pinned, &sim, {0}, PlacementPolicy::kNodeOnly);
+  p.tenant = 1;
+  sched.Submit(std::move(p));
+  TaskRequest f = Req(&flexible, &sim);
+  f.tenant = 2;
+  sched.Submit(std::move(f));
+  sched.ReleaseSlot(3, 2);
+  sim.Run();
+
+  EXPECT_FALSE(pinned.assigned);
+  EXPECT_TRUE(flexible.assigned);
+  EXPECT_EQ(flexible.node, 3);
+
+  // Node 0 frees: the pinned tenant-1 task finally places.
+  sched.ReleaseSlot(0, 2);
+  sim.Run();
+  EXPECT_TRUE(pinned.assigned);
+  EXPECT_EQ(pinned.node, 0);
+}
+
 }  // namespace
 }  // namespace gs

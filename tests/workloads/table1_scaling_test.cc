@@ -20,7 +20,7 @@ void RunAtScale(const std::string& name, double scale) {
   params.scale = scale;
   params.map_partitions = 24;
   auto wl = MakeWorkload(name, params);
-  JobResult r = wl->Run(cluster, 55);
+  RunResult r = wl->Run(cluster, 55);
   EXPECT_GT(r.metrics.jct(), 0) << name << " @ " << scale;
 }
 

@@ -40,7 +40,7 @@ std::vector<Record> SortedRecords(std::vector<Record> records) {
   return records;
 }
 
-JobResult RunWorkload(const std::string& name, Scheme scheme) {
+RunResult RunWorkload(const std::string& name, Scheme scheme) {
   GeoCluster cluster(Ec2SixRegionTopology(kTestScale), TestConfig(scheme));
   auto wl = MakeWorkload(name, TestParams());
   return wl->Run(cluster, /*data_seed=*/42);
@@ -65,14 +65,14 @@ INSTANTIATE_TEST_SUITE_P(HiBench, WorkloadEquivalenceTest,
                          [](const auto& info) { return info.param; });
 
 TEST(WorkloadCorrectnessTest, WordCountTotalsMatchInputWordCount) {
-  JobResult r = RunWorkload("WordCount", Scheme::kAggShuffle);
+  RunResult r = RunWorkload("WordCount", Scheme::kAggShuffle);
   std::int64_t total = 0;
   for (const Record& rec : r.records) {
     total += std::get<std::int64_t>(rec.value);
   }
   EXPECT_GT(total, 0);
   // Re-running with the same data seed reproduces the exact total.
-  JobResult again = RunWorkload("WordCount", Scheme::kSpark);
+  RunResult again = RunWorkload("WordCount", Scheme::kSpark);
   std::int64_t total2 = 0;
   for (const Record& rec : again.records) {
     total2 += std::get<std::int64_t>(rec.value);
@@ -81,7 +81,7 @@ TEST(WorkloadCorrectnessTest, WordCountTotalsMatchInputWordCount) {
 }
 
 TEST(WorkloadCorrectnessTest, SortOutputIsGloballySorted) {
-  JobResult r = RunWorkload("Sort", Scheme::kAggShuffle);
+  RunResult r = RunWorkload("Sort", Scheme::kAggShuffle);
   ASSERT_GT(r.records.size(), 100u);
   for (std::size_t i = 1; i < r.records.size(); ++i) {
     EXPECT_LE(r.records[i - 1].key, r.records[i].key) << "at " << i;
@@ -89,7 +89,7 @@ TEST(WorkloadCorrectnessTest, SortOutputIsGloballySorted) {
 }
 
 TEST(WorkloadCorrectnessTest, TeraSortOutputSortedAndBloated) {
-  JobResult r = RunWorkload("TeraSort", Scheme::kSpark);
+  RunResult r = RunWorkload("TeraSort", Scheme::kSpark);
   ASSERT_GT(r.records.size(), 100u);
   for (std::size_t i = 1; i < r.records.size(); ++i) {
     ASSERT_LE(r.records[i - 1].key, r.records[i].key) << "at " << i;
@@ -102,7 +102,7 @@ TEST(WorkloadCorrectnessTest, TeraSortOutputSortedAndBloated) {
 }
 
 TEST(WorkloadCorrectnessTest, PageRankRanksAreValid) {
-  JobResult r = RunWorkload("PageRank", Scheme::kAggShuffle);
+  RunResult r = RunWorkload("PageRank", Scheme::kAggShuffle);
   ASSERT_EQ(r.records.size(), 250u);  // 500k / 2000
   double total = 0;
   for (const Record& rec : r.records) {
@@ -116,7 +116,7 @@ TEST(WorkloadCorrectnessTest, PageRankRanksAreValid) {
 }
 
 TEST(WorkloadCorrectnessTest, NaiveBayesModelCoversAllClasses) {
-  JobResult r = RunWorkload("NaiveBayes", Scheme::kCentralized);
+  RunResult r = RunWorkload("NaiveBayes", Scheme::kCentralized);
   ASSERT_FALSE(r.records.empty());
   for (const Record& rec : r.records) {
     EXPECT_EQ(rec.key.substr(0, 5), "class");

@@ -4,8 +4,14 @@
 // prints metrics; optionally writes a Chrome-trace JSON and/or an ASCII
 // Gantt chart of the execution (tasks, stages and WAN flows).
 //
+// Multi-job service mode: --jobs=N submits N copies of the workload to one
+// shared cluster on a seeded Poisson (optionally diurnal) arrival process,
+// spread round-robin across weighted tenants, and reports per-job queueing
+// delay and JCT plus throughput percentiles.
+//
 //   geosim --workload=pagerank --scheme=aggshuffle --runs=3
 //   geosim --workload=sort --scheme=spark --trace=trace.json --gantt
+//   geosim --workload=wordcount --jobs=8 --arrival=0.5 --tenants=2
 //   geosim --help
 #include <cstring>
 #include <fstream>
@@ -15,7 +21,9 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "engine/cluster.h"
+#include "engine/dataset.h"
 #include "netsim/pricing.h"
+#include "workloads/arrivals.h"
 #include "workloads/hibench.h"
 
 namespace {
@@ -37,6 +45,13 @@ struct Options {
   int crash_node = -1;          // worker index to crash (-1 = none)
   double crash_at = 0.0;        // sim-time of the crash, seconds
   double restart_after = 0.0;   // restart delay; 0 = stays dead
+  // Multi-job service mode (0 = classic single-job mode).
+  int jobs = 0;                 // concurrent jobs to submit
+  double arrival = 0.5;         // mean arrival rate, jobs per sim-second
+  double diurnal = 0.0;         // diurnal modulation amplitude [0, 1)
+  double diurnal_period = 60.0; // diurnal period, sim-seconds
+  int tenants = 2;              // tenants; tenant k gets weight k+1
+  int max_concurrent = 0;       // admission cap (0 = unlimited)
 };
 
 void PrintHelp() {
@@ -62,6 +77,19 @@ void PrintHelp() {
       "  --crash-node=N    crash worker node N mid-run (fault injection)\n"
       "  --crash-at=T      crash time in sim-seconds (default 0)\n"
       "  --restart-after=T restart the node T seconds later (0 = stays dead)\n"
+      "\n"
+      "multi-job service mode (docs/SERVICE.md):\n"
+      "  --jobs=N          submit N copies of the workload to one shared\n"
+      "                    cluster (default 0 = classic single-job mode)\n"
+      "  --arrival=R       mean Poisson arrival rate, jobs/sim-second\n"
+      "                    (default 0.5)\n"
+      "  --diurnal=A       diurnal rate modulation amplitude in [0, 1)\n"
+      "                    (default 0 = flat)\n"
+      "  --diurnal-period=T  diurnal period in sim-seconds (default 60)\n"
+      "  --tenants=K       spread jobs round-robin over K tenants;\n"
+      "                    tenant k has fair-share weight k+1 (default 2)\n"
+      "  --max-concurrent=N  admission cap on concurrently running jobs\n"
+      "                    (default 0 = unlimited)\n"
       "  --help            this text\n";
 }
 
@@ -171,6 +199,38 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
                           &opts->restart_after)) {
         return false;
       }
+    } else if (ParseFlag(argv[i], "jobs", &value)) {
+      if (!ParseIntIn(value, "jobs", 0, 100'000, &opts->jobs)) return false;
+    } else if (ParseFlag(argv[i], "arrival", &value)) {
+      if (!ParseDoubleMin(value, "arrival", 0.0, &opts->arrival) ||
+          opts->arrival <= 0) {
+        std::cerr << "invalid value for --arrival: want a rate > 0\n";
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "diurnal", &value)) {
+      if (!ParseDoubleMin(value, "diurnal", 0.0, &opts->diurnal) ||
+          opts->diurnal >= 1.0) {
+        std::cerr << "invalid value for --diurnal: want amplitude in "
+                     "[0, 1)\n";
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "diurnal-period", &value)) {
+      if (!ParseDoubleMin(value, "diurnal-period", 0.0,
+                          &opts->diurnal_period) ||
+          opts->diurnal_period <= 0) {
+        std::cerr << "invalid value for --diurnal-period: want seconds "
+                     "> 0\n";
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "tenants", &value)) {
+      if (!ParseIntIn(value, "tenants", 1, 1000, &opts->tenants)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "max-concurrent", &value)) {
+      if (!ParseIntIn(value, "max-concurrent", 0, 100'000,
+                      &opts->max_concurrent)) {
+        return false;
+      }
     } else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return false;
@@ -185,6 +245,96 @@ gs::Scheme ParseScheme(const std::string& name) {
   if (name == "aggshuffle") return gs::Scheme::kAggShuffle;
   std::cerr << "unknown scheme '" << name << "', using aggshuffle\n";
   return gs::Scheme::kAggShuffle;
+}
+
+// Multi-job service mode: one shared cluster, N workload jobs submitted on
+// an open-loop arrival process across weighted tenants.
+int RunMultiJob(const Options& opts) {
+  using namespace gs;
+  RunConfig cfg;
+  cfg.scheme = ParseScheme(opts.scheme);
+  cfg.seed = opts.seed;
+  cfg.scale = opts.scale;
+  cfg.cost = CostModel{}.Scaled(opts.scale);
+  cfg.aggregator_dc_count = opts.aggregators;
+  cfg.compute_threads = opts.threads;
+  cfg.observe.metrics = !opts.no_metrics;
+  cfg.observe.egress_usd_per_gib = WanPricing::Ec2SixRegionTariff().rates();
+  cfg.service.max_concurrent_jobs = opts.max_concurrent;
+  if (opts.crash_node >= 0) {
+    NodeCrashEvent crash;
+    crash.at = opts.crash_at;
+    crash.node = opts.crash_node;
+    crash.restart_after = opts.restart_after;
+    cfg.fault.plan.node_crashes.push_back(crash);
+  }
+  GeoCluster cluster(Ec2SixRegionTopology(opts.scale), cfg);
+
+  ArrivalConfig arrivals;
+  arrivals.rate_per_s = opts.arrival;
+  arrivals.diurnal_amplitude = opts.diurnal;
+  arrivals.diurnal_period = opts.diurnal_period;
+  const std::vector<SimTime> times =
+      GenerateArrivals(arrivals, opts.jobs, opts.seed);
+
+  WorkloadParams params;
+  params.scale = opts.scale;
+  std::vector<JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(opts.jobs));
+  for (int j = 0; j < opts.jobs; ++j) {
+    auto wl = MakeWorkload(opts.workload, params);
+    Dataset ds = wl->Build(
+        cluster, (opts.seed + static_cast<std::uint64_t>(j)) * 7919 + 13);
+    JobOptions jo;
+    const int tenant = j % opts.tenants;
+    jo.tenant = "t" + std::to_string(tenant);
+    jo.weight = tenant + 1.0;
+    jo.arrival_delay = times[static_cast<std::size_t>(j)];
+    jo.label = opts.workload + "#" + std::to_string(j);
+    handles.push_back(ds.Submit(wl->action(), jo));
+  }
+  cluster.RunUntilQuiescent();
+
+  std::vector<double> jcts, delays;
+  SimTime last_done = 0;
+  std::cout << opts.workload << " under " << opts.scheme << ": "
+            << opts.jobs << " job(s), " << opts.tenants
+            << " tenant(s), arrival rate " << FmtDouble(opts.arrival, 2)
+            << "/s" << (opts.diurnal > 0 ? " (diurnal)" : "") << ", scale 1/"
+            << opts.scale << "\n";
+  TextTable table(
+      {"job", "tenant", "arrived (s)", "queue (s)", "jct (s)", "MiB x-DC"});
+  for (const RunReport::JobRow& row : cluster.job_rows()) {
+    table.AddRow({row.label, row.tenant, FmtDouble(row.submitted, 2),
+                  FmtDouble(row.queue_delay(), 2), FmtDouble(row.jct(), 2),
+                  FmtDouble(ToMiB(row.cross_dc_bytes), 2)});
+    jcts.push_back(row.jct());
+    delays.push_back(row.queue_delay());
+    last_done = std::max(last_done, row.completed);
+  }
+  std::cout << table.Render();
+
+  if (!jcts.empty() && last_done > 0) {
+    std::cout << "\nthroughput " << FmtDouble(jcts.size() / last_done, 3)
+              << " jobs/s; JCT p50 " << FmtDouble(Percentile(jcts, 50), 2)
+              << "s, p99 " << FmtDouble(Percentile(jcts, 99), 2)
+              << "s; queue delay p50 " << FmtDouble(Percentile(delays, 50), 2)
+              << "s, p99 " << FmtDouble(Percentile(delays, 99), 2) << "s\n";
+  }
+
+  if (!opts.report_path.empty()) {
+    // Whole-service snapshot: the jobs table plus cluster-wide metrics.
+    RunReport report = cluster.BuildReport(JobMetrics{}, nullptr);
+    report.label = opts.workload + "/" + opts.scheme + "/multijob";
+    std::ofstream out(opts.report_path);
+    if (!out) {
+      std::cerr << "cannot write " << opts.report_path << "\n";
+      return 1;
+    }
+    out << report.ToJson() << "\n";
+    std::cout << "\nRun report written to " << opts.report_path << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -219,6 +369,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (opts.jobs > 0) return RunMultiJob(opts);
 
   WorkloadParams params;
   params.scale = opts.scale;

@@ -8,12 +8,17 @@
 //
 //   geosim-fuzz --iters=200 --seed=1
 //   geosim-fuzz --replay=simcheck_repro.json
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "simcheck/simcheck.h"
 
@@ -22,6 +27,7 @@ namespace {
 struct Options {
   int iters = 50;
   std::uint64_t seed = 1;
+  int budget_ms = 0;  // 0 = no wall-clock budget
   std::string out_path = "simcheck_repro.json";
   std::string replay_path;
   bool shrink = true;
@@ -36,6 +42,10 @@ void PrintHelp() {
       "\n"
       "  --iters=N       configurations to draw and check (default 50)\n"
       "  --seed=S        base seed; configuration i uses seed S+i\n"
+      "  --budget-ms=T   wall-clock budget for the whole run; when it runs\n"
+      "                  out the in-flight configuration is reported (and\n"
+      "                  written to --out) and the process exits 3. Guards\n"
+      "                  against configs that hang the simulation.\n"
       "  --out=FILE      minimized-repro JSON written on failure\n"
       "                  (default simcheck_repro.json)\n"
       "  --replay=FILE   replay one repro JSON instead of fuzzing\n"
@@ -45,7 +55,7 @@ void PrintHelp() {
       "  --help          this text\n"
       "\n"
       "exit status: 0 all invariants held, 1 a violation was found,\n"
-      "2 usage error\n";
+      "2 usage error, 3 the wall-clock budget ran out\n";
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -104,6 +114,12 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
                   << "' (want an unsigned integer)\n";
         return false;
       }
+    } else if (ParseFlag(argv[i], "budget-ms", &value)) {
+      if (!ParseInt(value, 1, &opts->budget_ms)) {
+        std::cerr << "invalid value for --budget-ms: '" << value
+                  << "' (want an integer >= 1)\n";
+        return false;
+      }
     } else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return false;
@@ -115,6 +131,68 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
   }
   return true;
 }
+
+// Wall-clock guard (--budget-ms). Some generated configurations can hang
+// the simulation outright (seed 5110 live-locks the engine check; see the
+// disabled pin in tests/integration/simcheck_hang_regression_test.cc), and
+// a synchronous check cannot be interrupted from the loop that called it.
+// A watchdog thread therefore reports the configuration that was in
+// flight when the budget expired and hard-exits the process — that JSON is
+// the reproducer a hang would otherwise swallow.
+class WallClockBudget {
+ public:
+  WallClockBudget(int budget_ms, std::string out_path)
+      : out_path_(std::move(out_path)),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(budget_ms)),
+        watchdog_([this] { Watch(); }) {}
+
+  ~WallClockBudget() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_one();
+    watchdog_.join();
+  }
+
+  // Records the configuration about to be checked.
+  void SetCurrent(const gs::simcheck::SimcheckConfig& cfg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_json_ = gs::simcheck::ToJson(cfg);
+  }
+
+ private:
+  void Watch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!done_) {
+      if (cv_.wait_until(lock, deadline_) == std::cv_status::timeout &&
+          !done_) {
+        std::cerr << "wall-clock budget exceeded; configuration in flight:\n"
+                  << current_json_ << "\n";
+        if (!out_path_.empty()) {
+          std::ofstream out(out_path_);
+          if (out) {
+            out << current_json_ << "\n";
+            std::cerr << "written to " << out_path_
+                      << " (replay with --replay=" << out_path_ << ")\n";
+          }
+        }
+        // The checker thread may be wedged inside the simulation; exit
+        // without unwinding it.
+        std::_Exit(3);
+      }
+    }
+  }
+
+  const std::string out_path_;
+  const std::chrono::steady_clock::time_point deadline_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::string current_json_;
+  std::thread watchdog_;
+};
 
 gs::simcheck::CheckFn LevelFn(const Options& opts) {
   if (opts.netsim_only) return &gs::simcheck::RunNetsimCheck;
@@ -172,6 +250,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::unique_ptr<WallClockBudget> budget;
+  if (opts.budget_ms > 0) {
+    budget = std::make_unique<WallClockBudget>(opts.budget_ms, opts.out_path);
+  }
+
   if (!opts.replay_path.empty()) {
     std::ifstream in(opts.replay_path);
     if (!in) {
@@ -186,6 +269,7 @@ int main(int argc, char** argv) {
       std::cerr << "bad reproducer JSON: " << error << "\n";
       return 2;
     }
+    if (budget) budget->SetCurrent(cfg);
     gs::simcheck::CheckResult result = LevelFn(opts)(cfg);
     if (!result.ok()) {
       std::cerr << "replay of " << opts.replay_path << " still fails:\n";
@@ -204,6 +288,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < opts.iters; ++i) {
     const std::uint64_t seed = opts.seed + static_cast<std::uint64_t>(i);
     const gs::simcheck::SimcheckConfig cfg = gs::simcheck::GenerateConfig(seed);
+    if (budget) budget->SetCurrent(cfg);
     const gs::simcheck::CheckResult result = LevelFn(opts)(cfg);
     engine_runs += result.engine_runs;
     netsim_flows += result.netsim_flows;
