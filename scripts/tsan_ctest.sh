@@ -8,5 +8,5 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGS_SANITIZE=tsan
 cmake --build build-tsan -j "$(nproc)"
-TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$PWD/scripts/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" "$@"

@@ -40,7 +40,9 @@ JobRunner::JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
 JobRunner::~JobRunner() {
   // Compute jobs of discarded attempts are never joined (their stale
   // OnGatherDone no-ops); let them finish before the stage structures
-  // they reference go away.
+  // they reference go away. An unsent wave must reach the pool first, or
+  // its packaged tasks die with this runner and nothing runs them.
+  FlushComputeBatch();
   cluster_.compute_pool().WaitIdle();
 }
 
@@ -527,10 +529,28 @@ void JobRunner::SubmitCompute(TaskRun& task) {
   if (sr.stage.consumer_shuffle != nullptr) {
     spec.consumer_shuffle = &sr.stage.consumer_shuffle->shuffle();
   }
-  task.compute = cluster_.compute_pool().Submit(
+  std::packaged_task<TaskComputeResult()> job(
       [spec = std::move(spec)]() mutable {
         return ComputeTask(std::move(spec));
       });
+  task.compute = job.get_future();
+  compute_batch_.push_back(std::move(job));
+  if (!compute_flush_scheduled_) {
+    compute_flush_scheduled_ = true;
+    sim_.Schedule(0, [this] { FlushComputeBatch(); });
+  }
+}
+
+void JobRunner::FlushComputeBatch() {
+  compute_flush_scheduled_ = false;
+  if (compute_batch_.empty()) return;
+  std::vector<MoveFunction> jobs;
+  jobs.reserve(compute_batch_.size());
+  for (std::packaged_task<TaskComputeResult()>& job : compute_batch_) {
+    jobs.emplace_back([job = std::move(job)]() mutable { job(); });
+  }
+  compute_batch_.clear();
+  cluster_.compute_pool().SubmitPrepared(std::move(jobs));
 }
 
 void JobRunner::GatherArrived(TaskRun& task) {
@@ -556,6 +576,7 @@ void JobRunner::OnGatherDone(TaskRun& task) {
   // produced. Exceptions thrown by workload lambdas resurface here, on
   // the event loop.
   GS_CHECK(task.compute.valid());
+  FlushComputeBatch();  // the wave may still be unsent in this instant
   TaskComputeResult out = task.compute.get();
   SimTime cpu = config_.cost.CpuTime(task.in_bytes, out.out_bytes) +
                 config_.cost.record_cpu *
@@ -949,7 +970,21 @@ void JobRunner::HandleFetchFailure(TaskRun& task, ShuffleId sid,
   task.gathered.clear();
   task.gather_srcs.clear();
 
-  for (int m : missing) cluster_.tracker().InvalidateMapOutput(sid, m);
+  // Invalidate only outputs that are still unusable *now*. This doomed
+  // attempt observed the loss a gather-RTT ago; the parent map may have
+  // re-run and re-registered in the meantime (another reducer's failure
+  // already triggered recovery). Clobbering the fresh registration would
+  // restart recovery and can live-lock the job: stale in-flight gathers
+  // and map re-runs invalidating each other forever.
+  const int shard = task.cut_partition;
+  for (int m : missing) {
+    const MapOutputLocation& cur = cluster_.tracker().Output(sid, m, shard);
+    if (cur.node != kNoNode &&
+        cluster_.blocks().Has(cur.node, BlockId::Shuffle(sid, m, shard))) {
+      continue;  // regenerated since this attempt built its fetch list
+    }
+    cluster_.tracker().InvalidateMapOutput(sid, m);
+  }
 
   const StageId parent_id = StageWritingShuffle(sid);
   StageRun& parent = stage_run(parent_id);

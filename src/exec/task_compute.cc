@@ -9,6 +9,25 @@
 #include "data/partitioner.h"
 
 namespace gs {
+namespace {
+
+// Per-thread scratch reused across compute jobs: a pool worker splitting
+// map output after map output pays the shard-table and hash-vector
+// allocations once, not per task. Sizes are reset per job, capacity is
+// kept. Thread-local, so jobs running concurrently never share it.
+struct SplitScratch {
+  std::vector<std::uint64_t> hashes;
+  std::vector<int> shard_of;
+  std::vector<std::size_t> histogram;
+  std::vector<Bytes> shard_raw;
+};
+
+SplitScratch& Scratch() {
+  static thread_local SplitScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 TaskComputeResult ComputeTask(TaskComputeSpec spec) {
   GS_CHECK(spec.output_rdd != nullptr);
@@ -23,7 +42,8 @@ TaskComputeResult ComputeTask(TaskComputeSpec spec) {
   // Map-side combine. The combine pass hashes every key anyway, so it
   // hands the hashes back for shard assignment below — one FNV-1a per
   // record for the whole combine-then-partition path.
-  std::vector<std::uint64_t> hashes;
+  std::vector<std::uint64_t>& hashes = Scratch().hashes;
+  hashes.clear();
   const bool want_hashes =
       spec.output == StageOutputKind::kShuffleWrite &&
       spec.consumer_shuffle->partitioner->UsesKeyHash();
@@ -42,10 +62,13 @@ TaskComputeResult ComputeTask(TaskComputeSpec spec) {
     const Partitioner& part = *spec.consumer_shuffle->partitioner;
     const int num_shards = part.num_shards();
     const std::size_t n = records.size();
-    std::vector<int> shard_of(n);
-    std::vector<std::size_t> histogram(
-        static_cast<std::size_t>(num_shards), 0);
-    std::vector<Bytes> shard_raw(static_cast<std::size_t>(num_shards), 0);
+    SplitScratch& s = Scratch();
+    std::vector<int>& shard_of = s.shard_of;
+    shard_of.resize(n);  // every element is overwritten below
+    std::vector<std::size_t>& histogram = s.histogram;
+    histogram.assign(static_cast<std::size_t>(num_shards), 0);
+    std::vector<Bytes>& shard_raw = s.shard_raw;
+    shard_raw.assign(static_cast<std::size_t>(num_shards), 0);
     const bool hashed = want_hashes;
     for (std::size_t i = 0; i < n; ++i) {
       const Record& r = records[i];

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/threadpool.h"
 
 namespace gs {
 namespace {
@@ -25,6 +27,12 @@ constexpr double kByteEpsilon = 1e-6;
 // fraction of the capacity instead — small enough to be irrelevant to any
 // measured rate, large enough that the flow keeps a finite deadline.
 constexpr double kStarvationRateFraction = 1e-9;
+
+// Component departures tolerated before a rebuild re-splits drifted
+// unions. Small components rebuild after a fixed budget; large ones only
+// after a departure count proportional to their live size, keeping the
+// amortized rebuild cost per flow constant.
+constexpr int kRebuildMinRemovals = 64;
 
 // Min-heap ordering for (value, index) pairs via std::push_heap/pop_heap:
 // the front is the smallest value, ties broken toward the smaller index —
@@ -102,6 +110,7 @@ Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
     m_solver_flows_ = &metrics->counter("netsim.solver_flows");
     m_reschedules_ = &metrics->counter("netsim.flow_reschedules");
     m_starvation_guards_ = &metrics->counter("netsim.starvation_guards");
+    m_parallel_solves_ = &metrics->counter("netsim.parallel_solves");
     m_active_flows_ = &metrics->gauge("netsim.active_flows");
     // 1 KiB .. 4 GiB in x4 steps; shuffle blocks land mid-range.
     const std::vector<double> bounds = ExponentialBounds(1024, 4, 12);
@@ -121,12 +130,32 @@ Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
     wan_current_[l] = topo_.wan_link(l).base_rate;
     capacity_[WanRes(l)] = wan_current_[l];
   }
-  res_flows_.resize(num_res);
+  res_comp_.assign(num_res, -1);
   res_dirty_token_.assign(num_res, 0);
-  res_visit_token_.assign(num_res, 0);
   rem_cap_.assign(num_res, 0.0);
   res_count_.assign(num_res, 0);
-  res_members_.resize(num_res);
+  res_row_.assign(num_res, 0);
+  id_to_slot_.push_back(-1);  // FlowId 0 is never issued
+}
+
+std::int32_t Network::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const std::int32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::int32_t>(slab_.size()) - 1;
+}
+
+void Network::FreeSlot(std::int32_t slot) {
+  Flow& f = slab_[static_cast<std::size_t>(slot)];
+  id_to_slot_[static_cast<std::size_t>(f.id)] = -1;
+  f.started = false;
+  f.on_complete = nullptr;
+  f.completion_event = EventHandle{};
+  free_slots_.push_back(slot);
+  --tracked_flows_;
 }
 
 FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
@@ -150,16 +179,28 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
     }
   }
 
-  Flow flow;
-  flow.id = id;
-  flow.src = src;
-  flow.dst = dst;
-  flow.kind = kind;
-  flow.total = bytes;
-  flow.remaining = static_cast<double>(bytes);
-  flow.created_at = sim_.Now();
-  flow.last_update = sim_.Now();
-  flow.on_complete = std::move(on_complete);
+  const std::int32_t slot = AllocSlot();
+  GS_CHECK(static_cast<std::size_t>(id) == id_to_slot_.size());
+  id_to_slot_.push_back(slot);
+  ++tracked_flows_;
+  Flow& f = slab_[static_cast<std::size_t>(slot)];
+  f.started = false;
+  f.nres = 0;
+  f.res[0] = f.res[1] = f.res[2] = -1;
+  f.contend_seq = -1;
+  f.rate = 0;
+  f.rate_cap = 0;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.kind = kind;
+  f.remaining = static_cast<double>(bytes);
+  f.total = bytes;
+  f.created_at = sim_.Now();
+  f.last_update = sim_.Now();
+  f.wan_link = -1;
+  f.attributed = 0;
+  f.on_complete = std::move(on_complete);
 
   if (src == dst) {
     // Loopback: consumes no network resources and completes after a fixed
@@ -167,43 +208,40 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
     // and tracked like any other flow so byte conservation and flow
     // accounting hold, and CancelFlow on its id behaves normally. It never
     // sets `started`, so rate sharing and progress advancement skip it.
-    auto [it, inserted] = flows_.emplace(id, std::move(flow));
-    GS_CHECK(inserted);
-    it->second.completion_event = sim_.Schedule(Millis(0.1), [this, id] {
-      auto fit = flows_.find(id);
-      if (fit == flows_.end()) return;  // cancelled before loopback latency
-      FinishFlow(fit);
+    f.completion_event = sim_.Schedule(Millis(0.1), [this, id] {
+      const std::int32_t s = SlotOf(id);
+      if (s < 0) return;  // cancelled before loopback latency
+      FinishFlow(s);
       ScheduleDeferredReconfigure();
     });
     if (m_active_flows_ != nullptr) {
-      m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+      m_active_flows_->Set(tracked_flows_);
     }
     return id;
   }
 
   CatchUpJitter();
-  flow.resources.push_back(UplinkRes(src));
+  f.res[f.nres++] = static_cast<std::int32_t>(UplinkRes(src));
   SimTime setup = topo_.rtt(src_dc, dst_dc) / 2;
   if (src_dc != dst_dc) {
     int link = topo_.wan_link_index(src_dc, dst_dc);
     GS_CHECK_MSG(link >= 0, "no WAN link " << src_dc << "->" << dst_dc);
-    flow.resources.push_back(WanRes(link));
+    f.res[f.nres++] = static_cast<std::int32_t>(WanRes(link));
     // Single-connection TCP ceiling and occasional stalls on WAN paths.
     const WanLinkSpec& spec = topo_.wan_link(link);
     double eff = jitter_rng_.Uniform(config_.wan_flow_efficiency_min, 1.0);
-    flow.rate_cap = eff * spec.base_rate;
+    f.rate_cap = eff * spec.base_rate;
     if (config_.wan_stall_prob > 0 &&
         jitter_rng_.Bernoulli(config_.wan_stall_prob)) {
       setup += jitter_rng_.Uniform(config_.wan_stall_min,
                                    config_.wan_stall_max);
       if (m_wan_stalls_ != nullptr) m_wan_stalls_->Add(1);
     }
-    flow.wan_link = link;
+    f.wan_link = link;
   }
-  flow.resources.push_back(DownlinkRes(dst));
-  flows_.emplace(id, std::move(flow));
+  f.res[f.nres++] = static_cast<std::int32_t>(DownlinkRes(dst));
   if (m_active_flows_ != nullptr) {
-    m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+    m_active_flows_->Set(tracked_flows_);
   }
 
   // Connection setup: the flow begins contending after one-way latency
@@ -211,14 +249,14 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
   // resources; the batched reconfigure re-shares those components once per
   // instant, however many flows arrive together.
   sim_.Schedule(setup, [this, id] {
-    auto it = flows_.find(id);
-    if (it == flows_.end()) return;  // cancelled during setup
-    Flow& f = it->second;
-    f.started = true;
-    f.last_update = sim_.Now();
-    f.contend_seq = next_contend_seq_++;
-    for (int r : f.resources) res_flows_[r].push_back(id);
-    MarkFlowResourcesDirty(f);
+    const std::int32_t s = SlotOf(id);
+    if (s < 0) return;  // cancelled during setup
+    Flow& flow = slab_[static_cast<std::size_t>(s)];
+    flow.started = true;
+    flow.last_update = sim_.Now();
+    flow.contend_seq = next_contend_seq_++;
+    AddFlowToComponent(s);
+    MarkFlowResourcesDirty(flow);
     ScheduleDeferredReconfigure();
   });
   MaintainJitterEvent();
@@ -226,28 +264,34 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
 }
 
 void Network::CancelFlow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& f = it->second;
+  const std::int32_t slot = SlotOf(id);
+  if (slot < 0) return;
+  Flow& f = slab_[static_cast<std::size_t>(slot)];
   // Advance to Now() first so the bytes actually moved are attributed at
   // their real times, then settle the never-to-be-sent remainder here: the
   // meter charged the full size at start, and conservation must hold.
   AdvanceFlow(f, sim_.Now());
   SettleFlowResidual(f);
   f.completion_event.Cancel();
-  if (f.started) MarkFlowResourcesDirty(f);
-  flows_.erase(it);
+  if (f.started) {
+    MarkFlowResourcesDirty(f);
+    // Drop contention before the component update: a rebuild triggered by
+    // this departure must not re-insert the dying flow.
+    f.started = false;
+    RemoveFlowFromComponent(f);
+  }
+  FreeSlot(slot);
   if (m_flows_cancelled_ != nullptr) m_flows_cancelled_->Add(1);
   if (m_active_flows_ != nullptr) {
-    m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+    m_active_flows_->Set(tracked_flows_);
   }
   // Synchronous: callers observe the re-shared rates immediately.
   Reconfigure();
 }
 
 Rate Network::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0 : it->second.rate;
+  const std::int32_t slot = SlotOf(id);
+  return slot < 0 ? 0 : slab_[static_cast<std::size_t>(slot)].rate;
 }
 
 Rate Network::wan_capacity(DcIndex src, DcIndex dst) {
@@ -276,7 +320,7 @@ void Network::MarkResDirty(int r) {
 }
 
 void Network::MarkFlowResourcesDirty(const Flow& f) {
-  for (int r : f.resources) MarkResDirty(r);
+  for (int j = 0; j < f.nres; ++j) MarkResDirty(f.res[j]);
 }
 
 void Network::ScheduleDeferredReconfigure() {
@@ -288,151 +332,375 @@ void Network::ScheduleDeferredReconfigure() {
   });
 }
 
-void Network::FreezeFlow(std::size_t idx, Rate share) {
-  new_rate_[idx] = share;
-  frozen_[idx] = 1;
-  for (int r : affected_[idx]->resources) {
-    rem_cap_[r] -= share;
+// ---------------------------------------------------------------------------
+// Component maintenance
+// ---------------------------------------------------------------------------
+
+int Network::AllocComponent() {
+  if (!comp_free_.empty()) {
+    const int c = comp_free_.back();
+    comp_free_.pop_back();
+    comps_[static_cast<std::size_t>(c)].free = false;
+    return c;
+  }
+  comps_.emplace_back();
+  comps_.back().free = false;
+  return static_cast<int>(comps_.size()) - 1;
+}
+
+void Network::ReleaseComponent(int c) {
+  Component& comp = comps_[static_cast<std::size_t>(c)];
+  for (const std::int32_t r : comp.resources) res_comp_[r] = -1;
+  comp.entries.clear();
+  comp.resources.clear();
+  comp.live = 0;
+  comp.removed_since_rebuild = 0;
+  comp.dirty_token = 0;
+  comp.free = true;
+  comp_free_.push_back(c);
+}
+
+void Network::AddFlowToComponent(std::int32_t slot) {
+  Flow& f = slab_[static_cast<std::size_t>(slot)];
+  int target = -1;
+  for (int j = 0; j < f.nres; ++j) {
+    const int c = res_comp_[f.res[j]];
+    if (c < 0 || c == target) continue;
+    target = target < 0 ? c : MergeComponents(target, c);
+  }
+  if (target < 0) target = AllocComponent();
+  Component& comp = comps_[static_cast<std::size_t>(target)];
+  for (int j = 0; j < f.nres; ++j) {
+    const std::int32_t r = f.res[j];
+    if (res_comp_[r] != target) {
+      res_comp_[r] = target;
+      comp.resources.push_back(r);
+    }
+  }
+  // contend_seq is globally monotone, so appending keeps entries sorted.
+  comp.entries.push_back(CompEntry{slot, f.contend_seq});
+  ++comp.live;
+}
+
+int Network::MergeComponents(int a, int b) {
+  if (comps_[static_cast<std::size_t>(a)].entries.size() <
+      comps_[static_cast<std::size_t>(b)].entries.size()) {
+    std::swap(a, b);
+  }
+  Component& big = comps_[static_cast<std::size_t>(a)];
+  Component& small = comps_[static_cast<std::size_t>(b)];
+  // Order-preserving small-into-large merge: both lists are sorted by
+  // contend_seq, so the union stays in contention order and every flow is
+  // moved O(log n) times over its lifetime.
+  merge_scratch_.clear();
+  merge_scratch_.reserve(big.entries.size() + small.entries.size());
+  std::merge(big.entries.begin(), big.entries.end(), small.entries.begin(),
+             small.entries.end(), std::back_inserter(merge_scratch_),
+             [](const CompEntry& x, const CompEntry& y) {
+               return x.seq < y.seq;
+             });
+  big.entries.swap(merge_scratch_);
+  for (const std::int32_t r : small.resources) {
+    res_comp_[r] = a;
+    big.resources.push_back(r);
+  }
+  big.live += small.live;
+  big.removed_since_rebuild += small.removed_since_rebuild;
+  small.entries.clear();
+  small.resources.clear();
+  small.live = 0;
+  small.removed_since_rebuild = 0;
+  small.dirty_token = 0;
+  small.free = true;
+  comp_free_.push_back(b);
+  return a;
+}
+
+void Network::RemoveFlowFromComponent(const Flow& f) {
+  const int c = res_comp_[f.res[0]];
+  GS_CHECK(c >= 0);
+  Component& comp = comps_[static_cast<std::size_t>(c)];
+  --comp.live;
+  ++comp.removed_since_rebuild;
+  if (comp.live == 0) {
+    ReleaseComponent(c);
+  } else if (comp.removed_since_rebuild >= kRebuildMinRemovals &&
+             comp.removed_since_rebuild >= comp.live) {
+    RebuildComponent(c);
+  }
+}
+
+void Network::RebuildComponent(int c) {
+  // Unions only ever grow while flows live; a departure may have split the
+  // component in reality while the union still covers both halves. Solving
+  // a stale superset is bitwise-harmless (disjoint sub-components solve
+  // independently, so every unperturbed flow reproduces its old rate and
+  // is skipped) but wastes work, so after enough departures the component
+  // is torn down and its live flows re-inserted in contention order —
+  // re-unioning into however many real components remain.
+  rebuild_entries_.clear();
+  for (const CompEntry e : comps_[static_cast<std::size_t>(c)].entries) {
+    if (EntryFlow(e) != nullptr) rebuild_entries_.push_back(e);
+  }
+  ReleaseComponent(c);
+  for (const CompEntry e : rebuild_entries_) AddFlowToComponent(e.slot);
+}
+
+// ---------------------------------------------------------------------------
+// Rate solving
+// ---------------------------------------------------------------------------
+
+void Network::FreezeOne(SolveScratch& s, int idx, Rate rate) {
+  s.new_rate[static_cast<std::size_t>(idx)] = rate;
+  s.frozen[static_cast<std::size_t>(idx)] = 1;
+  for (int j = 0; j < 3; ++j) {
+    const std::int32_t r = s.res[static_cast<std::size_t>(3 * idx + j)];
+    if (r < 0) continue;
+    rem_cap_[r] -= rate;
     // Epsilon floor: rounding must never leave a resource with negative
     // remaining capacity, or its (negative) share would win every later
     // bottleneck scan and freeze whole flow sets at rate zero.
     if (rem_cap_[r] < 0) rem_cap_[r] = 0;
-    if (--res_count_[r] > 0) {
-      share_heap_.emplace_back(rem_cap_[r] / res_count_[r], r);
-      std::push_heap(share_heap_.begin(), share_heap_.end(), HeapLater{});
+    --res_count_[r];
+    const std::int32_t row = res_row_[r];
+    if (!s.changed_mark[static_cast<std::size_t>(row)]) {
+      s.changed_mark[static_cast<std::size_t>(row)] = 1;
+      s.changed.push_back(r);
     }
   }
 }
 
-void Network::SolveRates() {
-  if (m_rate_recomputes_ != nullptr) m_rate_recomputes_->Add(1);
-  ++visit_token_;
-  ++dirty_token_;  // retires all current dirty marks
-  affected_.clear();
-  touched_res_.clear();
-  bfs_stack_.assign(dirty_res_.begin(), dirty_res_.end());
-  dirty_res_.clear();
-
-  // The max-min allocation decomposes over connected components of the
-  // bipartite flow/resource sharing graph: freezing order and arithmetic
-  // inside one component never reads another component's state. Solving
-  // only the components reachable from the perturbed resources therefore
-  // reproduces the global solution bit for bit, and every flow outside
-  // them keeps its rate (and completion event) untouched.
-  while (!bfs_stack_.empty()) {
-    const int r = bfs_stack_.back();
-    bfs_stack_.pop_back();
-    if (res_visit_token_[r] == visit_token_) continue;
-    res_visit_token_[r] = visit_token_;
-    touched_res_.push_back(r);
-    std::vector<FlowId>& users = res_flows_[r];
-    std::size_t kept = 0;
-    for (FlowId id : users) {
-      auto it = flows_.find(id);
-      if (it == flows_.end()) continue;  // finished/cancelled tombstone
-      users[kept++] = id;
-      Flow& f = it->second;
-      if (f.visit_token == visit_token_) continue;
-      f.visit_token = visit_token_;
-      affected_.push_back(&f);
-      for (int r2 : f.resources) {
-        if (res_visit_token_[r2] != visit_token_) bfs_stack_.push_back(r2);
-      }
+void Network::PushChangedShares(SolveScratch& s) {
+  // One heap push per distinct perturbed resource per filling step, not
+  // one per frozen flow: intermediate shares would fail validate-on-pop
+  // anyway, so only the final value of the step needs to be present.
+  for (const std::int32_t r : s.changed) {
+    s.changed_mark[static_cast<std::size_t>(res_row_[r])] = 0;
+    if (res_count_[r] > 0) {
+      s.share_heap.emplace_back(rem_cap_[r] / res_count_[r], r);
+      std::push_heap(s.share_heap.begin(), s.share_heap.end(), HeapLater{});
     }
-    users.resize(kept);
   }
-  if (affected_.empty()) {
-    for (int r : touched_res_) res_members_[r].clear();
-    return;
-  }
-  // Freeze ties in the order flows entered contention — a deterministic
-  // event-loop order, and stable under restriction: a component's flows
-  // appear in the same relative order as in a full solve.
-  std::sort(affected_.begin(), affected_.end(),
-            [](const Flow* a, const Flow* b) {
-              return a->contend_seq < b->contend_seq;
-            });
-  std::sort(touched_res_.begin(), touched_res_.end());
+  s.changed.clear();
+}
 
-  new_rate_.assign(affected_.size(), 0.0);
-  frozen_.assign(affected_.size(), 0);
-  for (int r : touched_res_) {
+void Network::SolveComponent(int c, SolveScratch& s) {
+  Component& comp = comps_[static_cast<std::size_t>(c)];
+  s.slots.clear();
+  s.old_rate.clear();
+  s.cap_heap.clear();
+  s.share_heap.clear();
+  s.res.clear();
+  s.row_res.clear();
+  s.changed.clear();
+  s.starvation_guards = 0;
+
+  // Stream the component's flows into a struct-of-arrays view, compacting
+  // stale entries (finished/cancelled flows) in place. Slab fields read
+  // here are written only between solve waves, so concurrent component
+  // solves read them safely.
+  std::size_t kept = 0;
+  for (const CompEntry e : comp.entries) {
+    const Flow* f = EntryFlow(e);
+    if (f == nullptr) continue;
+    comp.entries[kept++] = e;
+    s.slots.push_back(e.slot);
+    s.old_rate.push_back(f->rate);
+    if (f->rate_cap > 0) {
+      // Each capped flow gets a virtual resource holding only itself (its
+      // single-connection TCP ceiling). Uncapped flows would have an
+      // infinite share — never the bottleneck, so they are not enqueued.
+      s.cap_heap.emplace_back(f->rate_cap,
+                              static_cast<int>(s.slots.size()) - 1);
+    }
+    s.res.push_back(f->res[0]);
+    s.res.push_back(f->res[1]);
+    s.res.push_back(f->res[2]);
+  }
+  comp.entries.resize(kept);
+  const int n = static_cast<int>(s.slots.size());
+  s.new_rate.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return;
+
+  // Per-resource tallies live in arrays indexed by resource id; distinct
+  // components own disjoint resources, so concurrent solves never write
+  // the same element.
+  for (const std::int32_t r : comp.resources) {
     rem_cap_[r] = capacity_[r];
     res_count_[r] = 0;
-    res_members_[r].clear();
   }
-  for (std::size_t i = 0; i < affected_.size(); ++i) {
-    for (int r : affected_[i]->resources) {
-      res_members_[r].push_back(static_cast<int>(i));
-      ++res_count_[r];
-    }
+  for (const std::int32_t r : s.res) {
+    if (r >= 0) ++res_count_[r];
   }
-  share_heap_.clear();
-  cap_heap_.clear();
-  for (int r : touched_res_) {
+  std::int32_t rows = 0;
+  for (const std::int32_t r : comp.resources) {
     if (res_count_[r] > 0) {
-      share_heap_.emplace_back(rem_cap_[r] / res_count_[r], r);
+      res_row_[r] = rows++;
+      s.row_res.push_back(r);
     }
   }
-  std::make_heap(share_heap_.begin(), share_heap_.end(), HeapLater{});
-  for (std::size_t i = 0; i < affected_.size(); ++i) {
-    // Each capped flow gets a virtual resource holding only itself (its
-    // single-connection TCP ceiling). Uncapped flows would have an
-    // infinite share — never the bottleneck, so they are not enqueued.
-    if (affected_[i]->rate_cap > 0) {
-      cap_heap_.emplace_back(affected_[i]->rate_cap, static_cast<int>(i));
+  // CSR member lists, filled in contention order.
+  s.offsets.assign(static_cast<std::size_t>(rows) + 1, 0);
+  for (const std::int32_t r : s.res) {
+    if (r >= 0) ++s.offsets[static_cast<std::size_t>(res_row_[r]) + 1];
+  }
+  for (std::int32_t row = 0; row < rows; ++row) {
+    s.offsets[static_cast<std::size_t>(row) + 1] +=
+        s.offsets[static_cast<std::size_t>(row)];
+  }
+  s.cursor.assign(s.offsets.begin(), s.offsets.end() - 1);
+  s.members.resize(static_cast<std::size_t>(s.offsets[rows]));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const std::int32_t r = s.res[static_cast<std::size_t>(3 * i + j)];
+      if (r < 0) continue;
+      s.members[static_cast<std::size_t>(s.cursor[res_row_[r]]++)] = i;
     }
   }
-  std::make_heap(cap_heap_.begin(), cap_heap_.end(), HeapLater{});
+  s.changed_mark.assign(static_cast<std::size_t>(rows), 0);
+
+  for (const std::int32_t r : s.row_res) {
+    s.share_heap.emplace_back(rem_cap_[r] / res_count_[r], r);
+  }
+  std::make_heap(s.share_heap.begin(), s.share_heap.end(), HeapLater{});
+  std::make_heap(s.cap_heap.begin(), s.cap_heap.end(), HeapLater{});
+  s.frozen.assign(static_cast<std::size_t>(n), 0);
 
   // Progressive filling with lazy heaps: entries are invalidated by later
   // freezes rather than updated in place, and validated on pop — a stale
   // real-resource entry is one whose stored share no longer equals the
   // resource's current fair share.
-  std::size_t unfrozen = affected_.size();
+  int unfrozen = n;
   while (unfrozen > 0) {
     int best_res = -1;
     double best_share = 0;
-    while (!share_heap_.empty()) {
-      const auto [share, r] = share_heap_.front();
+    while (!s.share_heap.empty()) {
+      const auto [share, r] = s.share_heap.front();
       if (res_count_[r] > 0 && share == rem_cap_[r] / res_count_[r]) {
         best_res = r;
         best_share = share;
         break;
       }
-      std::pop_heap(share_heap_.begin(), share_heap_.end(), HeapLater{});
-      share_heap_.pop_back();
+      std::pop_heap(s.share_heap.begin(), s.share_heap.end(), HeapLater{});
+      s.share_heap.pop_back();
     }
-    while (!cap_heap_.empty() && frozen_[cap_heap_.front().second]) {
-      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), HeapLater{});
-      cap_heap_.pop_back();
+    while (!s.cap_heap.empty() &&
+           s.frozen[static_cast<std::size_t>(s.cap_heap.front().second)]) {
+      std::pop_heap(s.cap_heap.begin(), s.cap_heap.end(), HeapLater{});
+      s.cap_heap.pop_back();
     }
-    if (best_res < 0 && cap_heap_.empty()) break;  // every flow has resources
+    if (best_res < 0 && s.cap_heap.empty()) break;  // every flow frozen-able
 
-    if (!cap_heap_.empty() &&
-        (best_res < 0 || cap_heap_.front().first < best_share)) {
+    if (!s.cap_heap.empty() &&
+        (best_res < 0 || s.cap_heap.front().first < best_share)) {
       // A TCP ceiling is the strict bottleneck: freeze just that flow.
-      const auto [cap, idx] = cap_heap_.front();
-      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), HeapLater{});
-      cap_heap_.pop_back();
-      FreezeFlow(static_cast<std::size_t>(idx), cap);
+      const auto [cap, idx] = s.cap_heap.front();
+      std::pop_heap(s.cap_heap.begin(), s.cap_heap.end(), HeapLater{});
+      s.cap_heap.pop_back();
+      FreezeOne(s, idx, cap);
       --unfrozen;
+      PushChangedShares(s);
       continue;
     }
 
     double share = std::max(best_share, 0.0);
     if (share <= 0 && capacity_[best_res] > 0) {
       share = capacity_[best_res] * kStarvationRateFraction;
-      if (m_starvation_guards_ != nullptr) m_starvation_guards_->Add(1);
+      ++s.starvation_guards;
     }
-    for (int idx : res_members_[best_res]) {
-      if (frozen_[idx]) continue;
-      FreezeFlow(static_cast<std::size_t>(idx), share);
+    const std::int32_t row = res_row_[best_res];
+    for (std::int32_t k = s.offsets[static_cast<std::size_t>(row)];
+         k < s.offsets[static_cast<std::size_t>(row) + 1]; ++k) {
+      const int idx = s.members[static_cast<std::size_t>(k)];
+      if (s.frozen[static_cast<std::size_t>(idx)]) continue;
+      FreezeOne(s, idx, share);
       --unfrozen;
     }
+    PushChangedShares(s);
   }
-  if (m_solver_flows_ != nullptr) {
-    m_solver_flows_->Add(static_cast<std::int64_t>(affected_.size()));
+}
+
+void Network::SolveAndApply(SimTime now) {
+  const std::size_t n = dirty_comps_.size();
+  while (scratch_.size() < n) {
+    scratch_.push_back(std::make_unique<SolveScratch>());
+  }
+
+  struct SolveJob {
+    Network* net;
+    int comp;
+    SolveScratch* scratch;
+    void operator()() const { net->SolveComponent(comp, *scratch); }
+  };
+  const bool pool_on = pool_ != nullptr && config_.parallel_solver && n >= 2 &&
+                       (config_.force_parallel_solver ||
+                        pool_->num_threads() > 1);
+  std::vector<SolveJob> jobs;
+  std::vector<std::size_t> offloaded;  // indices into dirty_comps_
+  if (pool_on) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Component& comp =
+          comps_[static_cast<std::size_t>(dirty_comps_[i])];
+      if (config_.force_parallel_solver ||
+          comp.entries.size() >=
+              static_cast<std::size_t>(config_.parallel_min_component_flows)) {
+        jobs.push_back(SolveJob{this, dirty_comps_[i], scratch_[i].get()});
+        offloaded.push_back(i);
+      }
+    }
+  }
+  if (offloaded.size() >= 2) {
+    // Components are independent (disjoint flows and resources; solves
+    // write only their scratch and their own per-resource array entries),
+    // so the wave runs concurrently; small components run inline on the
+    // event thread while the pool churns through the large ones.
+    if (m_parallel_solves_ != nullptr) m_parallel_solves_->Add(1);
+    auto futures = pool_->SubmitBatch(std::move(jobs));
+    std::size_t next_offloaded = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (next_offloaded < offloaded.size() &&
+          offloaded[next_offloaded] == i) {
+        ++next_offloaded;
+        continue;
+      }
+      SolveComponent(dirty_comps_[i], *scratch_[i]);
+    }
+    for (auto& fut : futures) fut.get();
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      SolveComponent(dirty_comps_[i], *scratch_[i]);
+    }
+  }
+
+  // Apply results in dirty-collection order — fixed by event history, not
+  // by which thread solved what — so completion events are (re)created in
+  // a deterministic sequence and FIFO tie-breaking is reproducible.
+  for (std::size_t i = 0; i < n; ++i) {
+    SolveScratch& s = *scratch_[i];
+    const std::size_t m = s.slots.size();
+    if (m_solver_flows_ != nullptr) {
+      m_solver_flows_->Add(static_cast<std::int64_t>(m));
+    }
+    if (m_starvation_guards_ != nullptr && s.starvation_guards > 0) {
+      m_starvation_guards_->Add(s.starvation_guards);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const Rate rate = s.new_rate[j];
+      // Exactness of the reschedule skip: `remaining` and `last_update`
+      // only change when the rate changes (AdvanceFlow below) or when the
+      // completion event itself fires. So if the solve reproduced the old
+      // rate, the pending event's absolute time was computed from exactly
+      // the same (remaining, last_update, rate) triple that is current
+      // now — cancelling and rescheduling would rebuild the identical
+      // double. Skipping it changes no observable behavior, only queue
+      // churn.
+      if (rate == s.old_rate[j]) continue;
+      Flow& f = slab_[static_cast<std::size_t>(s.slots[j])];
+      AdvanceFlow(f, now);
+      f.rate = rate;
+      f.completion_event.Cancel();
+      if (rate > 0) ScheduleCompletion(f, now);
+    }
   }
 }
 
@@ -465,35 +733,32 @@ void Network::Reconfigure() {
   CatchUpJitter();
   const SimTime now = sim_.Now();
   if (!dirty_res_.empty()) {
-    SolveRates();
-    for (std::size_t i = 0; i < affected_.size(); ++i) {
-      Flow& f = *affected_[i];
-      const Rate rate = new_rate_[i];
-      // Exactness of the reschedule skip: `remaining` and `last_update`
-      // only change when the rate changes (AdvanceFlow below) or when the
-      // completion event itself fires. So if the solve reproduced the old
-      // rate, the pending event's absolute time was computed from exactly
-      // the same (remaining, last_update, rate) triple that is current
-      // now — cancelling and rescheduling would rebuild the identical
-      // double. Skipping it changes no observable behavior, only queue
-      // churn.
-      if (rate == f.rate) continue;
-      AdvanceFlow(f, now);
-      f.rate = rate;
-      f.completion_event.Cancel();
-      if (rate > 0) ScheduleCompletion(f, now);
+    if (m_rate_recomputes_ != nullptr) m_rate_recomputes_->Add(1);
+    // Collect the components containing dirty resources, deduplicated, in
+    // mark order (deterministic event history).
+    ++solve_token_;
+    dirty_comps_.clear();
+    for (const int r : dirty_res_) {
+      const int c = res_comp_[r];
+      if (c < 0) continue;  // no live flows on this resource
+      Component& comp = comps_[static_cast<std::size_t>(c)];
+      if (comp.dirty_token == solve_token_) continue;
+      comp.dirty_token = solve_token_;
+      dirty_comps_.push_back(c);
     }
-    for (int r : touched_res_) res_members_[r].clear();
+    dirty_res_.clear();
+    ++dirty_token_;  // retires all current dirty marks
+    if (!dirty_comps_.empty()) SolveAndApply(now);
   }
   if (!pending_resched_.empty()) {
     // Flows whose deadline fired with residue left (rounding moved the
     // fluid finish past the predicted instant) but whose rate did not
     // change in the solve above: re-derive their completion event from
     // the advanced remainder.
-    for (FlowId id : pending_resched_) {
-      auto it = flows_.find(id);
-      if (it == flows_.end()) continue;
-      Flow& f = it->second;
+    for (const FlowId id : pending_resched_) {
+      const std::int32_t slot = SlotOf(id);
+      if (slot < 0) continue;
+      Flow& f = slab_[static_cast<std::size_t>(slot)];
       if (f.rate > 0 && !f.completion_event.pending()) {
         AdvanceFlow(f, now);
         ScheduleCompletion(f, now);
@@ -505,16 +770,16 @@ void Network::Reconfigure() {
 }
 
 void Network::OnFlowDeadline(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& f = it->second;
+  const std::int32_t slot = SlotOf(id);
+  if (slot < 0) return;
+  Flow& f = slab_[static_cast<std::size_t>(slot)];
   AdvanceFlow(f, sim_.Now());
   if (f.remaining <= kByteEpsilon) {
     // Snap sub-epsilon residue to zero so the flow's progress is exact by
     // the time it is settled; SettleFlowResidual then attributes the
     // integer remainder and conservation holds bit for bit.
     f.remaining = 0;
-    FinishFlow(it);
+    FinishFlow(slot);
   } else {
     pending_resched_.push_back(id);
   }
@@ -522,8 +787,8 @@ void Network::OnFlowDeadline(FlowId id) {
   ScheduleDeferredReconfigure();
 }
 
-void Network::FinishFlow(std::unordered_map<FlowId, Flow>::iterator it) {
-  Flow& f = it->second;
+void Network::FinishFlow(std::int32_t slot) {
+  Flow& f = slab_[static_cast<std::size_t>(slot)];
   SettleFlowResidual(f);
   CompletionFn cb = std::move(f.on_complete);
   f.completion_event.Cancel();
@@ -532,10 +797,16 @@ void Network::FinishFlow(std::unordered_map<FlowId, Flow>::iterator it) {
     observer_(FlowRecord{f.id, f.src, f.dst, f.kind, f.total, f.created_at,
                          sim_.Now()});
   }
-  if (f.started) MarkFlowResourcesDirty(f);
-  flows_.erase(it);
+  if (f.started) {
+    MarkFlowResourcesDirty(f);
+    // Drop contention before the component update: a rebuild triggered by
+    // this departure must not re-insert the dying flow.
+    f.started = false;
+    RemoveFlowFromComponent(f);
+  }
+  FreeSlot(slot);
   if (m_active_flows_ != nullptr) {
-    m_active_flows_->Set(static_cast<std::int64_t>(flows_.size()));
+    m_active_flows_->Set(tracked_flows_);
   }
   // Run the completion through the simulator so that callbacks observe a
   // consistent network state and cannot reenter Reconfigure mid-loop.
@@ -606,7 +877,7 @@ void Network::CatchUpJitter() {
 
 void Network::MaintainJitterEvent() {
   if (!JitterEnabled()) return;
-  if (flows_.empty()) {
+  if (tracked_flows_ == 0) {
     resample_event_.Cancel();
     return;
   }

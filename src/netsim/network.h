@@ -3,9 +3,10 @@
 // Each transfer is a fluid flow over up to three shared resources — the
 // sender uplink NIC, one directed WAN link, and the receiver downlink NIC.
 // Whenever the set of flows or a link capacity changes, rates are recomputed
-// with progressive filling (max-min fairness) over the flows reachable from
-// the perturbed resources, and only flows whose rate actually changed get
-// their completion event rescheduled (docs/PERF.md, "Netsim hot path").
+// with progressive filling (max-min fairness) over the connected components
+// of the flow/resource sharing graph that contain the perturbed resources,
+// and only flows whose rate actually changed get their completion event
+// rescheduled (docs/PERF.md, "Netsim hot path").
 // This captures the two effects the paper builds on:
 //
 //  * a stage-barrier fetch start makes many flows share the bottleneck WAN
@@ -18,6 +19,12 @@
 // re-drawn every jitter_interval of simulated time. The trace is evaluated
 // lazily (caught up on demand) so an idle network leaves the event queue
 // empty and Simulator::Run() terminates.
+//
+// Components are maintained persistently (union on flow arrival, counted
+// rebuild on departure) instead of being rediscovered by BFS at every
+// solve, flows live in an index-addressed slab instead of a hash map, and
+// independent component solves can be dispatched across a ThreadPool and
+// merged back in a deterministic order (docs/PERF.md §7).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +44,8 @@
 #include "simcore/simulator.h"
 
 namespace gs {
+
+class ThreadPool;
 
 // Accounting category for a flow, used by the traffic meters.
 enum class FlowKind {
@@ -69,6 +78,20 @@ struct NetworkConfig {
   double wan_stall_prob = 0.06;
   SimTime wan_stall_min = Seconds(2);
   SimTime wan_stall_max = Seconds(10);
+
+  // Parallel per-component rate solves (docs/PERF.md §7). When a solver
+  // pool is attached (SetSolverPool) and an instant dirties two or more
+  // components, component solves of at least parallel_min_component_flows
+  // flows are dispatched across the pool; smaller ones run inline on the
+  // event thread meanwhile. Results are merged in a fixed
+  // (dirty-collection) order, so reports are byte-identical to the
+  // sequential path for any thread count.
+  bool parallel_solver = true;
+  int parallel_min_component_flows = 128;
+  // Dispatch through the pool even when it has a single worker and
+  // regardless of component size (tests: exercise the parallel path and
+  // its determinism on any host).
+  bool force_parallel_solver = false;
 };
 
 // Point-to-point transfer statistics per datacenter pair and flow kind.
@@ -115,6 +138,12 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  // Attaches the pool used for parallel component solves (nullptr
+  // detaches). The pool must outlive the network; solves submitted to it
+  // are pure (scratch-only) jobs, so any pool shared with the data plane
+  // works. See NetworkConfig::parallel_solver.
+  void SetSolverPool(ThreadPool* pool) { pool_ = pool; }
+
   // Starts a flow of `bytes` from node src to node dst. `on_complete` fires
   // (through the simulator) once the last byte arrives. A flow between a
   // node and itself completes after loopback latency without consuming
@@ -130,8 +159,8 @@ class Network {
   // completed, were already cancelled, or were never issued.
   void CancelFlow(FlowId id);
 
-  bool has_flow(FlowId id) const { return flows_.count(id) > 0; }
-  int active_flows() const { return static_cast<int>(flows_.size()); }
+  bool has_flow(FlowId id) const { return SlotOf(id) >= 0; }
+  int active_flows() const { return tracked_flows_; }
 
   // Instantaneous max-min rate of a flow; 0 if unknown or still in setup.
   Rate flow_rate(FlowId id) const;
@@ -167,27 +196,77 @@ class Network {
 
  private:
   struct Flow {
+    // Fields the component solver streams (read-only off the event thread
+    // during a parallel solve wave) lead the struct so one flow's solver
+    // inputs share a cache line.
+    bool started = false;  // connection setup finished; contends for rate
+    std::uint8_t nres = 0;
+    std::int32_t res[3] = {-1, -1, -1};  // indices into capacity_
+    // Order in which the flow entered contention (setup completed). The
+    // solver freezes ties in this order; it also validates component
+    // entries (a mismatch means the slot was recycled).
+    std::int64_t contend_seq = -1;
+    Rate rate = 0;
+    Rate rate_cap = 0;  // per-flow TCP ceiling; 0 = uncapped
+
     FlowId id = 0;
     NodeIndex src = 0;
     NodeIndex dst = 0;
     FlowKind kind = FlowKind::kOther;
-    bool started = false;  // connection setup finished; contends for rate
     double remaining = 0;  // bytes still to send
     Bytes total = 0;
-    Rate rate = 0;
-    Rate rate_cap = 0;  // per-flow TCP ceiling; 0 = uncapped
     SimTime created_at = 0;
     SimTime last_update = 0;  // remaining is exact as of this time
     int wan_link = -1;     // directed WAN link index; -1 for intra-DC flows
     Bytes attributed = 0;  // bytes already credited to utilization buckets
-    // Order in which the flow entered contention (setup completed). The
-    // solver freezes ties in this order, making restricted solves
-    // independent of unordered_map iteration order.
-    std::int64_t contend_seq = -1;
-    std::int64_t visit_token = 0;  // solver BFS stamp
-    std::vector<int> resources;  // indices into capacity_
     CompletionFn on_complete;
     EventHandle completion_event;
+  };
+
+  // A component entry names a flow by slab slot plus the contend_seq it
+  // held when added; a mismatch marks the entry stale (flow finished, slot
+  // possibly recycled). Entries stay sorted by seq — the contention order.
+  struct CompEntry {
+    std::int32_t slot;
+    std::int64_t seq;
+  };
+
+  // Connected component of the bipartite flow/resource sharing graph,
+  // maintained persistently: flows union their resources' components on
+  // arrival (small-into-large, order-preserving merge); departures are
+  // counted and trigger a rebuild — which re-splits drifted unions — once
+  // they exceed max(kRebuildMinRemovals, live).
+  struct Component {
+    std::vector<CompEntry> entries;       // by seq; stale entries compacted
+    std::vector<std::int32_t> resources;  // resources owned by this comp
+    int live = 0;                         // non-stale entries
+    int removed_since_rebuild = 0;
+    std::int64_t dirty_token = 0;  // dedupe stamp for solve collection
+    bool free = true;
+  };
+
+  // Reusable per-component solver scratch. A parallel wave gives each
+  // dirty component its own scratch; the shared per-resource arrays
+  // (rem_cap_, res_count_, res_row_) are indexed by resource, and distinct
+  // components own disjoint resources, so concurrent solves never touch
+  // the same element.
+  struct SolveScratch {
+    std::vector<std::int32_t> slots;     // solve index -> slab slot
+    std::vector<Rate> old_rate;
+    std::vector<Rate> new_rate;
+    std::vector<std::pair<double, int>> cap_heap;    // (tcp cap, solve idx)
+    std::vector<std::pair<double, int>> share_heap;  // (share, resource)
+    std::vector<char> frozen;
+    std::vector<std::int32_t> res;       // 3 per flow, -1 padded
+    // CSR per-resource member lists (solve indices, contention order).
+    std::vector<std::int32_t> row_res;   // row -> resource
+    std::vector<std::int32_t> offsets;
+    std::vector<std::int32_t> cursor;
+    std::vector<std::int32_t> members;
+    // Resources whose fair share changed in the current filling step.
+    std::vector<std::int32_t> changed;
+    std::vector<char> changed_mark;      // per row
+    std::int64_t starvation_guards = 0;
   };
 
   // Resource indexing: [0, N) node uplinks, [N, 2N) node downlinks,
@@ -196,19 +275,48 @@ class Network {
   int DownlinkRes(NodeIndex n) const { return topo_.num_nodes() + n; }
   int WanRes(int link_idx) const { return 2 * topo_.num_nodes() + link_idx; }
 
-  // Catches up jitter, re-solves rates for flows reachable from the dirty
-  // resources, and reschedules completion events whose rate changed.
+  std::int32_t SlotOf(FlowId id) const {
+    return id >= 1 && static_cast<std::size_t>(id) < id_to_slot_.size()
+               ? id_to_slot_[static_cast<std::size_t>(id)]
+               : -1;
+  }
+  std::int32_t AllocSlot();
+  void FreeSlot(std::int32_t slot);
+
+  // --- component maintenance (event thread only) ---
+  Flow* EntryFlow(CompEntry e) {
+    Flow& f = slab_[static_cast<std::size_t>(e.slot)];
+    return f.started && f.contend_seq == e.seq ? &f : nullptr;
+  }
+  int AllocComponent();
+  void ReleaseComponent(int c);
+  // Unions the flow's resources' components (order-preserving merge) and
+  // appends the flow; the flow must be started with contend_seq assigned.
+  void AddFlowToComponent(std::int32_t slot);
+  int MergeComponents(int a, int b);  // returns the surviving id
+  void RemoveFlowFromComponent(const Flow& f);
+  // Re-splits a drifted union: releases the component and re-inserts its
+  // live flows in contention order (they re-union into however many real
+  // components remain).
+  void RebuildComponent(int c);
+
+  // Catches up jitter, re-solves rates for the components containing the
+  // dirty resources, and reschedules completion events whose rate changed.
   void Reconfigure();
   // Schedules a zero-delay Reconfigure unless one is already pending; lets
   // k same-instant perturbations (flow setups, completions) share a single
   // solver pass.
   void ScheduleDeferredReconfigure();
 
-  // Progressive filling restricted to the connected component(s) of the
-  // flow/resource sharing graph reachable from dirty_res_. Fills affected_
-  // and new_rate_ (parallel arrays); leaves untouched flows' rates alone.
-  void SolveRates();
-  void FreezeFlow(std::size_t idx, Rate share);
+  // Progressive filling over one dirty component, writing rates into the
+  // scratch only — no simulator or flow mutation, so solves of distinct
+  // components run concurrently. Compacts the component's entry list.
+  void SolveComponent(int c, SolveScratch& s);
+  // Solves every component in dirty_comps_ (through the pool when
+  // profitable) and applies the results in collection order.
+  void SolveAndApply(SimTime now);
+  void FreezeOne(SolveScratch& s, int idx, Rate rate);
+  void PushChangedShares(SolveScratch& s);
 
   // Marks a resource as perturbed since the last solve.
   void MarkResDirty(int r);
@@ -223,9 +331,9 @@ class Network {
   // Fires when a flow's completion event comes due: advances it, finishes
   // it if done, or queues it for rescheduling at the batched Reconfigure.
   void OnFlowDeadline(FlowId id);
-  // Settles, records and erases the flow; defers the completion callback
+  // Settles, records and frees the flow; defers the completion callback
   // and marks its resources dirty. Does not solve.
-  void FinishFlow(std::unordered_map<FlowId, Flow>::iterator it);
+  void FinishFlow(std::int32_t slot);
 
   // Credits the flow's fluid progress over [from, to] (at its current rate)
   // to utilization buckets, using cumulative integer rounding so no byte is
@@ -249,49 +357,47 @@ class Network {
   NetworkConfig config_;
   Rng jitter_rng_;
   TrafficMeter meter_;
+  ThreadPool* pool_ = nullptr;
 
   std::vector<Rate> capacity_;      // per resource, current (incl. degrade)
   std::vector<Rate> wan_current_;   // per WAN link, jittered capacity
   std::vector<double> degrade_;     // per WAN link, fault-injected factor
   SimTime last_resample_ = 0;       // trace evaluated up to this time
   EventHandle resample_event_;
-  std::unordered_map<FlowId, Flow> flows_;
+
+  // Flow storage: an index-addressed slab with a free list; FlowIds are
+  // issued sequentially, so id -> slot is a flat array, not a hash map.
+  std::vector<Flow> slab_;
+  std::vector<std::int32_t> free_slots_;
+  std::vector<std::int32_t> id_to_slot_;
+  int tracked_flows_ = 0;  // live slots (incl. loopback and in-setup flows)
   FlowId next_flow_id_ = 1;
   std::int64_t next_contend_seq_ = 0;
   FlowObserverFn observer_;
 
-  // --- incremental solver state ---
-  // Per resource: ids of started flows using it. Entries for finished or
-  // cancelled flows are tombstones, compacted whenever the solver walks the
-  // list.
-  std::vector<std::vector<FlowId>> res_flows_;
+  // --- component + solver state ---
+  std::vector<Component> comps_;
+  std::vector<std::int32_t> comp_free_;
+  std::vector<std::int32_t> res_comp_;  // per resource; -1 = unowned
+  std::vector<CompEntry> merge_scratch_;
+  std::vector<CompEntry> rebuild_entries_;
+
   std::vector<int> dirty_res_;  // resources perturbed since the last solve
-  // Stamp arrays (avoid clearing per solve): a mark is valid when the
-  // stored token equals the current one.
   std::vector<std::int64_t> res_dirty_token_;
-  std::vector<std::int64_t> res_visit_token_;
   std::int64_t dirty_token_ = 1;
-  std::int64_t visit_token_ = 0;
+  std::int64_t solve_token_ = 0;  // stamps Component::dirty_token
   bool reconfigure_pending_ = false;  // zero-delay batched solve scheduled
   // Flows whose deadline fired with residue left (float drift) but whose
   // rate did not change: they need their completion event re-created.
   std::vector<FlowId> pending_resched_;
 
-  // Solver scratch, reused across solves (tentpole (a): no per-call
-  // allocation in steady state).
-  std::vector<Flow*> affected_;     // flows in the dirty component(s)
-  std::vector<Rate> new_rate_;      // parallel to affected_
-  std::vector<char> frozen_;        // parallel to affected_
-  std::vector<int> touched_res_;    // resources in the dirty component(s)
-  std::vector<int> bfs_stack_;
-  std::vector<double> rem_cap_;     // per resource (touched entries valid)
-  std::vector<int> res_count_;      // unfrozen flows per touched resource
-  std::vector<std::vector<int>> res_members_;  // affected_ indices
-  // Lazy min-heaps (validate on pop): real resources keyed by
-  // (share, resource index), per-flow TCP caps keyed by (cap, affected
-  // index). Stale entries are skipped when their key no longer matches.
-  std::vector<std::pair<double, int>> share_heap_;
-  std::vector<std::pair<double, int>> cap_heap_;
+  // Per-resource solver arrays, shared across concurrent component solves
+  // (disjoint resource sets; see SolveScratch).
+  std::vector<double> rem_cap_;
+  std::vector<int> res_count_;              // unfrozen flows per resource
+  std::vector<std::int32_t> res_row_;       // resource -> CSR row this solve
+  std::vector<int> dirty_comps_;            // this wave, collection order
+  std::vector<std::unique_ptr<SolveScratch>> scratch_;  // per dirty comp
 
   std::unique_ptr<LinkUtilization> util_;
 
@@ -305,6 +411,7 @@ class Network {
   Counter* m_solver_flows_ = nullptr;
   Counter* m_reschedules_ = nullptr;
   Counter* m_starvation_guards_ = nullptr;
+  Counter* m_parallel_solves_ = nullptr;
   Gauge* m_active_flows_ = nullptr;
   Histogram* m_fetch_bytes_ = nullptr;
   Histogram* m_push_bytes_ = nullptr;

@@ -20,8 +20,37 @@ bool EventHandle::pending() const {
 
 Simulator::~Simulator() {
   // Outstanding handles may be cancelled after the simulator is gone; break
-  // the accounting backpointer so they don't reach freed memory.
-  for (Event& ev : heap_) ev.state->owner = nullptr;
+  // the accounting backpointer so they don't reach freed memory. Only
+  // pending events can still be referenced by a live handle — pooled
+  // states, by the pool's invariant, have no handle left.
+  for (const HeapEntry& e : heap_) {
+    slab_[static_cast<std::size_t>(e.slot)].state->owner = nullptr;
+  }
+}
+
+std::shared_ptr<EventHandle::State> Simulator::AcquireState() {
+  if (!state_pool_.empty()) {
+    std::shared_ptr<EventHandle::State> state = std::move(state_pool_.back());
+    state_pool_.pop_back();
+    state->cancelled = false;
+    state->fired = false;
+    return state;
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  state->owner = this;
+  return state;
+}
+
+void Simulator::ReleaseSlot(std::int32_t slot) {
+  EventRec& rec = slab_[static_cast<std::size_t>(slot)];
+  rec.fn = nullptr;
+  if (rec.state.use_count() == 1) {
+    // No handle outstanding: the state object can serve a future event.
+    state_pool_.push_back(std::move(rec.state));
+  } else {
+    rec.state.reset();
+  }
+  free_slots_.push_back(slot);
 }
 
 EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
@@ -33,12 +62,21 @@ EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   GS_CHECK_MSG(when >= now_, "scheduling into the past: " << when << " < "
                                                           << now_);
   GS_CHECK(fn != nullptr);
-  auto state = std::make_shared<EventHandle::State>();
-  state->owner = this;
-  heap_.push_back(Event{when, next_seq_++, std::move(fn), state});
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slab_.emplace_back();
+    slot = static_cast<std::int32_t>(slab_.size()) - 1;
+  }
+  EventRec& rec = slab_[static_cast<std::size_t>(slot)];
+  rec.fn = std::move(fn);
+  rec.state = AcquireState();
+  heap_.push_back(HeapEntry{when, next_seq_++, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (m_scheduled_ != nullptr) m_scheduled_->Add(1);
-  return EventHandle(state);
+  return EventHandle(rec.state);
 }
 
 void Simulator::NoteCancelled() {
@@ -51,7 +89,13 @@ void Simulator::NoteCancelled() {
 }
 
 void Simulator::Compact() {
-  std::erase_if(heap_, [](const Event& ev) { return ev.state->cancelled; });
+  std::erase_if(heap_, [this](const HeapEntry& e) {
+    if (slab_[static_cast<std::size_t>(e.slot)].state->cancelled) {
+      ReleaseSlot(e.slot);
+      return true;
+    }
+    return false;
+  });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
   dead_events_ = 0;
   ++compactions_;
@@ -67,9 +111,13 @@ void Simulator::UpdateDeadGauge() {
 
 void Simulator::SkimCancelled() {
   bool skimmed = false;
-  while (!heap_.empty() && heap_.front().state->cancelled) {
+  while (!heap_.empty() &&
+         slab_[static_cast<std::size_t>(heap_.front().slot)]
+             .state->cancelled) {
+    const std::int32_t slot = heap_.front().slot;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
+    ReleaseSlot(slot);
     --dead_events_;
     skimmed = true;
   }
@@ -79,16 +127,20 @@ void Simulator::SkimCancelled() {
 bool Simulator::Step() {
   SkimCancelled();
   if (heap_.empty()) return false;
-  // Move the event out before running it: the callback may schedule more.
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  const HeapEntry e = heap_.back();
   heap_.pop_back();
-  GS_CHECK(ev.when >= now_);
-  now_ = ev.when;
-  ev.state->fired = true;
+  GS_CHECK(e.when >= now_);
+  now_ = e.when;
+  EventRec& rec = slab_[static_cast<std::size_t>(e.slot)];
+  rec.state->fired = true;
   ++executed_events_;
   if (m_executed_ != nullptr) m_executed_->Add(1);
-  ev.fn();
+  // Move the callback out and release the slot before running it: the
+  // callback may schedule more events (and reuse this very slot).
+  std::function<void()> fn = std::move(rec.fn);
+  ReleaseSlot(e.slot);
+  fn();
   return true;
 }
 

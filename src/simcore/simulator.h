@@ -11,6 +11,13 @@
 // grows past a threshold, at which point the heap is compacted in one
 // O(n) pass. Dead entries are tracked explicitly so pending_events() and
 // the queue-health metrics reflect only live work.
+//
+// Layout (docs/PERF.md §7): the heap holds 24-byte POD entries {when, seq,
+// slot} while callbacks and cancellation state live in a slot-addressed
+// slab, so every sift swap moves three words instead of a std::function
+// plus a shared_ptr. Handle state objects are pooled and reused once no
+// outstanding EventHandle refers to them, making the steady-state
+// schedule/cancel/reschedule cycle allocation-free for the queue itself.
 #pragma once
 
 #include <cstdint>
@@ -106,17 +113,21 @@ class Simulator {
  private:
   friend class EventHandle;
 
-  struct Event {
+  // POD heap entry; the callback lives in slab_[slot].
+  struct HeapEntry {
     SimTime when;
     std::int64_t seq;  // tie-break: FIFO among equal timestamps
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::int32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
+  };
+  struct EventRec {
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
   };
 
   // Compact once dead entries are both numerous and the majority: small
@@ -133,6 +144,12 @@ class Simulator {
   void Compact();
   void UpdateDeadGauge();
 
+  // Returns a fresh or pooled handle state with flags cleared.
+  std::shared_ptr<EventHandle::State> AcquireState();
+  // Returns the slot to the free list; recycles its state object into the
+  // pool when no outstanding handle still refers to it.
+  void ReleaseSlot(std::int32_t slot);
+
   SimTime now_ = 0;
   Counter* m_scheduled_ = nullptr;
   Counter* m_executed_ = nullptr;
@@ -141,8 +158,11 @@ class Simulator {
   std::int64_t next_seq_ = 0;
   std::int64_t executed_events_ = 0;
   std::int64_t compactions_ = 0;
-  std::size_t dead_events_ = 0;  // cancelled entries still in heap_
-  std::vector<Event> heap_;      // binary heap ordered by Later
+  std::size_t dead_events_ = 0;   // cancelled entries still in heap_
+  std::vector<HeapEntry> heap_;   // binary heap ordered by Later
+  std::vector<EventRec> slab_;    // slot-addressed callbacks + states
+  std::vector<std::int32_t> free_slots_;
+  std::vector<std::shared_ptr<EventHandle::State>> state_pool_;
 };
 
 }  // namespace gs

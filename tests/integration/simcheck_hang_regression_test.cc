@@ -1,18 +1,17 @@
-// Known-hang reproducer, pinned but disabled.
+// Regression pin for a fetch-failure recovery live-lock.
 //
-// geosim-fuzz seed 5110 sends the engine-level differential check into a
-// live-lock: the simulation keeps scheduling events and never drains, so
-// the check neither passes nor fails — it simply never returns. The
-// --budget-ms wall-clock guard in tools/geosim_fuzz.cc exists so sweeps
-// report this configuration instead of hanging on it (reproduce with
-//   geosim-fuzz --iters=1 --seed=5110 --budget-ms=10000
-// which exits 3 and prints the full config JSON).
+// geosim-fuzz seed 5110 used to send the engine-level differential check
+// into a live-lock: the faulty Spark run loses a map output to a node
+// crash, all reducers fetch-fail, and each doomed gather attempt — built
+// a gather-RTT before it lands — invalidated the map output again on
+// landing, even after the parent map had re-run and re-registered it.
+// Stale invalidations and map re-runs then alternated forever.
 //
-// The test is DISABLED_ because running it would hang ctest; it documents
-// the reproducer until the root cause is fixed. Run it deliberately with
-//   ctest -R SimcheckHang --gtest_also_run_disabled_tests   (or
-//   --gtest_filter=*DISABLED_EngineCheckSeed5110* on the test binary)
-// once a fix is in: the expectation below then starts guarding it.
+// JobRunner::HandleFetchFailure now re-validates each reported-missing
+// map output against the tracker and block store *at failure time* and
+// only invalidates outputs that are still unusable, so recovery
+// converges. This test runs the full engine check for the offending
+// configuration; it hangs ctest (per-test TIMEOUT) if the bug returns.
 #include <gtest/gtest.h>
 
 #include "simcheck/simcheck.h"
@@ -20,7 +19,7 @@
 namespace gs {
 namespace {
 
-TEST(SimcheckHangRegressionTest, DISABLED_EngineCheckSeed5110Terminates) {
+TEST(SimcheckHangRegressionTest, EngineCheckSeed5110Terminates) {
   const simcheck::SimcheckConfig cfg = simcheck::GenerateConfig(5110);
   const simcheck::CheckResult r = simcheck::RunEngineCheck(cfg);
   std::string detail;
