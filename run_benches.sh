@@ -30,6 +30,7 @@ for b in build/bench/*; do
     */bench_micro_datapath) json=BENCH_datapath.json ;;
     */bench_micro_netsim) json=BENCH_netsim.json ;;
     */bench_multitenant) json=BENCH_multitenant.json ;;
+    */bench_transport) json=BENCH_transport.json ;;
   esac
   # Figure/table benches also emit one observability RunReport each
   # (the bench's last run — see docs/OBSERVABILITY.md).

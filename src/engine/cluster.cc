@@ -1,5 +1,6 @@
 #include "engine/cluster.h"
 
+#include <cmath>
 #include <functional>
 #include <sstream>
 #include <utility>
@@ -10,9 +11,56 @@
 #include "engine/dataset.h"
 #include "engine/fault_injector.h"
 #include "engine/job_runner.h"
+#include "engine/transport/transport.h"
 #include "netsim/pricing.h"
 
 namespace gs {
+
+namespace {
+
+bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0; }
+
+// Rejects malformed transport/pricing inputs up front, when the config is
+// locked in at cluster construction (i.e. before any Submit), instead of
+// letting a negative rate or NaN price propagate silently through the
+// max-min solver and the cost report.
+void ValidateConfig(const RunConfig& cfg, const Topology& topo) {
+  const TransportConfig& t = cfg.transport;
+  GS_CHECK_MSG(t.max_push_retries >= 0,
+               "transport.max_push_retries must be >= 0");
+  GS_CHECK_MSG(FiniteNonNegative(t.push_retry_backoff),
+               "transport.push_retry_backoff must be finite and >= 0");
+  GS_CHECK_MSG(std::isfinite(t.push_backoff_factor) &&
+                   t.push_backoff_factor > 0,
+               "transport.push_backoff_factor must be finite and > 0");
+
+  const ObjectStoreConfig& os = t.object_store;
+  GS_CHECK_MSG(os.dc == kNoDc ||
+                   (os.dc >= 0 && os.dc < topo.num_datacenters()),
+               "transport.object_store.dc out of range");
+  GS_CHECK_MSG(std::isfinite(os.rate) && os.rate > 0,
+               "transport.object_store.rate must be finite and > 0");
+  GS_CHECK_MSG(FiniteNonNegative(os.put_latency) &&
+                   FiniteNonNegative(os.get_latency),
+               "transport.object_store latencies must be finite and >= 0");
+  GS_CHECK_MSG(FiniteNonNegative(os.put_usd_per_gib) &&
+                   FiniteNonNegative(os.get_usd_per_gib) &&
+                   FiniteNonNegative(os.storage_usd_per_gib) &&
+                   FiniteNonNegative(os.transfer_usd_per_gib),
+               "transport.object_store prices must be finite and >= 0");
+
+  GS_CHECK_MSG(std::isfinite(t.fabric.rate) && t.fabric.rate > 0,
+               "transport.fabric.rate must be finite and > 0");
+  GS_CHECK_MSG(FiniteNonNegative(t.fabric.exchange_latency),
+               "transport.fabric.exchange_latency must be finite and >= 0");
+
+  for (double rate : cfg.observe.egress_usd_per_gib) {
+    GS_CHECK_MSG(FiniteNonNegative(rate),
+                 "observe.egress_usd_per_gib must be finite and >= 0");
+  }
+}
+
+}  // namespace
 
 const char* AggregatorPolicyName(AggregatorPolicy policy) {
   switch (policy) {
@@ -37,6 +85,7 @@ GeoCluster::GeoCluster(Topology topo, RunConfig config)
       config_(config),
       root_rng_(config.seed) {
   GS_CHECK(topo_.num_nodes() > 0);
+  ValidateConfig(config_, topo_);
   if (config_.observe.metrics) {
     registry_ = std::make_unique<MetricsRegistry>();
     sim_.AttachMetrics(&registry_->counter("simcore.events_scheduled"),
@@ -48,6 +97,9 @@ GeoCluster::GeoCluster(Topology topo, RunConfig config)
   network_ = std::make_unique<Network>(sim_, topo_, config_.net,
                                        root_rng_.Split("net-jitter"),
                                        registry_.get());
+  // Must precede any flow: backends register their service resources here.
+  transport_ = MakeTransport(config_.transport, config_.scale, sim_,
+                             *network_, registry_.get());
   if (registry_ != nullptr && config_.observe.utilization_bucket > 0) {
     network_->EnableUtilization(config_.observe.utilization_bucket);
   }
@@ -489,8 +541,24 @@ RunReport GeoCluster::BuildReport(const JobMetrics& job,
       rates.size() == static_cast<std::size_t>(topo_.num_datacenters())
           ? WanPricing(rates)
           : WanPricing::Uniform(topo_.num_datacenters());
-  report.cost_usd = pricing.CostUsd(network_->meter(), topo_);
+  // Bytes staged through an object store skip the egress tariff and are
+  // billed by the store tariff instead; with no store flows the split is
+  // exactly the old CostUsd (direct reports stay byte-identical).
+  ObjectStoreTariff tariff;
+  tariff.put_usd_per_gib = config_.transport.object_store.put_usd_per_gib;
+  tariff.get_usd_per_gib = config_.transport.object_store.get_usd_per_gib;
+  tariff.storage_usd_per_gib =
+      config_.transport.object_store.storage_usd_per_gib;
+  tariff.transfer_usd_per_gib =
+      config_.transport.object_store.transfer_usd_per_gib;
+  report.egress_cost_usd = pricing.EgressCostUsd(network_->meter(), topo_);
+  report.store_cost_usd =
+      WanPricing::StoreCostUsd(network_->meter(), topo_, tariff);
+  report.cost_usd = report.egress_cost_usd + report.store_cost_usd;
   report.cost_usd_full_scale = report.cost_usd * config_.scale;
+  if (config_.transport.kind != TransportKind::kDirect) {
+    report.transport = TransportKindName(config_.transport.kind);
+  }
 
   if (trace != nullptr) {
     report.trace.enabled = true;

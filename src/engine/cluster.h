@@ -61,6 +61,7 @@ namespace gs {
 class Dataset;
 class FaultInjector;
 class JobRunner;
+class ShuffleTransport;
 
 class GeoCluster {
  public:
@@ -106,6 +107,9 @@ class GeoCluster {
   const RunConfig& config() const { return config_; }
   Simulator& simulator() { return sim_; }
   Network& network() { return *network_; }
+  // Shuffle-transport backend selected by RunConfig::transport.kind
+  // (engine/transport/transport.h, docs/TRANSPORTS.md).
+  ShuffleTransport& transport() { return *transport_; }
   BlockManager& blocks() { return *blocks_; }
   MapOutputTracker& tracker() { return tracker_; }
   TaskScheduler& scheduler() { return *scheduler_; }
@@ -197,6 +201,9 @@ class GeoCluster {
   // Declared before the components that hold handles into it.
   std::unique_ptr<MetricsRegistry> registry_;
   std::unique_ptr<Network> network_;
+  // Constructed right after network_ (its service resources must register
+  // before the first flow).
+  std::unique_ptr<ShuffleTransport> transport_;
   std::unique_ptr<BlockManager> blocks_;
   MapOutputTracker tracker_;
   std::unique_ptr<TaskScheduler> scheduler_;

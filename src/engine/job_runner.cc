@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "dag/dag_scheduler.h"
 #include "data/compression.h"
+#include "engine/transport/transport.h"
 #include "exec/evaluator.h"
 
 namespace gs {
@@ -403,11 +404,16 @@ void JobRunner::StartGather(TaskRun& task) {
     ++task.pending_gathers;
     task.gather_srcs.push_back(from);
     AccountFlow(from, task.node, bytes, kind);
-    cluster_.network().StartFlow(from, task.node, bytes, kind,
-                                 [this, t, epoch] {
-                                   if (t->epoch != epoch) return;
-                                   GatherArrived(*t);
-                                 });
+    ShardTransfer transfer;
+    transfer.src = from;
+    transfer.dst = task.node;
+    transfer.bytes = bytes;
+    transfer.kind = kind;
+    transfer.on_landed = [this, t, epoch] {
+      if (t->epoch != epoch) return;
+      GatherArrived(*t);
+    };
+    cluster_.transport().Transfer(std::move(transfer));
   };
 
   if (cut.is_cached_cut) {
@@ -1043,7 +1049,7 @@ void JobRunner::RecoverReceiver(TaskRun& receiver) {
     }
     return;
   }
-  if (receiver.push_retries >= config_.fault.max_push_retries) {
+  if (receiver.push_retries >= config_.transport.max_push_retries) {
     // Retries exhausted: degrade the push to the producer's own node — a
     // co-located no-op write, after which downstream reducers *fetch* that
     // partition (push falls back to fetch).
@@ -1060,8 +1066,9 @@ void JobRunner::RecoverReceiver(TaskRun& receiver) {
   ++metrics_.push_retries;
   receiver.node = PickReceiverNode(consumer, kNoNode);
   const SimTime backoff =
-      config_.fault.push_retry_backoff *
-      std::pow(config_.fault.push_backoff_factor, receiver.push_retries - 1);
+      config_.transport.push_retry_backoff *
+      std::pow(config_.transport.push_backoff_factor,
+               receiver.push_retries - 1);
   GS_LOG_INFO << "push retry " << receiver.push_retries << " for stage "
               << consumer.stage.id << "/" << receiver.partition << " to "
               << topo_.node(receiver.node).name << " after " << backoff
@@ -1185,12 +1192,16 @@ void JobRunner::TryDeliver(TaskRun& receiver) {
   } else {
     AccountFlow(receiver.producer_node, receiver.node, receiver.inbox_bytes,
                 FlowKind::kShufflePush);
-    cluster_.network().StartFlow(receiver.producer_node, receiver.node,
-                                 receiver.inbox_bytes, FlowKind::kShufflePush,
-                                 [this, r, epoch] {
-                                   if (r->epoch != epoch) return;
-                                   ReceiverGotData(*r);
-                                 });
+    ShardTransfer transfer;
+    transfer.src = receiver.producer_node;
+    transfer.dst = receiver.node;
+    transfer.bytes = receiver.inbox_bytes;
+    transfer.kind = FlowKind::kShufflePush;
+    transfer.on_landed = [this, r, epoch] {
+      if (r->epoch != epoch) return;
+      ReceiverGotData(*r);
+    };
+    cluster_.transport().Transfer(std::move(transfer));
   }
 }
 
@@ -1270,6 +1281,14 @@ void JobRunner::AccountFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
       break;
     case FlowKind::kCollect:
       // Driver traffic is excluded from the paper's Fig. 8 metric.
+      return;
+    case FlowKind::kStorePut:
+    case FlowKind::kStoreGet:
+    case FlowKind::kFabric:
+      // Transport-internal kinds never reach per-job accounting: the
+      // runner accounts the logical fetch/push before handing the leg to
+      // the transport (so these metrics mean the same under every
+      // backend).
       return;
     case FlowKind::kOther:
       break;

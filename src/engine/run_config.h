@@ -17,6 +17,14 @@
 // (result.trace, result.report; see engine/cluster.h and
 // docs/OBSERVABILITY.md). The EnableTracing()/last_job_metrics() shims
 // that briefly survived that move have since been removed.
+//
+// Transport knobs moved the same way: the push-retry knobs
+// (`fault.max_push_retries`, `fault.push_retry_backoff`,
+// `fault.push_backoff_factor`) now live on the nested TransportConfig —
+// `cfg.transport.max_push_retries`, ... — next to the shuffle-transport
+// selection and per-backend settings they belong with
+// (engine/transport/transport.h, docs/TRANSPORTS.md). No shims were left
+// behind.
 #pragma once
 
 #include <cstdint>
@@ -46,7 +54,8 @@ enum class AggregatorPolicy { kLargestInput, kRandom, kSmallestInput };
 
 const char* AggregatorPolicyName(AggregatorPolicy policy);
 
-// Fault injection and the recovery knobs that answer it.
+// Fault injection knobs (the recovery response to a lost push lives on
+// TransportConfig).
 struct FaultConfig {
   // Probability that a reduce task fails on its first attempt, and the
   // fraction of its compute phase after which the failure strikes
@@ -57,6 +66,59 @@ struct FaultConfig {
   // Scheduled/random infrastructure faults (node crashes, WAN link flaps,
   // block losses). Empty by default.
   FaultPlan plan;
+};
+
+// Which mechanism moves a produced shard's bytes to its consumers
+// (engine/transport/transport.h, docs/TRANSPORTS.md).
+enum class TransportKind {
+  kDirect,       // node-to-node flows (the paper's model; the default)
+  kObjectStore,  // stage shards through a rate-limited storage tier
+  kFabric,       // RDMA-class intra-DC fabric; WAN legs stay direct
+};
+
+const char* TransportKindName(TransportKind kind);
+
+// ObjectStoreTransport backend settings. Rates and prices describe the
+// full-scale system; GeoCluster divides the rate by RunConfig::scale like
+// every other capacity, so time and traffic ratios are preserved at bench
+// scales. Pricing fields mirror netsim/pricing.h::ObjectStoreTariff.
+struct ObjectStoreConfig {
+  // Datacenter hosting the staging bucket. kNoDc (default) stages each
+  // shard in its producer's own datacenter — PUTs stay local and only the
+  // GET crosses the WAN, so cross-DC volume matches the direct transport.
+  DcIndex dc = kNoDc;
+
+  // Aggregate ingest+egress throughput of one datacenter's store tier
+  // (full scale; shared max-min by that tier's PUT and GET flows).
+  Rate rate = Gbps(4);
+
+  // Request round-trip added to a leg's connection setup.
+  SimTime put_latency = Millis(30);
+  SimTime get_latency = Millis(30);
+
+  // USD per GiB (see ObjectStoreTariff for semantics).
+  double put_usd_per_gib = 0.005;
+  double get_usd_per_gib = 0.0005;
+  double storage_usd_per_gib = 0.001;
+  double transfer_usd_per_gib = 0.05;
+};
+
+// FabricTransport backend settings: an RDMA-class intra-DC interconnect.
+// Shuffle legs inside one datacenter bypass both endpoint NICs and share
+// the fabric's aggregate capacity instead; the histogram exchange that
+// precomputes receive areas (partition-size agreement before the one-sided
+// writes) is modeled as a fixed setup latency per transfer.
+struct FabricConfig {
+  // Aggregate fabric capacity per datacenter (full scale; divided by
+  // RunConfig::scale by GeoCluster).
+  Rate rate = Gbps(40);
+  SimTime exchange_latency = Millis(2);
+};
+
+// Shuffle-transport selection, the per-backend settings, and the
+// transfer-recovery knobs that apply to whichever backend runs.
+struct TransportConfig {
+  TransportKind kind = TransportKind::kDirect;
 
   // Transfer-push recovery: when a receiver's node dies, the push is
   // retried against a fresh node in the aggregator datacenter after an
@@ -67,6 +129,9 @@ struct FaultConfig {
   int max_push_retries = 4;
   SimTime push_retry_backoff = Seconds(1);
   double push_backoff_factor = 2.0;
+
+  ObjectStoreConfig object_store;
+  FabricConfig fabric;
 };
 
 // Speculative execution (spark.speculation, off by default as in Spark):
@@ -135,6 +200,7 @@ struct RunConfig {
   // calls in application code take effect.
   bool auto_aggregation = true;
 
+  TransportConfig transport;
   FaultConfig fault;
   SpeculationConfig speculation;
   ServiceConfig service;

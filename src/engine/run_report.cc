@@ -112,8 +112,13 @@ void WriteLink(JsonWriter& w, const RunReport::LinkSeries& l) {
 std::string RunReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
+  // The transport and cost-breakdown keys are gated so direct-transport
+  // reports stay byte-identical to pre-ShuffleTransport ones (the golden
+  // files pin this).
+  const bool nondirect_transport = !transport.empty() && transport != "direct";
   w.Key("schema_version").Value(kSchemaVersion);
   w.Key("scheme").Value(scheme);
+  if (nondirect_transport) w.Key("transport").Value(transport);
   w.Key("seed").Value(static_cast<std::uint64_t>(seed));
   w.Key("scale").Value(scale);
   w.Key("label").Value(label);
@@ -141,6 +146,10 @@ std::string RunReport::ToJson() const {
   w.Key("cost").BeginObject();
   w.Key("cost_usd").Value(cost_usd);
   w.Key("cost_usd_full_scale").Value(cost_usd_full_scale);
+  if (nondirect_transport) {
+    w.Key("egress_cost_usd").Value(egress_cost_usd);
+    w.Key("store_cost_usd").Value(store_cost_usd);
+  }
   w.EndObject();
   w.Key("trace").BeginObject();
   w.Key("enabled").Value(trace.enabled);

@@ -32,10 +32,17 @@ struct RunReport {
   // Bump when the JSON layout changes incompatibly.
   // v2: per-job `jobs` array; job section gained job_id/tenant/submitted/
   //     queue_delay (multi-tenant service, docs/SERVICE.md).
+  //     Additive, still v2: runs under a non-direct ShuffleTransport gain a
+  //     top-level `transport` key and an egress/store cost breakdown in the
+  //     cost section (absent under DirectTransport, keeping direct reports
+  //     byte-identical to pre-transport ones).
   static constexpr int kSchemaVersion = 2;
 
   // Run identity.
   std::string scheme;      // shuffle scheme name ("baseline", "transfer"...)
+  // Shuffle-transport backend name ("objstore", "fabric"); empty or
+  // "direct" suppresses the transport/cost-breakdown keys in ToJson().
+  std::string transport;
   std::uint64_t seed = 0;
   double scale = 1.0;      // data-size scale factor of the run
   std::string label;       // free-form (workload or bench name); may be ""
@@ -84,10 +91,15 @@ struct RunReport {
   SimTime utilization_bucket = 0;  // 0 when utilization is disabled
   std::vector<LinkSeries> links;
 
-  // WanPricing cost of all cross-datacenter bytes so far, and the same
-  // extrapolated to full scale (divide by `scale`).
+  // Total dollar cost so far — WanPricing egress on the cross-datacenter
+  // bytes plus the object-store bill for staged traffic (zero except under
+  // ObjectStoreTransport) — and the same extrapolated to full scale
+  // (divide by `scale`).
   double cost_usd = 0;
   double cost_usd_full_scale = 0;
+  // Breakdown of cost_usd, emitted only for non-direct transports.
+  double egress_cost_usd = 0;
+  double store_cost_usd = 0;
 
   // Trace summary (span counts only; the full trace lives in
   // RunResult::trace).

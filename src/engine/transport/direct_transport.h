@@ -1,0 +1,21 @@
+// DirectTransport: the paper's shuffle mechanism — every leg is a plain
+// node-to-node flow over the sender NIC / WAN link / receiver NIC path.
+// This backend is deliberately a pass-through so runs with
+// TransportConfig::kind == kDirect are bit-identical to the
+// pre-ShuffleTransport engine (the golden RunReports pin this).
+#pragma once
+
+#include "engine/transport/transport.h"
+
+namespace gs {
+
+class DirectTransport : public ShuffleTransport {
+ public:
+  DirectTransport(Simulator& sim, Network& net) : ShuffleTransport(sim, net) {}
+
+  TransportKind kind() const override { return TransportKind::kDirect; }
+
+  void Transfer(ShardTransfer t) override { DirectFlow(t); }
+};
+
+}  // namespace gs

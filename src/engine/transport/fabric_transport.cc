@@ -1,0 +1,48 @@
+#include "engine/transport/fabric_transport.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "netsim/topology.h"
+
+namespace gs {
+
+FabricTransport::FabricTransport(Simulator& sim, Network& net,
+                                 const FabricConfig& config, double scale,
+                                 MetricsRegistry* metrics)
+    : ShuffleTransport(sim, net), config_(config) {
+  GS_CHECK(scale > 0);
+  const Topology& topo = net_.topology();
+  fabric_res_.reserve(topo.num_datacenters());
+  for (DcIndex dc = 0; dc < topo.num_datacenters(); ++dc) {
+    fabric_res_.push_back(net_.AddServiceResource(config_.rate / scale));
+  }
+  if (metrics != nullptr) {
+    fabric_transfers_ = &metrics->counter("transport.fabric_transfers");
+  }
+}
+
+void FabricTransport::Transfer(ShardTransfer t) {
+  const Topology& topo = net_.topology();
+  const bool shuffle = t.kind == FlowKind::kShuffleFetch ||
+                       t.kind == FlowKind::kShufflePush;
+  const DcIndex dc = topo.dc_of(t.src);
+  if (!shuffle || t.src == t.dst || dc != topo.dc_of(t.dst)) {
+    DirectFlow(t);  // non-shuffle or WAN leg: plain TCP path
+    return;
+  }
+
+  Network::FlowSpec spec;
+  spec.src = t.src;
+  spec.dst = t.dst;
+  spec.bytes = t.bytes;
+  spec.kind = FlowKind::kFabric;
+  spec.src_uplink = false;  // one-sided write: NICs bypassed, fabric shared
+  spec.dst_downlink = false;
+  spec.service_res = fabric_res_[dc];
+  spec.extra_setup = config_.exchange_latency;
+  if (fabric_transfers_ != nullptr) fabric_transfers_->Add(1);
+  net_.StartFlow(spec, std::move(t.on_landed));
+}
+
+}  // namespace gs

@@ -1,0 +1,38 @@
+// FabricTransport: RDMA-class interconnect for intra-datacenter shuffle
+// (docs/TRANSPORTS.md).
+//
+// Shuffle legs whose endpoints share a datacenter bypass both endpoint
+// NICs — one-sided writes land in pre-registered receive areas at close to
+// fabric line rate, without the kernel/TCP overhead the NIC resources
+// model — and instead share that datacenter's aggregate fabric capacity, a
+// netsim service resource. The histogram exchange that sizes the receive
+// areas before the writes (partition-size agreement) is a fixed
+// per-transfer setup latency. Cross-datacenter legs are unchanged: RDMA
+// does not survive WAN RTTs, so they take the direct TCP path.
+#pragma once
+
+#include <vector>
+
+#include "engine/transport/transport.h"
+
+namespace gs {
+
+class FabricTransport : public ShuffleTransport {
+ public:
+  // Registers one service resource per datacenter's fabric against `net`
+  // (so no flow may have started yet). `scale` divides the configured
+  // full-scale fabric rate.
+  FabricTransport(Simulator& sim, Network& net, const FabricConfig& config,
+                  double scale, MetricsRegistry* metrics);
+
+  TransportKind kind() const override { return TransportKind::kFabric; }
+
+  void Transfer(ShardTransfer t) override;
+
+ private:
+  FabricConfig config_;
+  std::vector<int> fabric_res_;  // per-datacenter service resource
+  Counter* fabric_transfers_ = nullptr;
+};
+
+}  // namespace gs

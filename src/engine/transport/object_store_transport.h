@@ -1,0 +1,57 @@
+// ObjectStoreTransport: stage every remote shuffle leg through a cloud
+// object store instead of streaming node-to-node (docs/TRANSPORTS.md).
+//
+// A leg src -> dst becomes two chained flows:
+//
+//   PUT  src -> store(dc):  sender uplink (+ WAN if the bucket is remote)
+//                           + the store tier's shared service resource,
+//                           after a put-request round-trip;
+//   GET  store(dc) -> dst:  the service resource (+ WAN if dst is remote)
+//                           + receiver downlink, after a get round-trip,
+//                           started when the PUT completes.
+//
+// By default (ObjectStoreConfig::dc == kNoDc) each shard stages in its
+// producer's datacenter, so the PUT is DC-local and only the GET crosses
+// the WAN — cross-DC volume matches the direct transport while every byte
+// additionally funnels through the store tier's aggregate rate. The
+// store-and-forward barrier (a GET cannot start before its PUT finishes),
+// the request latencies, and that shared tier cap are why this backend is
+// slower than DirectTransport; it is cheaper because staged cross-region
+// bytes ride the provider backbone at ObjectStoreTariff rates instead of
+// the internet-egress tariff (netsim/pricing.h).
+#pragma once
+
+#include <vector>
+
+#include "engine/transport/transport.h"
+
+namespace gs {
+
+class ObjectStoreTransport : public ShuffleTransport {
+ public:
+  // Registers one service resource per datacenter's store tier against
+  // `net` (so no flow may have started yet). `scale` divides the
+  // configured full-scale tier rate, matching the topology's NIC/WAN
+  // scaling.
+  ObjectStoreTransport(Simulator& sim, Network& net,
+                       const ObjectStoreConfig& config, double scale,
+                       MetricsRegistry* metrics);
+
+  TransportKind kind() const override { return TransportKind::kObjectStore; }
+
+  void Transfer(ShardTransfer t) override;
+
+ private:
+  DcIndex StoreDcFor(NodeIndex src) const;
+
+  ObjectStoreConfig config_;
+  // Per-datacenter store tier: netsim service resource + the node whose
+  // address stands in for the tier's endpoint (fixes the DC for RTT and
+  // WAN-link routing of PUT/GET legs).
+  std::vector<int> store_res_;
+  std::vector<NodeIndex> store_addr_;
+  Counter* puts_ = nullptr;
+  Counter* gets_ = nullptr;
+};
+
+}  // namespace gs

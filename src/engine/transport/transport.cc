@@ -1,0 +1,41 @@
+#include "engine/transport/transport.h"
+
+#include "common/check.h"
+#include "engine/transport/direct_transport.h"
+#include "engine/transport/fabric_transport.h"
+#include "engine/transport/object_store_transport.h"
+
+namespace gs {
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kDirect:
+      return "direct";
+    case TransportKind::kObjectStore:
+      return "objstore";
+    case TransportKind::kFabric:
+      return "fabric";
+  }
+  GS_CHECK_MSG(false, "unknown transport kind");
+  return "?";
+}
+
+std::unique_ptr<ShuffleTransport> MakeTransport(const TransportConfig& config,
+                                                double scale, Simulator& sim,
+                                                Network& net,
+                                                MetricsRegistry* metrics) {
+  switch (config.kind) {
+    case TransportKind::kDirect:
+      return std::make_unique<DirectTransport>(sim, net);
+    case TransportKind::kObjectStore:
+      return std::make_unique<ObjectStoreTransport>(
+          sim, net, config.object_store, scale, metrics);
+    case TransportKind::kFabric:
+      return std::make_unique<FabricTransport>(sim, net, config.fabric, scale,
+                                               metrics);
+  }
+  GS_CHECK_MSG(false, "unknown transport kind");
+  return nullptr;
+}
+
+}  // namespace gs

@@ -1,0 +1,94 @@
+// ShuffleTransport: pluggable mechanism moving a produced shard's bytes to
+// its consumers (docs/TRANSPORTS.md).
+//
+// The job runner owns shuffle *policy* — what to transfer, where the
+// receiver lives, retry/fallback/fetch-failure recovery (epoch guards) —
+// and the transport owns the *mechanism*: which netsim flows carry the
+// bytes, over which resources, and when the landing callback fires. The
+// contract:
+//
+//  * Transfer() is called once per remote shuffle leg (fetch or push),
+//    after the runner has done its per-job traffic accounting for the
+//    logical src -> dst movement. Co-located handoffs never reach the
+//    transport (the runner short-circuits them, Sec. IV-C2).
+//  * `on_landed` must eventually fire through the simulator, exactly once.
+//    It is epoch-guarded by the runner: if the destination task was
+//    restarted meanwhile, the callback no-ops and the in-flight bytes are
+//    wasted — the same semantics as a stale direct fetch, so PR-1 recovery
+//    (fetch-failure re-validation, push retry, push -> fetch fallback)
+//    works unchanged under every backend.
+//  * Non-shuffle kinds (cache/source reads the runner also routes here)
+//    always take the direct node-to-node path; backends only specialize
+//    kShuffleFetch/kShufflePush.
+//
+// Three backends ship (engine/transport/*_transport.h):
+//   DirectTransport      — plain node-to-node flows; bit-identical to the
+//                          pre-interface behavior.
+//   ObjectStoreTransport — PUT to a storage tier, then GET to the
+//                          consumer; trades JCT for egress dollars.
+//   FabricTransport      — RDMA-class intra-DC fabric legs; WAN legs stay
+//                          direct.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/ids.h"
+#include "common/metrics_registry.h"
+#include "common/units.h"
+#include "engine/run_config.h"
+#include "netsim/network.h"
+#include "simcore/simulator.h"
+
+namespace gs {
+
+// One shuffle leg: `bytes` of shard data moving from the node holding them
+// to the node consuming them. `kind` is the logical accounting category
+// (kShuffleFetch / kShufflePush for shuffle legs; kOther for cache and
+// source reads, which backends pass through directly).
+struct ShardTransfer {
+  NodeIndex src = kNoNode;
+  NodeIndex dst = kNoNode;
+  Bytes bytes = 0;
+  FlowKind kind = FlowKind::kOther;
+  std::function<void()> on_landed;  // epoch-guarded by the job runner
+};
+
+class ShuffleTransport {
+ public:
+  ShuffleTransport(Simulator& sim, Network& net) : sim_(sim), net_(net) {}
+  virtual ~ShuffleTransport() = default;
+
+  ShuffleTransport(const ShuffleTransport&) = delete;
+  ShuffleTransport& operator=(const ShuffleTransport&) = delete;
+
+  virtual TransportKind kind() const = 0;
+  const char* name() const { return TransportKindName(kind()); }
+
+  // Moves the shard; consumes t.on_landed.
+  virtual void Transfer(ShardTransfer t) = 0;
+
+ protected:
+  // The plain node-to-node flow every backend falls back to for
+  // non-shuffle kinds (and DirectTransport uses for everything).
+  void DirectFlow(ShardTransfer& t) {
+    net_.StartFlow(t.src, t.dst, t.bytes, t.kind, std::move(t.on_landed));
+  }
+
+  Simulator& sim_;
+  Network& net_;
+};
+
+// Builds the backend selected by `config.kind`, registering any service
+// resources (object-store tiers, fabrics) against `net` — so this must run
+// before any flow starts. `scale` divides the configured full-scale rates
+// like every other capacity (RunConfig::scale). `metrics` may be null;
+// backend counters (transport.store_puts, transport.fabric_transfers, ...)
+// are only registered by the backends that bump them, keeping direct runs'
+// metric snapshots untouched.
+std::unique_ptr<ShuffleTransport> MakeTransport(const TransportConfig& config,
+                                                double scale, Simulator& sim,
+                                                Network& net,
+                                                MetricsRegistry* metrics);
+
+}  // namespace gs

@@ -53,6 +53,9 @@ const char* FlowKindName(FlowKind kind) {
     case FlowKind::kShufflePush: return "shuffle-push";
     case FlowKind::kCentralize: return "centralize";
     case FlowKind::kCollect: return "collect";
+    case FlowKind::kStorePut: return "store-put";
+    case FlowKind::kStoreGet: return "store-get";
+    case FlowKind::kFabric: return "fabric";
     case FlowKind::kOther: return "other";
   }
   return "unknown";
@@ -60,13 +63,19 @@ const char* FlowKindName(FlowKind kind) {
 
 TrafficMeter::TrafficMeter(int num_dcs)
     : num_dcs_(num_dcs),
-      pair_bytes_(static_cast<std::size_t>(num_dcs) * num_dcs, 0) {}
+      pair_bytes_(static_cast<std::size_t>(num_dcs) * num_dcs, 0),
+      store_pair_bytes_(static_cast<std::size_t>(num_dcs) * num_dcs, 0) {}
 
 void TrafficMeter::Record(DcIndex src, DcIndex dst, FlowKind kind,
                           Bytes bytes) {
   GS_CHECK(src >= 0 && src < num_dcs_ && dst >= 0 && dst < num_dcs_);
   GS_CHECK(bytes >= 0);
   pair_bytes_[static_cast<std::size_t>(src) * num_dcs_ + dst] += bytes;
+  if (kind == FlowKind::kStorePut || kind == FlowKind::kStoreGet) {
+    store_pair_bytes_[static_cast<std::size_t>(src) * num_dcs_ + dst] +=
+        bytes;
+  }
+  kind_total_[static_cast<int>(kind)] += bytes;
   if (src != dst) kind_cross_dc_[static_cast<int>(kind)] += bytes;
 }
 
@@ -89,9 +98,20 @@ Bytes TrafficMeter::pair_bytes(DcIndex src, DcIndex dst) const {
   return pair_bytes_[static_cast<std::size_t>(src) * num_dcs_ + dst];
 }
 
+Bytes TrafficMeter::total_of_kind(FlowKind kind) const {
+  auto it = kind_total_.find(static_cast<int>(kind));
+  return it == kind_total_.end() ? 0 : it->second;
+}
+
+Bytes TrafficMeter::store_pair_bytes(DcIndex src, DcIndex dst) const {
+  return store_pair_bytes_[static_cast<std::size_t>(src) * num_dcs_ + dst];
+}
+
 void TrafficMeter::Reset() {
   std::fill(pair_bytes_.begin(), pair_bytes_.end(), 0);
+  std::fill(store_pair_bytes_.begin(), store_pair_bytes_.end(), 0);
   kind_cross_dc_.clear();
+  kind_total_.clear();
 }
 
 Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
@@ -248,6 +268,132 @@ FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes,
   // (plus any stall). Entering contention perturbs exactly the flow's own
   // resources; the batched reconfigure re-shares those components once per
   // instant, however many flows arrive together.
+  sim_.Schedule(setup, [this, id] {
+    const std::int32_t s = SlotOf(id);
+    if (s < 0) return;  // cancelled during setup
+    Flow& flow = slab_[static_cast<std::size_t>(s)];
+    flow.started = true;
+    flow.last_update = sim_.Now();
+    flow.contend_seq = next_contend_seq_++;
+    AddFlowToComponent(s);
+    MarkFlowResourcesDirty(flow);
+    ScheduleDeferredReconfigure();
+  });
+  MaintainJitterEvent();
+  return id;
+}
+
+int Network::AddServiceResource(Rate capacity) {
+  GS_CHECK_MSG(next_flow_id_ == 1,
+               "service resources must be registered before any flow starts");
+  GS_CHECK_MSG(std::isfinite(capacity) && capacity > 0,
+               "service resource capacity must be positive and finite, got "
+                   << capacity);
+  const int idx = static_cast<int>(capacity_.size());
+  capacity_.push_back(capacity);
+  res_comp_.push_back(-1);
+  res_dirty_token_.push_back(0);
+  rem_cap_.push_back(0.0);
+  res_count_.push_back(0);
+  res_row_.push_back(0);
+  return idx;
+}
+
+FlowId Network::StartFlow(const FlowSpec& spec, CompletionFn on_complete) {
+  GS_CHECK(spec.src >= 0 && spec.src < topo_.num_nodes());
+  GS_CHECK(spec.dst >= 0 && spec.dst < topo_.num_nodes());
+  GS_CHECK(spec.bytes >= 0);
+  GS_CHECK(on_complete != nullptr);
+  GS_CHECK_MSG(spec.service_res < 0 ||
+                   (spec.service_res >= FirstServiceRes() &&
+                    spec.service_res < static_cast<int>(capacity_.size())),
+               "bad service resource index " << spec.service_res);
+  GS_CHECK(spec.rate_cap >= 0 && std::isfinite(spec.rate_cap));
+  GS_CHECK(spec.extra_setup >= 0 && std::isfinite(spec.extra_setup));
+
+  const FlowId id = next_flow_id_++;
+  const DcIndex src_dc = topo_.dc_of(spec.src);
+  const DcIndex dst_dc = topo_.dc_of(spec.dst);
+
+  meter_.Record(src_dc, dst_dc, spec.kind, spec.bytes);
+  if (m_flows_started_ != nullptr) {
+    m_flows_started_->Add(1);
+    if (spec.kind == FlowKind::kShuffleFetch) {
+      m_fetch_bytes_->Observe(static_cast<double>(spec.bytes));
+    } else if (spec.kind == FlowKind::kShufflePush) {
+      m_push_bytes_->Observe(static_cast<double>(spec.bytes));
+    }
+  }
+
+  const std::int32_t slot = AllocSlot();
+  GS_CHECK(static_cast<std::size_t>(id) == id_to_slot_.size());
+  id_to_slot_.push_back(slot);
+  ++tracked_flows_;
+  Flow& f = slab_[static_cast<std::size_t>(slot)];
+  f.started = false;
+  f.nres = 0;
+  f.res[0] = f.res[1] = f.res[2] = -1;
+  f.contend_seq = -1;
+  f.rate = 0;
+  f.rate_cap = spec.rate_cap;
+  f.id = id;
+  f.src = spec.src;
+  f.dst = spec.dst;
+  f.kind = spec.kind;
+  f.remaining = static_cast<double>(spec.bytes);
+  f.total = spec.bytes;
+  f.created_at = sim_.Now();
+  f.last_update = sim_.Now();
+  f.wan_link = -1;
+  f.attributed = 0;
+  f.on_complete = std::move(on_complete);
+
+  CatchUpJitter();
+  SimTime setup = topo_.rtt(src_dc, dst_dc) / 2 + spec.extra_setup;
+  if (spec.src_uplink && spec.src != spec.dst) {
+    f.res[f.nres++] = static_cast<std::int32_t>(UplinkRes(spec.src));
+  }
+  if (src_dc != dst_dc) {
+    int link = topo_.wan_link_index(src_dc, dst_dc);
+    GS_CHECK_MSG(link >= 0, "no WAN link " << src_dc << "->" << dst_dc);
+    f.res[f.nres++] = static_cast<std::int32_t>(WanRes(link));
+    // Same single-connection TCP ceiling and stall model as the plain
+    // overload; an explicit spec cap composes as the tighter of the two.
+    const WanLinkSpec& lspec = topo_.wan_link(link);
+    double eff = jitter_rng_.Uniform(config_.wan_flow_efficiency_min, 1.0);
+    const Rate tcp_cap = eff * lspec.base_rate;
+    f.rate_cap = f.rate_cap > 0 ? std::min(f.rate_cap, tcp_cap) : tcp_cap;
+    if (config_.wan_stall_prob > 0 &&
+        jitter_rng_.Bernoulli(config_.wan_stall_prob)) {
+      setup += jitter_rng_.Uniform(config_.wan_stall_min,
+                                   config_.wan_stall_max);
+      if (m_wan_stalls_ != nullptr) m_wan_stalls_->Add(1);
+    }
+    f.wan_link = link;
+  }
+  if (spec.dst_downlink && spec.src != spec.dst) {
+    f.res[f.nres++] = static_cast<std::int32_t>(DownlinkRes(spec.dst));
+  }
+  if (spec.service_res >= 0) {
+    GS_CHECK_MSG(f.nres < 3, "flow spec composes more than 3 resources");
+    f.res[f.nres++] = static_cast<std::int32_t>(spec.service_res);
+  }
+  if (m_active_flows_ != nullptr) {
+    m_active_flows_->Set(tracked_flows_);
+  }
+
+  if (f.nres == 0) {
+    // No shared resource to contend for: complete after loopback latency,
+    // exactly like the plain overload's src == dst path.
+    f.completion_event = sim_.Schedule(Millis(0.1), [this, id] {
+      const std::int32_t s = SlotOf(id);
+      if (s < 0) return;  // cancelled before loopback latency
+      FinishFlow(s);
+      ScheduleDeferredReconfigure();
+    });
+    return id;
+  }
+
   sim_.Schedule(setup, [this, id] {
     const std::int32_t s = SlotOf(id);
     if (s < 0) return;  // cancelled during setup
@@ -714,6 +860,14 @@ void Network::AdvanceFlow(Flow& f, SimTime now) {
 
 void Network::ScheduleCompletion(Flow& f, SimTime now) {
   const SimTime when = now + f.remaining / f.rate;
+  if (when <= now) {
+    // remaining/rate underflowed the clock's resolution at `now` (a
+    // fast service tier can drain a sub-byte residue in less than one
+    // ulp of simulated time): the fluid finish is indistinguishable
+    // from this instant. Snap the residue so the deadline settles the
+    // flow instead of respinning a zero-progress event forever.
+    f.remaining = 0;
+  }
   if (!std::isfinite(when)) {
     // A starvation-guard-level rate can overflow remaining/rate to
     // infinity. An infinite deadline would corrupt the clock when it

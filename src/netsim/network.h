@@ -53,6 +53,9 @@ enum class FlowKind {
   kShufflePush,    // proactive push of shuffle input (transferTo)
   kCentralize,     // raw-input relocation (Centralized baseline)
   kCollect,        // results returned to the driver
+  kStorePut,       // shard staged into an object-store tier (PUT leg)
+  kStoreGet,       // staged shard read back by a consumer (GET leg)
+  kFabric,         // RDMA-class intra-DC fabric transfer
   kOther,
 };
 
@@ -106,12 +109,23 @@ class TrafficMeter {
   Bytes cross_dc_of_kind(FlowKind kind) const;
   Bytes pair_bytes(DcIndex src, DcIndex dst) const;
 
+  // All bytes of one kind, intra-DC included (object-store fees bill the
+  // staged volume, not just the cross-region part).
+  Bytes total_of_kind(FlowKind kind) const;
+  // The kStorePut/kStoreGet share of pair_bytes(src, dst). Store traffic
+  // rides the provider backbone and is priced at the flat object-store
+  // transfer rate instead of the per-region egress tariff, so pricing
+  // subtracts it from the egress-billed pair bytes (netsim/pricing.h).
+  Bytes store_pair_bytes(DcIndex src, DcIndex dst) const;
+
   void Reset();
 
  private:
   int num_dcs_;
   std::vector<Bytes> pair_bytes_;                  // [src * num_dcs + dst]
+  std::vector<Bytes> store_pair_bytes_;            // same indexing
   std::unordered_map<int, Bytes> kind_cross_dc_;   // key: FlowKind
+  std::unordered_map<int, Bytes> kind_total_;      // key: FlowKind
 };
 
 // Completed-flow record delivered to an observer (tracing/diagnostics).
@@ -152,6 +166,39 @@ class Network {
   // usable with CancelFlow.
   FlowId StartFlow(NodeIndex src, NodeIndex dst, Bytes bytes, FlowKind kind,
                    CompletionFn on_complete);
+
+  // Adds a shared "service" resource — a rate-limited tier that is not a
+  // node NIC or WAN link (an object-store ingest/egress pipe, an intra-DC
+  // RDMA fabric). Returns the resource index for FlowSpec::service_res.
+  // Must be called before any flow starts; capacity must be positive and
+  // finite. Service resources never jitter or degrade.
+  int AddServiceResource(Rate capacity);
+
+  // Generalized flow description for transport backends (engine/transport/)
+  // whose legs do not match the plain node-to-node shape: a leg may skip
+  // either NIC (the far end is a storage tier, not a node), ride a service
+  // resource, carry an extra setup latency (PUT/GET request round-trip,
+  // histogram exchange) or a per-flow rate ceiling. The WAN leg — link
+  // choice, TCP efficiency ceiling and stall draws — follows the node
+  // datacenters exactly like the plain StartFlow.
+  struct FlowSpec {
+    NodeIndex src = kNoNode;
+    NodeIndex dst = kNoNode;
+    Bytes bytes = 0;
+    FlowKind kind = FlowKind::kOther;
+    bool src_uplink = true;     // consume the sender's uplink NIC
+    bool dst_downlink = true;   // consume the receiver's downlink NIC
+    int service_res = -1;       // AddServiceResource index; -1 = none
+    Rate rate_cap = 0;          // per-flow ceiling; 0 = uncapped
+    SimTime extra_setup = 0;    // added to the rtt/2 (+ stall) setup time
+  };
+
+  // Starts a flow described by `spec`. A spec composing zero resources
+  // (src == dst with both NICs skipped and no service resource) completes
+  // after loopback latency like the plain overload. At most three
+  // resources may compose (solver invariant); a spec that would exceed
+  // that is a programming error.
+  FlowId StartFlow(const FlowSpec& spec, CompletionFn on_complete);
 
   // Cancels an in-flight flow (e.g. the destination task failed). Bytes
   // already transferred remain accounted in the traffic meter; the
@@ -270,10 +317,15 @@ class Network {
   };
 
   // Resource indexing: [0, N) node uplinks, [N, 2N) node downlinks,
-  // [2N, 2N+L) WAN links.
+  // [2N, 2N+L) WAN links, [2N+L, ...) service resources in registration
+  // order (AddServiceResource). With no service resources the space is
+  // exactly the historical 2N+L, so plain runs are bit-identical.
   int UplinkRes(NodeIndex n) const { return n; }
   int DownlinkRes(NodeIndex n) const { return topo_.num_nodes() + n; }
   int WanRes(int link_idx) const { return 2 * topo_.num_nodes() + link_idx; }
+  int FirstServiceRes() const {
+    return 2 * topo_.num_nodes() + topo_.num_wan_links();
+  }
 
   std::int32_t SlotOf(FlowId id) const {
     return id >= 1 && static_cast<std::size_t>(id) < id_to_slot_.size()

@@ -46,4 +46,38 @@ double WanPricing::CostUsd(const TrafficMeter& meter,
   return total;
 }
 
+double WanPricing::EgressCostUsd(const TrafficMeter& meter,
+                                 const Topology& topo) const {
+  GS_CHECK(topo.num_datacenters() <=
+           static_cast<int>(egress_usd_per_gib_.size()));
+  double total = 0;
+  for (DcIndex src = 0; src < topo.num_datacenters(); ++src) {
+    for (DcIndex dst = 0; dst < topo.num_datacenters(); ++dst) {
+      const Bytes egressed =
+          meter.pair_bytes(src, dst) - meter.store_pair_bytes(src, dst);
+      GS_CHECK(egressed >= 0);
+      total += CostUsd(src, dst, egressed);
+    }
+  }
+  return total;
+}
+
+double WanPricing::StoreCostUsd(const TrafficMeter& meter,
+                                const Topology& topo,
+                                const ObjectStoreTariff& tariff) {
+  const Bytes put = meter.total_of_kind(FlowKind::kStorePut);
+  const Bytes get = meter.total_of_kind(FlowKind::kStoreGet);
+  Bytes cross = 0;
+  for (DcIndex src = 0; src < topo.num_datacenters(); ++src) {
+    for (DcIndex dst = 0; dst < topo.num_datacenters(); ++dst) {
+      if (src != dst) cross += meter.store_pair_bytes(src, dst);
+    }
+  }
+  return (tariff.put_usd_per_gib * static_cast<double>(put) +
+          tariff.get_usd_per_gib * static_cast<double>(get) +
+          tariff.storage_usd_per_gib * static_cast<double>(put) +
+          tariff.transfer_usd_per_gib * static_cast<double>(cross)) /
+         static_cast<double>(kGiB);
+}
+
 }  // namespace gs

@@ -16,6 +16,20 @@
 
 namespace gs {
 
+// Object-store tariff (ObjectStoreTransport, docs/TRANSPORTS.md): staged
+// shuffle bytes skip the per-region egress tariff and are billed instead
+// at a flat backbone transfer rate plus per-GiB request/storage fees —
+// provider-internal replication to storage is cheaper than internet
+// egress, which is exactly the dollars-for-latency trade the transport
+// exists to expose. All rates are USD per GiB; requests are priced by
+// volume (a fixed part size folds the per-request fee into a per-GiB one).
+struct ObjectStoreTariff {
+  double put_usd_per_gib = 0.005;       // ingest requests
+  double get_usd_per_gib = 0.0005;      // read-back requests
+  double storage_usd_per_gib = 0.001;   // short-lived staging capacity
+  double transfer_usd_per_gib = 0.05;   // cross-region backbone transfer
+};
+
 class WanPricing {
  public:
   // Per-region egress rates (USD/GiB), e.g. premium for South America.
@@ -38,6 +52,18 @@ class WanPricing {
 
   // Cost of a single transfer.
   double CostUsd(DcIndex src, DcIndex dst, Bytes bytes) const;
+
+  // Egress cost of the meter's cross-datacenter bytes minus its
+  // object-store share (those bytes ride the backbone and are billed by
+  // StoreCostUsd instead). Equal to CostUsd(meter, topo) when no store
+  // flows ran.
+  double EgressCostUsd(const TrafficMeter& meter, const Topology& topo) const;
+
+  // Object-store bill for the meter's staged traffic: request + storage
+  // fees on the PUT/GET volume plus the flat backbone rate on its
+  // cross-region part. Zero when no store flows ran.
+  static double StoreCostUsd(const TrafficMeter& meter, const Topology& topo,
+                             const ObjectStoreTariff& tariff);
 
  private:
   std::vector<double> egress_usd_per_gib_;

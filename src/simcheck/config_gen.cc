@@ -55,6 +55,11 @@ SimcheckConfig GenerateConfig(std::uint64_t seed) {
   cfg.degrade_duration = rng.Uniform(2.0, 10.0);
   cfg.block_loss = rng.Bernoulli(0.2);
   cfg.block_loss_frac = rng.Uniform(0.2, 0.7);
+  // Drawn last so older seeds keep generating the exact configs they used
+  // to (plus a transport draw that leaves them on kDirect half the time).
+  cfg.transport = rng.Bernoulli(0.5)
+                      ? 0
+                      : static_cast<int>(rng.UniformInt(1, 2));
   return cfg;
 }
 
@@ -88,6 +93,7 @@ std::string ToJson(const SimcheckConfig& c) {
   w.Key("degrade_duration").Value(c.degrade_duration);
   w.Key("block_loss").Value(c.block_loss);
   w.Key("block_loss_frac").Value(c.block_loss_frac);
+  w.Key("transport").Value(c.transport);
   w.EndObject();
   return w.str();
 }
@@ -205,6 +211,7 @@ bool AssignField(SimcheckConfig* c, const std::string& key,
   }
   if (key == "block_loss") return TokenToBool(tok, &c->block_loss);
   if (key == "block_loss_frac") return TokenToDouble(tok, &c->block_loss_frac);
+  if (key == "transport") return TokenToInt(tok, &c->transport);
   return false;  // unknown key
 }
 

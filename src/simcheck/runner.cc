@@ -214,6 +214,7 @@ SchemeRun RunOne(const SimcheckConfig& cfg, Scheme scheme, int threads,
     rc.compute_threads = threads;
     rc.aggregator_dc_count = cfg.aggregator_dc_count;
     rc.disable_map_side_combine = !cfg.map_side_combine;
+    rc.transport.kind = static_cast<TransportKind>(cfg.transport);
     rc.fault.plan = plan;
     if (!cfg.noisy_network) {
       rc.net.jitter_interval = 0;
@@ -348,6 +349,8 @@ bool ValidateConfig(const SimcheckConfig& cfg, CheckResult* r) {
     os << "aggregator_dc_count < 1";
   } else if (cfg.wan_rate_mbps < 1 || cfg.rtt_ms < 1) {
     os << "network parameters out of range";
+  } else if (cfg.transport < 0 || cfg.transport > 2) {
+    os << "transport " << cfg.transport << " out of range";
   } else {
     return true;
   }

@@ -85,6 +85,11 @@ struct SimcheckConfig {
   int aggregator_dc_count = 1;
   int threads_high = 4;       // differential partner of --threads=1
   bool noisy_network = true;  // jitter + stalls + stragglers enabled
+  // Shuffle transport: TransportKind as an int (0 direct, 1 objstore,
+  // 2 fabric) so the config stays flat plain data. All invariants are
+  // transport-independent — logical per-job accounting doesn't change with
+  // the mechanism — so every check runs unmodified under each backend.
+  int transport = 0;
 
   // Fault plan (times are fractions of the fault-free Spark JCT, resolved
   // by a probe run so the plan lands mid-job at any scale).

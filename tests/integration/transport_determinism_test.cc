@@ -1,0 +1,94 @@
+// Thread- and rerun-determinism of the non-direct transports: the
+// ObjectStore and Fabric backends add chained flows (PUT -> GET) and
+// service-resource contention to the event loop, and this test pins that
+// none of it leaks wall-clock state into simulation results — a run's
+// full RunReport JSON must be byte-identical across compute-pool widths
+// {1, 8} and across in-process reruns, per scheme, with the stochastic
+// network knobs left ON (the claim is seeded determinism, not
+// determinism-by-disabling-randomness).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "data/combiner.h"
+#include "data/record.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "engine/transport/transport.h"
+
+namespace gs {
+namespace {
+
+constexpr int kMaps = 24;
+constexpr int kShards = 6;
+
+RunConfig BaseConfig(Scheme scheme, TransportKind transport, int threads) {
+  RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 7;
+  cfg.scale = 100;
+  cfg.cost = CostModel{}.Scaled(100);
+  cfg.compute_threads = threads;
+  cfg.transport.kind = transport;
+  return cfg;
+}
+
+std::string RunReportJson(Scheme scheme, TransportKind transport,
+                          int threads) {
+  GeoCluster cluster(Ec2SixRegionTopology(100),
+                     BaseConfig(scheme, transport, threads));
+  const Topology& topo = cluster.topology();
+  std::vector<NodeIndex> workers;
+  for (NodeIndex n = 0; n < topo.num_nodes(); ++n) {
+    if (topo.node(n).worker) workers.push_back(n);
+  }
+  std::vector<SourceRdd::Partition> parts;
+  for (int p = 0; p < kMaps; ++p) {
+    std::vector<Record> records;
+    records.reserve(90);
+    for (int i = 0; i < 90; ++i) {
+      records.push_back(
+          {"k" + std::to_string((p * 53 + i) % 71), std::int64_t{1}});
+    }
+    SourceRdd::Partition part;
+    part.records = MakeRecords(std::move(records));
+    part.node = workers[p % workers.size()];
+    part.bytes = SerializedSize(*part.records);
+    parts.push_back(std::move(part));
+  }
+  RunResult run = cluster
+                      .CreateSource("transport-det-input", std::move(parts))
+                      .ReduceByKey(SumInt64(), kShards)
+                      .Run(ActionKind::kCollect);
+  return run.report.ToJson();
+}
+
+using Case = std::tuple<Scheme, TransportKind>;
+
+class TransportDeterminismTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TransportDeterminismTest, ReportIdenticalAcrossThreadsAndReruns) {
+  const Scheme scheme = std::get<0>(GetParam());
+  const TransportKind transport = std::get<1>(GetParam());
+  const std::string one = RunReportJson(scheme, transport, 1);
+  const std::string eight = RunReportJson(scheme, transport, 8);
+  const std::string eight_again = RunReportJson(scheme, transport, 8);
+  EXPECT_EQ(one, eight) << "report depends on compute_threads";
+  EXPECT_EQ(eight, eight_again) << "report differs across reruns";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TransportDeterminismTest,
+    ::testing::Combine(::testing::Values(Scheme::kSpark, Scheme::kCentralized,
+                                         Scheme::kAggShuffle),
+                       ::testing::Values(TransportKind::kObjectStore,
+                                         TransportKind::kFabric)),
+    [](const auto& info) {
+      return std::string(SchemeName(std::get<0>(info.param))) + "_" +
+             TransportKindName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gs

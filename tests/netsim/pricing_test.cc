@@ -73,5 +73,60 @@ TEST(WanPricingTest, AggShuffleIsCheaperThanSparkEndToEnd) {
   EXPECT_LT(agg, spark);
 }
 
+TEST(WanPricingTest, EgressCostExcludesStoreBytes) {
+  Topology topo;
+  topo.AddDatacenter("a");
+  topo.AddDatacenter("b");
+  TrafficMeter meter(2);
+  meter.Record(0, 1, FlowKind::kShuffleFetch, GiB(1));  // internet egress
+  meter.Record(0, 1, FlowKind::kStoreGet, GiB(2));      // backbone, excluded
+  meter.Record(0, 0, FlowKind::kStorePut, GiB(2));      // intra-DC PUT
+  WanPricing pricing({0.10, 0.20});
+  // CostUsd prices everything; EgressCostUsd only the non-staged bytes.
+  EXPECT_DOUBLE_EQ(pricing.CostUsd(meter, topo), 0.10 + 0.20);
+  EXPECT_DOUBLE_EQ(pricing.EgressCostUsd(meter, topo), 0.10);
+}
+
+TEST(WanPricingTest, EgressCostEqualsCostWithoutStoreFlows) {
+  Topology topo;
+  topo.AddDatacenter("a");
+  topo.AddDatacenter("b");
+  TrafficMeter meter(2);
+  meter.Record(0, 1, FlowKind::kShufflePush, GiB(3));
+  meter.Record(1, 0, FlowKind::kCentralize, GiB(1));
+  WanPricing pricing({0.10, 0.20});
+  EXPECT_DOUBLE_EQ(pricing.EgressCostUsd(meter, topo),
+                   pricing.CostUsd(meter, topo));
+}
+
+TEST(WanPricingTest, StoreCostBillsRequestsStorageAndBackbone) {
+  Topology topo;
+  topo.AddDatacenter("a");
+  topo.AddDatacenter("b");
+  TrafficMeter meter(2);
+  meter.Record(0, 0, FlowKind::kStorePut, GiB(4));  // local PUT
+  meter.Record(0, 1, FlowKind::kStoreGet, GiB(3));  // cross-region GET
+  meter.Record(0, 0, FlowKind::kStoreGet, GiB(1));  // local GET
+  ObjectStoreTariff tariff;
+  tariff.put_usd_per_gib = 0.01;
+  tariff.get_usd_per_gib = 0.002;
+  tariff.storage_usd_per_gib = 0.003;
+  tariff.transfer_usd_per_gib = 0.05;
+  // put fees on 4 GiB, get fees on 4 GiB, storage on the 4 GiB PUT,
+  // backbone transfer on the 3 cross-region GiB.
+  EXPECT_DOUBLE_EQ(WanPricing::StoreCostUsd(meter, topo, tariff),
+                   0.01 * 4 + 0.002 * 4 + 0.003 * 4 + 0.05 * 3);
+}
+
+TEST(WanPricingTest, StoreCostIsZeroWithoutStoreFlows) {
+  Topology topo;
+  topo.AddDatacenter("a");
+  topo.AddDatacenter("b");
+  TrafficMeter meter(2);
+  meter.Record(0, 1, FlowKind::kShuffleFetch, GiB(5));
+  EXPECT_DOUBLE_EQ(
+      WanPricing::StoreCostUsd(meter, topo, ObjectStoreTariff{}), 0.0);
+}
+
 }  // namespace
 }  // namespace gs

@@ -52,6 +52,14 @@ struct Options {
   double diurnal_period = 60.0; // diurnal period, sim-seconds
   int tenants = 2;              // tenants; tenant k gets weight k+1
   int max_concurrent = 0;       // admission cap (0 = unlimited)
+  // Shuffle transport (docs/TRANSPORTS.md); negative/zero overrides keep
+  // the backend defaults from run_config.h.
+  std::string transport = "direct";
+  int store_dc = -1;              // objstore: staging DC (-1 = producer's)
+  double store_rate_gbps = 0.0;   // objstore: tier rate, full scale
+  double store_latency_ms = -1.0; // objstore: PUT and GET request latency
+  double fabric_rate_gbps = 0.0;  // fabric: per-DC capacity, full scale
+  double fabric_exchange_ms = -1.0;  // fabric: histogram-exchange latency
 };
 
 void PrintHelp() {
@@ -77,6 +85,19 @@ void PrintHelp() {
       "  --crash-node=N    crash worker node N mid-run (fault injection)\n"
       "  --crash-at=T      crash time in sim-seconds (default 0)\n"
       "  --restart-after=T restart the node T seconds later (0 = stays dead)\n"
+      "\n"
+      "shuffle transport (docs/TRANSPORTS.md):\n"
+      "  --transport=NAME  direct | objstore | fabric   (default direct)\n"
+      "  --store-dc=N      objstore: staging datacenter index\n"
+      "                    (default: each shard stages in its producer's DC)\n"
+      "  --store-rate-gbps=X    objstore: store-tier throughput per DC,\n"
+      "                    full scale (default 4)\n"
+      "  --store-latency-ms=T   objstore: PUT/GET request round-trip\n"
+      "                    (default 30)\n"
+      "  --fabric-rate-gbps=X   fabric: per-DC fabric capacity, full scale\n"
+      "                    (default 40)\n"
+      "  --fabric-exchange-ms=T fabric: histogram-exchange setup latency\n"
+      "                    (default 2)\n"
       "\n"
       "multi-job service mode (docs/SERVICE.md):\n"
       "  --jobs=N          submit N copies of the workload to one shared\n"
@@ -231,6 +252,41 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
                       &opts->max_concurrent)) {
         return false;
       }
+    } else if (ParseFlag(argv[i], "transport", &opts->transport)) {
+      if (opts->transport != "direct" && opts->transport != "objstore" &&
+          opts->transport != "fabric") {
+        std::cerr << "unknown transport '" << opts->transport
+                  << "' (want direct | objstore | fabric)\n";
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "store-dc", &value)) {
+      if (!ParseIntIn(value, "store-dc", 0, 1000, &opts->store_dc)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "store-rate-gbps", &value)) {
+      if (!ParseDoubleMin(value, "store-rate-gbps", 0.0,
+                          &opts->store_rate_gbps) ||
+          opts->store_rate_gbps <= 0) {
+        std::cerr << "invalid value for --store-rate-gbps: want > 0\n";
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "store-latency-ms", &value)) {
+      if (!ParseDoubleMin(value, "store-latency-ms", 0.0,
+                          &opts->store_latency_ms)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "fabric-rate-gbps", &value)) {
+      if (!ParseDoubleMin(value, "fabric-rate-gbps", 0.0,
+                          &opts->fabric_rate_gbps) ||
+          opts->fabric_rate_gbps <= 0) {
+        std::cerr << "invalid value for --fabric-rate-gbps: want > 0\n";
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "fabric-exchange-ms", &value)) {
+      if (!ParseDoubleMin(value, "fabric-exchange-ms", 0.0,
+                          &opts->fabric_exchange_ms)) {
+        return false;
+      }
     } else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return false;
@@ -247,6 +303,33 @@ gs::Scheme ParseScheme(const std::string& name) {
   return gs::Scheme::kAggShuffle;
 }
 
+// Installs the --transport flags into cfg.transport. Negative/zero
+// override values mean "keep the TransportConfig default".
+void ApplyTransport(const Options& opts, gs::RunConfig* cfg) {
+  using namespace gs;
+  if (opts.transport == "objstore") {
+    cfg->transport.kind = TransportKind::kObjectStore;
+  } else if (opts.transport == "fabric") {
+    cfg->transport.kind = TransportKind::kFabric;
+  } else {
+    cfg->transport.kind = TransportKind::kDirect;
+  }
+  if (opts.store_dc >= 0) cfg->transport.object_store.dc = opts.store_dc;
+  if (opts.store_rate_gbps > 0) {
+    cfg->transport.object_store.rate = Gbps(opts.store_rate_gbps);
+  }
+  if (opts.store_latency_ms >= 0) {
+    cfg->transport.object_store.put_latency = Millis(opts.store_latency_ms);
+    cfg->transport.object_store.get_latency = Millis(opts.store_latency_ms);
+  }
+  if (opts.fabric_rate_gbps > 0) {
+    cfg->transport.fabric.rate = Gbps(opts.fabric_rate_gbps);
+  }
+  if (opts.fabric_exchange_ms >= 0) {
+    cfg->transport.fabric.exchange_latency = Millis(opts.fabric_exchange_ms);
+  }
+}
+
 // Multi-job service mode: one shared cluster, N workload jobs submitted on
 // an open-loop arrival process across weighted tenants.
 int RunMultiJob(const Options& opts) {
@@ -261,6 +344,7 @@ int RunMultiJob(const Options& opts) {
   cfg.observe.metrics = !opts.no_metrics;
   cfg.observe.egress_usd_per_gib = WanPricing::Ec2SixRegionTariff().rates();
   cfg.service.max_concurrent_jobs = opts.max_concurrent;
+  ApplyTransport(opts, &cfg);
   if (opts.crash_node >= 0) {
     NodeCrashEvent crash;
     crash.at = opts.crash_at;
@@ -326,6 +410,7 @@ int RunMultiJob(const Options& opts) {
     // Whole-service snapshot: the jobs table plus cluster-wide metrics.
     RunReport report = cluster.BuildReport(JobMetrics{}, nullptr);
     report.label = opts.workload + "/" + opts.scheme + "/multijob";
+    if (opts.transport != "direct") report.label += "/" + opts.transport;
     std::ofstream out(opts.report_path);
     if (!out) {
       std::cerr << "cannot write " << opts.report_path << "\n";
@@ -390,6 +475,7 @@ int main(int argc, char** argv) {
     cfg.observe.metrics = !opts.no_metrics;
     // Dollar view of the cross-region traffic uses the 2016 EC2 tariff.
     cfg.observe.egress_usd_per_gib = WanPricing::Ec2SixRegionTariff().rates();
+    ApplyTransport(opts, &cfg);
     if (opts.crash_node >= 0) {
       NodeCrashEvent crash;
       crash.at = opts.crash_at;
@@ -409,6 +495,7 @@ int main(int argc, char** argv) {
     last = result.metrics;
     last_report = std::move(result.report);
     last_report.label = opts.workload + "/" + opts.scheme;
+    if (opts.transport != "direct") last_report.label += "/" + opts.transport;
     if (want_trace && result.trace != nullptr) {
       if (opts.gantt) last_gantt = result.trace->RenderGantt(110);
       if (!opts.trace_path.empty()) {
