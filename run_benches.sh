@@ -27,6 +27,7 @@ for b in build/bench/*; do
   # reporter (scaling evidence for the incremental solver, docs/PERF.md).
   json=
   case "$b" in
+    */bench_adaptive) json=BENCH_adaptive.json ;;
     */bench_micro_datapath) json=BENCH_datapath.json ;;
     */bench_micro_netsim) json=BENCH_netsim.json ;;
     */bench_multitenant) json=BENCH_multitenant.json ;;

@@ -58,6 +58,23 @@ void ValidateConfig(const RunConfig& cfg, const Topology& topo) {
     GS_CHECK_MSG(FiniteNonNegative(rate),
                  "observe.egress_usd_per_gib must be finite and >= 0");
   }
+
+  // Adaptive knobs are validated whether or not adaptivity is enabled: a
+  // config carrying a NaN threshold is malformed even if this run never
+  // reads it (the same rule the transport knobs above follow).
+  const AdaptiveConfig& a = cfg.adaptive;
+  GS_CHECK_MSG(FiniteNonNegative(a.bandwidth_window),
+               "adaptive.bandwidth_window must be finite and >= 0");
+  GS_CHECK_MSG(std::isfinite(a.degrade_threshold) &&
+                   a.degrade_threshold >= 0 && a.degrade_threshold <= 1,
+               "adaptive.degrade_threshold must be in [0, 1]");
+  GS_CHECK_MSG(std::isfinite(a.hysteresis) && a.hysteresis >= 1,
+               "adaptive.hysteresis must be finite and >= 1");
+  GS_CHECK_MSG(FiniteNonNegative(a.min_replan_interval),
+               "adaptive.min_replan_interval must be finite and >= 0");
+  GS_CHECK_MSG(a.pin_dc == kNoDc ||
+                   (a.pin_dc >= 0 && a.pin_dc < topo.num_datacenters()),
+               "adaptive.pin_dc out of range");
 }
 
 }  // namespace
@@ -255,6 +272,17 @@ void GeoCluster::RestartNode(NodeIndex node) {
 
 void GeoCluster::LoseShuffleBlocks(NodeIndex node) {
   blocks_->DropKindOnNode(node, BlockId::Kind::kShuffle);
+}
+
+void GeoCluster::SetWanDegradation(DcIndex src, DcIndex dst, double factor,
+                                   bool symmetric) {
+  network_->SetWanDegradation(src, dst, factor);
+  if (symmetric) network_->SetWanDegradation(dst, src, factor);
+  // Notify every executing job, in job-id order (determinism); the runner
+  // no-ops unless adaptive replanning is on.
+  for (const auto& js : jobs_) {
+    if (js->runner != nullptr) js->runner->OnWanDegraded(src, dst);
+  }
 }
 
 RddPtr GeoCluster::MaybeRewrite(const RddPtr& final_rdd) {
@@ -559,6 +587,7 @@ RunReport GeoCluster::BuildReport(const JobMetrics& job,
   if (config_.transport.kind != TransportKind::kDirect) {
     report.transport = TransportKindName(config_.transport.kind);
   }
+  report.adaptive = config_.adaptive.enabled;
 
   if (trace != nullptr) {
     report.trace.enabled = true;

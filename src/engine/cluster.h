@@ -157,6 +157,14 @@ class GeoCluster {
   // killing its executor.
   void LoseShuffleBlocks(NodeIndex node);
 
+  // Degrades (or restores, factor = 1) a directed WAN link and notifies
+  // every executing job, in job-id order, so adaptive runners can replan
+  // receiver placement (docs/ADAPTIVE.md). FaultPlan link events route
+  // through here; calling network().SetWanDegradation directly changes
+  // capacity without the notification.
+  void SetWanDegradation(DcIndex src, DcIndex dst, double factor,
+                         bool symmetric = false);
+
  private:
   friend class JobRunner;
   friend class JobHandle;

@@ -30,18 +30,14 @@ FaultInjector::FaultInjector(GeoCluster& cluster, const FaultPlan& plan,
       GS_LOG_INFO << "link degradation: dc" << e.src << "->dc" << e.dst
                   << " x" << e.factor
                   << (e.symmetric ? " (both directions)" : "");
-      cluster_.network().SetWanDegradation(e.src, e.dst, e.factor);
-      if (e.symmetric) {
-        cluster_.network().SetWanDegradation(e.dst, e.src, e.factor);
-      }
+      // Routed through the cluster so executing jobs hear about the flap
+      // and adaptive runners can replan (docs/ADAPTIVE.md).
+      cluster_.SetWanDegradation(e.src, e.dst, e.factor, e.symmetric);
     });
     if (e.duration > 0) {
       sim.ScheduleAt(e.at + e.duration, [this, e] {
         GS_LOG_INFO << "link restored: dc" << e.src << "->dc" << e.dst;
-        cluster_.network().SetWanDegradation(e.src, e.dst, 1.0);
-        if (e.symmetric) {
-          cluster_.network().SetWanDegradation(e.dst, e.src, 1.0);
-        }
+        cluster_.SetWanDegradation(e.src, e.dst, 1.0, e.symmetric);
       });
     }
   }

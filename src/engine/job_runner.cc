@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -35,6 +36,7 @@ JobRunner::JobRunner(GeoCluster& cluster, RddPtr final_rdd, ActionKind action,
       final_rdd_(std::move(final_rdd)),
       action_(action),
       rng_(std::move(rng)),
+      policy_(MakeAggregatorPolicy(cluster.config())),
       job_id_(job_id),
       tenant_(tenant) {}
 
@@ -87,6 +89,15 @@ RunResult JobRunner::TakeResult() {
     reg->counter("engine.map_resubmissions").Add(metrics_.map_resubmissions);
     reg->counter("engine.push_retries").Add(metrics_.push_retries);
     reg->counter("engine.push_fallbacks").Add(metrics_.push_fallbacks);
+    // Registered only under adaptivity so metric snapshots of non-adaptive
+    // runs stay identical to the seed goldens.
+    if (config_.adaptive.enabled) {
+      reg->counter("engine.adaptive_replans").Add(metrics_.replans);
+      reg->counter("engine.adaptive_receivers_moved")
+          .Add(metrics_.receivers_moved);
+      reg->counter("engine.adaptive_fallbacks")
+          .Add(metrics_.adaptive_fallbacks);
+    }
   }
 
   RunResult result;
@@ -201,9 +212,13 @@ void JobRunner::SubmitStage(StageId id) {
     } else {
       transfer_targets = ChooseAggregatorDcs(sr);
     }
+    std::string target_names;
+    for (DcIndex dc : transfer_targets) {
+      if (!target_names.empty()) target_names += ", ";
+      target_names += topo_.datacenter(dc).name;
+    }
     GS_LOG_INFO << "transferTo aggregator(s) for stage " << id << ": "
-                << topo_.datacenter(transfer_targets.front()).name
-                << (transfer_targets.size() > 1 ? " (+more)" : "");
+                << target_names;
   }
 
   // Create task states immediately; scheduling happens after the driver's
@@ -1024,6 +1039,17 @@ void JobRunner::RecoverReceiver(TaskRun& receiver) {
     // the tenant's busy accounting (the slot itself died with the node).
     cluster_.scheduler().ReleaseSlot(receiver.node, tenant_);
     receiver.assigned = false;
+  } else if (receiver.data_landed && config_.adaptive.enabled) {
+    // The write-phase request is still queued, pinned kNodeOnly to the
+    // crashed node — it would sit in the scheduler's queue until that
+    // node restarts. The epoch bump above already orphaned it; lift the
+    // pin so the next free slot anywhere drains the entry (the stale
+    // grant is released on delivery). Gated on adaptivity because the
+    // extra grant/release cycle perturbs assignment order, and
+    // non-adaptive runs must stay byte-identical to the seed goldens.
+    cluster_.scheduler().UpdatePreferences(
+        static_cast<TaskId>(receiver.stage) * 100000 + receiver.partition,
+        {}, PlacementPolicy::kAnyAfterWait);
   }
   receiver.receiver_started = false;
   receiver.data_landed = false;
@@ -1114,6 +1140,154 @@ StageId JobRunner::StageWritingShuffle(ShuffleId sid) const {
   }
   GS_CHECK_MSG(false, "no stage writes shuffle " << sid);
   return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive replanning (docs/ADAPTIVE.md)
+// ---------------------------------------------------------------------------
+
+void JobRunner::OnWanDegraded(DcIndex src, DcIndex dst) {
+  if (job_done_ || !config_.adaptive.enabled) return;
+  // A pinned plan (the offline-oracle bench arm) never moves.
+  if (config_.adaptive.pin_dc != kNoDc) return;
+  GS_LOG_INFO << "adaptive: WAN change on dc" << src << "->dc" << dst
+              << ", replanning job " << job_id_;
+  ReplanReceivers();
+}
+
+void JobRunner::ReplanReceivers() {
+  const SimTime now = sim_.Now();
+  for (auto& srp : stage_runs_) {
+    StageRun& consumer = *srp;
+    if (!consumer.stage.starts_at_transfer || consumer.standalone) continue;
+    if (!consumer.submitted || consumer.done || consumer.skipped) continue;
+    // Rate limit: at most one pass per min_replan_interval of *strictly
+    // later* time. Several degradation events landing at the same instant
+    // (a fault plan collapsing a whole ingress at once) each re-run the
+    // pass, so the last one sees every link already degraded. An event
+    // inside the window schedules one catch-up pass at its end instead of
+    // being dropped — the documented "absorbed by the next pass".
+    const SimTime elapsed =
+        consumer.last_replan < 0 ? -1 : now - consumer.last_replan;
+    if (elapsed > 0 && elapsed < config_.adaptive.min_replan_interval) {
+      if (!consumer.replan_pending) {
+        consumer.replan_pending = true;
+        const StageId sid = consumer.stage.id;
+        sim_.ScheduleAt(
+            consumer.last_replan + config_.adaptive.min_replan_interval,
+            [this, sid] {
+              StageRun& sr = stage_run(sid);
+              sr.replan_pending = false;
+              if (job_done_ || sr.done || sr.skipped) return;
+              sr.last_replan = sim_.Now();
+              if (ReplanStage(sr)) ++metrics_.replans;
+            });
+      }
+      continue;
+    }
+    consumer.last_replan = now;
+    if (ReplanStage(consumer)) ++metrics_.replans;
+  }
+}
+
+bool JobRunner::ReplanStage(StageRun& consumer) {
+  StageRun& producer_sr = stage_run(consumer.stage.transfer_producer);
+  if (producer_sr.stage.consumer_transfer->target_dc() != kNoDc) {
+    return false;  // the application pinned this transfer's destination
+  }
+  const AdaptiveConfig& ac = config_.adaptive;
+  const std::vector<Bytes> per_dc = StageInputPerDc(producer_sr);
+  AggregatorPlacementPolicy::Context ctx = PolicyContext();
+  std::vector<DcIndex> ranking = policy_->Rank(ctx, per_dc);
+  const int k = std::clamp(config_.aggregator_dc_count, 1,
+                           topo_.num_datacenters());
+  ranking.resize(k);
+
+  // Hysteresis on the primary choice: abandon the current subset only when
+  // the policy scores the new best at least `hysteresis` times cheaper —
+  // an estimate barely better than the incumbent is noise, and moving on
+  // it would thrash placements on every jitter wobble. The static policy
+  // scores every datacenter 0, so it can never trigger a move.
+  bool retargeted = false;
+  if (ranking != consumer.aggregator_dcs) {
+    const double cur =
+        policy_->Score(ctx, per_dc, consumer.aggregator_dcs.front());
+    const double alt = policy_->Score(ctx, per_dc, ranking.front());
+    if (alt * ac.hysteresis < cur) {
+      GS_LOG_INFO << "replan: stage " << consumer.stage.id << " aggregator "
+                  << topo_.datacenter(consumer.aggregator_dcs.front()).name
+                  << " -> " << topo_.datacenter(ranking.front()).name
+                  << " (est. " << cur << "s -> " << alt << "s)";
+      consumer.aggregator_dcs = std::move(ranking);
+      retargeted = true;
+    }
+  }
+
+  // Per-shard pass over receivers whose push has not started (placed but
+  // nothing in flight; the producer's eventual push follows receiver.node
+  // read at delivery time, so moving them costs nothing). Shards already
+  // pushing or landed keep their placement — their WAN cost is paid.
+  int moved = 0;
+  int fallbacks = 0;
+  for (auto& tp : consumer.tasks) {
+    TaskRun& r = *tp;
+    if (r.done || r.push_fallback || r.receiver_started ||
+        r.node == kNoNode) {
+      continue;
+    }
+    NodeIndex target = r.node;
+    const DcIndex cur_dc = topo_.dc_of(r.node);
+    const auto& targets = consumer.aggregator_dcs;
+    if (retargeted &&
+        std::find(targets.begin(), targets.end(), cur_dc) == targets.end()) {
+      // The shard sits in a dropped datacenter. Mirror PlaceReceiver:
+      // transparent co-location when the producer is inside the new
+      // subset, round-robin over the subset's live workers otherwise.
+      if (r.producer_node != kNoNode &&
+          std::find(targets.begin(), targets.end(),
+                    topo_.dc_of(r.producer_node)) != targets.end()) {
+        target = r.producer_node;
+      } else {
+        target = PickReceiverNode(consumer, r.node);
+      }
+    }
+
+    // Per-shard push->fetch fallback: when the push path into the chosen
+    // datacenter has measurably collapsed — effective bandwidth below
+    // degrade_threshold of the link's base rate — keep the shard on its
+    // producer (a co-located no-op write) and let downstream reducers
+    // fetch it. The mid-job analogue of RecoverReceiver's terminal
+    // fallback, triggered by measurement instead of exhausted retries.
+    if (r.producer_node != kNoNode &&
+        topo_.dc_of(r.producer_node) != topo_.dc_of(target)) {
+      const DcIndex src_dc = topo_.dc_of(r.producer_node);
+      const DcIndex dst_dc = topo_.dc_of(target);
+      const int link = topo_.wan_link_index(src_dc, dst_dc);
+      if (link >= 0 &&
+          cluster_.network().EstimateWanBandwidth(
+              src_dc, dst_dc, ac.bandwidth_window) <
+              ac.degrade_threshold * topo_.wan_link(link).base_rate) {
+        target = r.producer_node;
+        r.push_fallback = true;
+        ++fallbacks;
+        GS_LOG_INFO << "adaptive fallback: stage " << consumer.stage.id
+                    << "/" << r.partition << " degrades to fetch from "
+                    << topo_.node(target).name;
+      }
+    }
+
+    if (target == r.node) continue;
+    r.node = target;
+    if (!r.push_fallback) ++moved;
+    // If the producer already finished (the shard was in a push-retry
+    // backoff), deliver to the new node right away — the pending backoff
+    // event no-ops on receiver_started. Otherwise the producer's push
+    // will read the new node when it fires.
+    TryDeliver(r);
+  }
+  metrics_.receivers_moved += moved;
+  metrics_.adaptive_fallbacks += fallbacks;
+  return retargeted || moved > 0 || fallbacks > 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -1312,19 +1486,37 @@ bool JobRunner::IsReducerStage(const StageRun& sr) const {
   return false;
 }
 
-std::vector<DcIndex> JobRunner::ChooseAggregatorDcs(const StageRun& producer_sr) {
+std::vector<Bytes> JobRunner::StageInputPerDc(const StageRun& producer_sr) {
   std::vector<Bytes> per_dc(topo_.num_datacenters(), 0);
   for (int p = 0; p < producer_sr.stage.num_tasks(); ++p) {
     EvalCut cut = FindEvalCut(*producer_sr.stage.output_rdd, p,
                               cluster_.blocks());
     if (cut.is_cached_cut) {
-      std::vector<NodeIndex> locs = cluster_.blocks().Locations(
-          BlockId::Cached(cut.rdd->id(), cut.partition));
-      if (!locs.empty()) {
-        std::optional<Block> b = cluster_.blocks().Get(
-            locs.front(), BlockId::Cached(cut.rdd->id(), cut.partition));
-        per_dc[topo_.dc_of(locs.front())] += b ? b->bytes : 0;
+      // Credit the nearest *live* replica — the node the stage's task will
+      // actually read from. The first registered location may sit on a
+      // down executor, and weighting its datacenter pulls the aggregator
+      // toward a node that cannot even serve the block.
+      const BlockId bid = BlockId::Cached(cut.rdd->id(), cut.partition);
+      NodeIndex live = kNoNode;
+      for (NodeIndex n : cluster_.blocks().Locations(bid)) {
+        if (cluster_.scheduler().node_up(n)) {
+          live = n;
+          break;
+        }
       }
+      if (live == kNoNode) {
+        GS_LOG_INFO << "aggregator choice: cached rdd" << cut.rdd->id()
+                    << "/" << cut.partition
+                    << " has no live replica; counting 0 bytes";
+        continue;
+      }
+      std::optional<Block> b = cluster_.blocks().Get(live, bid);
+      if (!b) {
+        GS_LOG_INFO << "aggregator choice: cached rdd" << cut.rdd->id()
+                    << "/" << cut.partition << " missing on "
+                    << topo_.node(live).name << "; counting 0 bytes";
+      }
+      per_dc[topo_.dc_of(live)] += b ? b->bytes : 0;
       continue;
     }
     switch (cut.rdd->kind()) {
@@ -1359,28 +1551,24 @@ std::vector<DcIndex> JobRunner::ChooseAggregatorDcs(const StageRun& producer_sr)
         GS_CHECK_MSG(false, "unexpected boundary while choosing aggregator");
     }
   }
+  return per_dc;
+}
 
+AggregatorPlacementPolicy::Context JobRunner::PolicyContext() {
+  AggregatorPlacementPolicy::Context ctx;
+  ctx.topo = &topo_;
+  ctx.net = &cluster_.network();
+  ctx.config = &config_;
+  ctx.rng = &rng_;
+  return ctx;
+}
+
+std::vector<DcIndex> JobRunner::ChooseAggregatorDcs(const StageRun& producer_sr) {
+  const std::vector<Bytes> per_dc = StageInputPerDc(producer_sr);
+  std::vector<DcIndex> ranking = policy_->Rank(PolicyContext(), per_dc);
+  GS_CHECK(static_cast<int>(ranking.size()) == topo_.num_datacenters());
   const int k = std::clamp(config_.aggregator_dc_count, 1,
                            topo_.num_datacenters());
-  std::vector<DcIndex> ranking(topo_.num_datacenters());
-  for (DcIndex dc = 0; dc < topo_.num_datacenters(); ++dc) ranking[dc] = dc;
-  switch (config_.aggregator_policy) {
-    case AggregatorPolicy::kRandom:
-      rng_.Shuffle(ranking);
-      break;
-    case AggregatorPolicy::kSmallestInput:
-      std::stable_sort(ranking.begin(), ranking.end(),
-                       [&per_dc](DcIndex a, DcIndex b) {
-                         return per_dc[a] < per_dc[b];
-                       });
-      break;
-    case AggregatorPolicy::kLargestInput:
-      std::stable_sort(ranking.begin(), ranking.end(),
-                       [&per_dc](DcIndex a, DcIndex b) {
-                         return per_dc[a] > per_dc[b];
-                       });
-      break;
-  }
   ranking.resize(k);
   return ranking;
 }

@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "dag/stage.h"
 #include "engine/cluster.h"
+#include "engine/placement_policy.h"
 #include "exec/task_compute.h"
 
 namespace gs {
@@ -54,6 +55,14 @@ class JobRunner {
   // blocks are already gone; restart every affected in-flight task and
   // recover receivers whose pushed data was lost (see docs/FAULTS.md).
   void OnNodeCrashed(NodeIndex node);
+
+  // Notification from GeoCluster::SetWanDegradation: a WAN link changed
+  // capacity (degradation or restore). With adaptive replanning on
+  // (AdaptiveConfig::enabled, no pin), re-runs the placement policy for
+  // every in-flight transfer stage and moves not-yet-started receiver
+  // shards off newly-inferior datacenters (docs/ADAPTIVE.md). A no-op
+  // otherwise.
+  void OnWanDegraded(DcIndex src, DcIndex dst);
 
  private:
   struct TaskRun {
@@ -124,6 +133,13 @@ class JobRunner {
     // several when RunConfig::aggregator_dc_count > 1).
     std::vector<DcIndex> aggregator_dcs;
     int rr_next = 0;  // round-robin cursor for receiver placement
+    // Last time the adaptive replanner reconsidered this stage's placement
+    // (-1 = never); rate-limits replanning to AdaptiveConfig::
+    // min_replan_interval so a bursty jitter trace cannot thrash. A WAN
+    // change inside the window sets replan_pending and a catch-up pass
+    // runs when the window expires, so absorbed events are not lost.
+    SimTime last_replan = -1;
+    bool replan_pending = false;
     std::vector<std::unique_ptr<TaskRun>> tasks;
     // Speculative backup attempts (spark.speculation) and which partitions
     // already have a winning attempt.
@@ -199,6 +215,16 @@ class JobRunner {
   void ReceiverGotData(TaskRun& receiver);  // data landed: request a slot
   void ExecuteReceiver(TaskRun& receiver);  // slot acquired: run the chain
 
+  // --- adaptive replanning (docs/ADAPTIVE.md) ---
+  // Re-runs the placement policy for every in-flight transfer stage: moves
+  // not-yet-started receiver shards off datacenters the policy now ranks
+  // worse (hysteresis-guarded) and degrades individual shards push->fetch
+  // when their push path's measured bandwidth fell below
+  // degrade_threshold x base rate.
+  void ReplanReceivers();
+  // One consumer stage's replanning pass; returns true if anything moved.
+  bool ReplanStage(StageRun& consumer);
+
   // --- helpers ---
   // Per-flow cross-datacenter traffic accounting, called at every
   // StartFlow site this job owns. Equivalent to metering: the TrafficMeter
@@ -206,8 +232,14 @@ class JobRunner {
   // so per-job numbers must be attributed at the call site.
   void AccountFlow(NodeIndex src, NodeIndex dst, Bytes bytes, FlowKind kind);
   double StragglerFactor();
-  // The top-k datacenters by stage-input bytes (k = aggregator_dc_count;
-  // policy may invert or randomize the ranking for ablations).
+  // Shuffle-input bytes per datacenter for the stage's pending transfer
+  // (cached cuts credited to the nearest live replica; see
+  // ChooseAggregatorDcs).
+  std::vector<Bytes> StageInputPerDc(const StageRun& producer_sr);
+  AggregatorPlacementPolicy::Context PolicyContext();
+  // The top-k datacenters ranked by the placement policy (k =
+  // aggregator_dc_count); the static policy reproduces Eq. 2 exactly,
+  // the bandwidth-aware one scores by estimated aggregation time.
   std::vector<DcIndex> ChooseAggregatorDcs(const StageRun& producer_sr);
   void CentralizeInputsThenStart();
   StageRun& stage_run(StageId id) { return *stage_runs_[id]; }
@@ -220,6 +252,7 @@ class JobRunner {
   RddPtr final_rdd_;
   ActionKind action_;
   Rng rng_;
+  std::unique_ptr<AggregatorPlacementPolicy> policy_;
   JobId job_id_ = -1;
   int tenant_ = 0;  // scheduler tenant id tasks bill their slots to
 

@@ -49,6 +49,12 @@ struct JobMetrics {
   int push_retries = 0;        // transfer pushes retried after receiver loss
   int push_fallbacks = 0;      // pushes degraded to producer-local (fetch)
 
+  // Adaptive-control accounting (docs/ADAPTIVE.md); all stay 0 — and out
+  // of the report JSON — unless AdaptiveConfig::enabled.
+  int replans = 0;             // replanner passes that changed a plan
+  int receivers_moved = 0;     // receiver shards re-placed mid-job
+  int adaptive_fallbacks = 0;  // shards degraded push->fetch by bandwidth
+
   SimTime jct() const { return completed - started; }
   SimTime queue_delay() const { return started - submitted; }
 };

@@ -134,6 +134,42 @@ struct TransportConfig {
   FabricConfig fabric;
 };
 
+// Adaptive aggregator placement and mid-job replanning (docs/ADAPTIVE.md).
+// Off by default: with `enabled` false the engine runs the paper's static
+// Eq. 2 chooser and RunReports stay byte-identical to non-adaptive builds.
+// When enabled, aggregator datacenters are ranked by *effective measured
+// bandwidth* (netsim's decayed utilization estimate) instead of input
+// volume alone, and WAN degradation events re-run the policy mid-job for
+// receiver shards that have not started.
+struct AdaptiveConfig {
+  bool enabled = false;
+
+  // Trailing window of the per-link bandwidth estimate: utilization
+  // buckets older than this are (exponentially) discounted. <= 0 falls
+  // back to the instantaneous link capacity (no measured component).
+  SimTime bandwidth_window = Seconds(10);
+
+  // A link counts as degraded — triggering the per-shard push->fetch
+  // fallback — when its estimated bandwidth drops below this fraction of
+  // its base rate. In [0, 1]; 0 never falls back.
+  double degrade_threshold = 0.1;
+
+  // Hysteresis of the replanner: a receiver shard only moves when the
+  // best alternative datacenter's estimated aggregation time beats the
+  // current one by at least this factor (>= 1; 1 = move on any
+  // improvement). Damps oscillation between near-equal datacenters.
+  double hysteresis = 1.5;
+
+  // Minimum spacing between replanner passes of one job; degradation
+  // events inside the window are absorbed by the next pass.
+  SimTime min_replan_interval = Seconds(1);
+
+  // Forces every automatic transferTo into this datacenter and disables
+  // replanning — the "offline oracle" backend used by bench_adaptive to
+  // bound how much any online policy could win. kNoDc = disabled.
+  DcIndex pin_dc = kNoDc;
+};
+
 // Speculative execution (spark.speculation, off by default as in Spark):
 // once `quantile` of a stage's tasks finished, a running task slower than
 // `multiplier` x the median duration gets a backup copy; the first attempt
@@ -201,6 +237,7 @@ struct RunConfig {
   bool auto_aggregation = true;
 
   TransportConfig transport;
+  AdaptiveConfig adaptive;
   FaultConfig fault;
   SpeculationConfig speculation;
   ServiceConfig service;

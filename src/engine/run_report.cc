@@ -27,7 +27,7 @@ void WriteStage(JsonWriter& w, const StageMetrics& s) {
   w.EndObject();
 }
 
-void WriteJob(JsonWriter& w, const JobMetrics& j) {
+void WriteJob(JsonWriter& w, const JobMetrics& j, bool adaptive) {
   w.BeginObject();
   w.Key("job_id").Value(static_cast<std::int64_t>(j.job_id));
   w.Key("tenant").Value(j.tenant);
@@ -46,6 +46,11 @@ void WriteJob(JsonWriter& w, const JobMetrics& j) {
   w.Key("map_resubmissions").Value(j.map_resubmissions);
   w.Key("push_retries").Value(j.push_retries);
   w.Key("push_fallbacks").Value(j.push_fallbacks);
+  if (adaptive) {
+    w.Key("replans").Value(j.replans);
+    w.Key("receivers_moved").Value(j.receivers_moved);
+    w.Key("adaptive_fallbacks").Value(j.adaptive_fallbacks);
+  }
   w.Key("stages").BeginArray();
   for (const StageMetrics& s : j.stages) WriteStage(w, s);
   w.EndArray();
@@ -119,6 +124,7 @@ std::string RunReport::ToJson() const {
   w.Key("schema_version").Value(kSchemaVersion);
   w.Key("scheme").Value(scheme);
   if (nondirect_transport) w.Key("transport").Value(transport);
+  if (adaptive) w.Key("adaptive").Value(true);
   w.Key("seed").Value(static_cast<std::uint64_t>(seed));
   w.Key("scale").Value(scale);
   w.Key("label").Value(label);
@@ -127,7 +133,7 @@ std::string RunReport::ToJson() const {
   w.Key("num_nodes").Value(num_nodes);
   w.EndObject();
   w.Key("job");
-  WriteJob(w, job);
+  WriteJob(w, job, adaptive);
   w.Key("jobs").BeginArray();
   for (const JobRow& r : jobs) WriteJobRow(w, r);
   w.EndArray();

@@ -36,6 +36,10 @@ struct RunReport {
   //     top-level `transport` key and an egress/store cost breakdown in the
   //     cost section (absent under DirectTransport, keeping direct reports
   //     byte-identical to pre-transport ones).
+  //     Additive, still v2: adaptive runs (AdaptiveConfig::enabled) gain a
+  //     top-level `adaptive` key and replans/receivers_moved/
+  //     adaptive_fallbacks counters in the job section (absent with
+  //     adaptivity off, keeping non-adaptive reports byte-identical).
   static constexpr int kSchemaVersion = 2;
 
   // Run identity.
@@ -43,6 +47,10 @@ struct RunReport {
   // Shuffle-transport backend name ("objstore", "fabric"); empty or
   // "direct" suppresses the transport/cost-breakdown keys in ToJson().
   std::string transport;
+  // True when the run used adaptive placement (AdaptiveConfig::enabled);
+  // gates the adaptive keys in ToJson() the same way `transport` gates
+  // the transport ones.
+  bool adaptive = false;
   std::uint64_t seed = 0;
   double scale = 1.0;      // data-size scale factor of the run
   std::string label;       // free-form (workload or bench name); may be ""

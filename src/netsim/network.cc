@@ -447,6 +447,43 @@ Rate Network::wan_capacity(DcIndex src, DcIndex dst) {
   return wan_current_[link] * degrade_[link];
 }
 
+Rate Network::EstimateWanBandwidth(DcIndex src, DcIndex dst, SimTime window) {
+  CatchUpJitter();
+  const int link = topo_.wan_link_index(src, dst);
+  GS_CHECK(link >= 0);
+  const Rate current = wan_current_[link] * degrade_[link];
+  if (util_ == nullptr || window <= 0) return current;
+  const SimTime width = util_->bucket_width();
+  const std::vector<Bytes>& buckets = util_->buckets(link);
+  if (width <= 0 || buckets.empty()) return current;
+
+  // Exponentially decayed average of the delivered throughput over the
+  // trailing window: a bucket `span` buckets old weighs half as much as
+  // the current one, buckets beyond the window are dropped entirely.
+  const auto span = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(window / width));
+  const std::int64_t now_bucket = util_->BucketOf(sim_.Now());
+  const std::int64_t first = std::max<std::int64_t>(0, now_bucket - span);
+  double weighted_rate = 0;
+  double weight = 0;
+  for (std::int64_t b = first;
+       b <= now_bucket && b < static_cast<std::int64_t>(buckets.size());
+       ++b) {
+    const double age = static_cast<double>(now_bucket - b);
+    const double w = std::exp2(-age / static_cast<double>(span));
+    weighted_rate +=
+        w * (static_cast<double>(buckets[static_cast<std::size_t>(b)]) /
+             width);
+    weight += w;
+  }
+  if (weight <= 0) return current;
+  const Rate delivered = weighted_rate / weight;
+  // Headroom estimate: what remains once the measured load keeps flowing.
+  // The 5% floor keeps a fully saturated (but healthy) link distinguishable
+  // from a degraded one and avoids divide-by-zero in policy scores.
+  return std::max(current - delivered, 0.05 * current);
+}
+
 void Network::SetWanDegradation(DcIndex src, DcIndex dst, double factor) {
   GS_CHECK(factor >= 0);
   int link = topo_.wan_link_index(src, dst);

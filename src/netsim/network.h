@@ -216,6 +216,17 @@ class Network {
   // link.
   Rate wan_capacity(DcIndex src, DcIndex dst);
 
+  // Effective measured bandwidth of a directed WAN link: the current
+  // (jittered and degraded) capacity minus the exponentially decayed
+  // delivered throughput over the trailing `window` of utilization
+  // buckets — i.e. the headroom a new transfer could expect, floored at a
+  // small fraction of capacity so a saturated-but-healthy link still
+  // reports progress. Falls back to wan_capacity when utilization
+  // collection is off or `window` <= 0 (no measurements to subtract).
+  // Reads only state the event loop already maintains, so calling it does
+  // not perturb simulation results (engine/placement_policy.h).
+  Rate EstimateWanBandwidth(DcIndex src, DcIndex dst, SimTime window);
+
   // Degrades a directed WAN link to `factor` x its jittered capacity until
   // the next call (fault injection: congestion events, link flaps).
   // factor = 1 restores the link; factor = 0 is a full outage — flows on

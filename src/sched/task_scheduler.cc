@@ -63,6 +63,24 @@ void TaskScheduler::Submit(TaskRequest request) {
   Pump();
 }
 
+bool TaskScheduler::UpdatePreferences(TaskId id,
+                                      std::vector<NodeIndex> preferred,
+                                      PlacementPolicy policy) {
+  for (NodeIndex n : preferred) {
+    GS_CHECK_MSG(n >= 0 && n < topo_.num_nodes(), "bad preferred node " << n);
+  }
+  for (Pending& pending : queue_) {
+    if (pending.request.id != id) continue;
+    pending.request.preferred = std::move(preferred);
+    pending.request.policy = policy;
+    // spill_at and the wait-expiry event stay as submitted: the task's
+    // locality-wait clock started when it entered the queue.
+    Pump();
+    return true;
+  }
+  return false;
+}
+
 void TaskScheduler::ReleaseSlot(NodeIndex node, int tenant) {
   GS_CHECK(node >= 0 && node < topo_.num_nodes());
   GS_CHECK_MSG(topo_.node(node).worker, "released slot on non-worker");

@@ -73,6 +73,18 @@ class TaskScheduler {
   // FIFO first-fit.
   void Submit(TaskRequest request);
 
+  // Rewrites the preference list (and placement policy) of a queued task
+  // that has not been assigned yet, then re-pumps — the task may land
+  // immediately if the new preferences name a free slot. The locality-wait
+  // clock is NOT reset: re-preferring is a correction of an earlier
+  // choice, not a new submission, so an old task cannot be starved by
+  // repeated re-preference. Returns false (a no-op) when no queued task
+  // has the id — it was already assigned, or never submitted. Used by the
+  // adaptive replanner to steer not-yet-placed receiver work toward the
+  // re-chosen aggregator datacenter (docs/ADAPTIVE.md).
+  bool UpdatePreferences(TaskId id, std::vector<NodeIndex> preferred,
+                         PlacementPolicy policy);
+
   // Releases the slot a task was holding and assigns queued tasks.
   // A failed task is Submit()ed again by the caller after release.
   // On a crashed node the executor's slot is already gone, but the

@@ -60,6 +60,8 @@ SimcheckConfig GenerateConfig(std::uint64_t seed) {
   cfg.transport = rng.Bernoulli(0.5)
                       ? 0
                       : static_cast<int>(rng.UniformInt(1, 2));
+  // Adaptive placement, appended after transport for the same reason.
+  cfg.adaptive = rng.Bernoulli(0.35) ? 1 : 0;
   return cfg;
 }
 
@@ -94,6 +96,7 @@ std::string ToJson(const SimcheckConfig& c) {
   w.Key("block_loss").Value(c.block_loss);
   w.Key("block_loss_frac").Value(c.block_loss_frac);
   w.Key("transport").Value(c.transport);
+  w.Key("adaptive").Value(c.adaptive);
   w.EndObject();
   return w.str();
 }
@@ -212,6 +215,7 @@ bool AssignField(SimcheckConfig* c, const std::string& key,
   if (key == "block_loss") return TokenToBool(tok, &c->block_loss);
   if (key == "block_loss_frac") return TokenToDouble(tok, &c->block_loss_frac);
   if (key == "transport") return TokenToInt(tok, &c->transport);
+  if (key == "adaptive") return TokenToInt(tok, &c->adaptive);
   return false;  // unknown key
 }
 

@@ -215,6 +215,7 @@ SchemeRun RunOne(const SimcheckConfig& cfg, Scheme scheme, int threads,
     rc.aggregator_dc_count = cfg.aggregator_dc_count;
     rc.disable_map_side_combine = !cfg.map_side_combine;
     rc.transport.kind = static_cast<TransportKind>(cfg.transport);
+    rc.adaptive.enabled = cfg.adaptive != 0;
     rc.fault.plan = plan;
     if (!cfg.noisy_network) {
       rc.net.jitter_interval = 0;
@@ -351,6 +352,8 @@ bool ValidateConfig(const SimcheckConfig& cfg, CheckResult* r) {
     os << "network parameters out of range";
   } else if (cfg.transport < 0 || cfg.transport > 2) {
     os << "transport " << cfg.transport << " out of range";
+  } else if (cfg.adaptive < 0 || cfg.adaptive > 1) {
+    os << "adaptive " << cfg.adaptive << " out of range";
   } else {
     return true;
   }

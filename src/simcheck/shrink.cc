@@ -33,6 +33,12 @@ std::vector<SimcheckConfig> Candidates(const SimcheckConfig& c) {
   if (c.noisy_network) {
     propose([](SimcheckConfig& x) { x.noisy_network = false; });
   }
+  if (c.adaptive != 0) {
+    propose([](SimcheckConfig& x) { x.adaptive = 0; });
+  }
+  if (c.transport != 0) {
+    propose([](SimcheckConfig& x) { x.transport = 0; });
+  }
   if (c.num_records > 8) {
     propose([](SimcheckConfig& x) {
       x.num_records = std::max(8, x.num_records / 2);

@@ -90,6 +90,10 @@ struct SimcheckConfig {
   // transport-independent — logical per-job accounting doesn't change with
   // the mechanism — so every check runs unmodified under each backend.
   int transport = 0;
+  // Adaptive aggregator placement (0 off, 1 on): replanning moves receiver
+  // shards, never records, so every invariant holds unmodified — including
+  // thread- and rerun-determinism, which is exactly what this samples.
+  int adaptive = 0;
 
   // Fault plan (times are fractions of the fault-free Spark JCT, resolved
   // by a probe run so the plan lands mid-job at any scale).

@@ -1,0 +1,169 @@
+// Determinism and behaviour of adaptive aggregator placement
+// (docs/ADAPTIVE.md).
+//
+// Adaptivity adds simulation-time decision points — bandwidth estimates
+// read from utilization history, replan passes fired by fault-plan events,
+// receiver moves racing producer pushes — and none of it may leak
+// wall-clock or thread-pool state into results: with adaptive.enabled and
+// a link-degradation plan actually exercising the replanner, a run's full
+// RunReport JSON must be byte-identical across compute-pool widths {1, 8}
+// and across in-process reruns, per scheme, with the stochastic network
+// knobs left ON.
+//
+// The FlapMidShuffle case pins the replanner itself: a WAN collapse during
+// the map phase must move at least one not-yet-started receiver shard off
+// the degraded datacenter, and the job's records must still match the
+// fault-free run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/combiner.h"
+#include "data/record.h"
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+
+namespace gs {
+namespace {
+
+constexpr DcIndex kHotDc = 0;
+
+// Incompressible printable filler (the push path models LZ compression;
+// constant padding would collapse and starve the WAN of bytes).
+std::string NoiseChars(std::uint64_t seed, int n) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(n));
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  for (int j = 0; j < n; ++j) {
+    x ^= x >> 29;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 32;
+    s += static_cast<char>('!' + x % 90);
+  }
+  return s;
+}
+
+// Input skew mirroring bench_adaptive: the hot datacenter dominates input
+// bytes (Eq. 2 aggregates there) while the remote partitions carry the
+// shuffle volume in long keys that survive the tagging Map.
+std::vector<SourceRdd::Partition> SkewedParts(const Topology& topo) {
+  std::vector<SourceRdd::Partition> parts;
+  for (int p = 0; p < 18; ++p) {
+    const bool hot = p < 12;
+    std::vector<Record> records;
+    records.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      if (hot) {
+        records.push_back(
+            {"h" + NoiseChars(2 * i + 1, 10), NoiseChars(i + 1000, 96)});
+      } else {
+        records.push_back({"r" + NoiseChars(2 * i, 60), std::int64_t{1}});
+      }
+    }
+    SourceRdd::Partition part;
+    part.records = MakeRecords(std::move(records));
+    DcIndex dc = hot ? kHotDc
+                     : static_cast<DcIndex>(1 + p % (topo.num_datacenters() -
+                                                     1));
+    const auto& nodes = topo.nodes_in(dc);
+    part.node = nodes[p % nodes.size()];
+    part.bytes = SerializedSize(*part.records);
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+// Collapses every WAN link into the hot datacenter at `at`, permanently.
+std::vector<LinkDegradationEvent> CollapseIngress(int num_dcs, SimTime at) {
+  std::vector<LinkDegradationEvent> events;
+  for (DcIndex src = 0; src < num_dcs; ++src) {
+    if (src == kHotDc) continue;
+    LinkDegradationEvent e;
+    e.at = at;
+    e.src = src;
+    e.dst = kHotDc;
+    e.factor = 0.05;
+    e.duration = 0;
+    e.symmetric = false;
+    events.push_back(e);
+  }
+  return events;
+}
+
+RunConfig AdaptiveConfigFor(Scheme scheme, int threads, SimTime flap_at) {
+  RunConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 7;
+  cfg.scale = 100;
+  cfg.cost = CostModel{}.Scaled(100);
+  cfg.compute_threads = threads;
+  cfg.adaptive.enabled = true;
+  if (flap_at >= 0) {
+    cfg.fault.plan.link_degradations = CollapseIngress(6, flap_at);
+  }
+  return cfg;
+}
+
+RunResult RunSkewedJob(const RunConfig& cfg) {
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  Dataset data =
+      cluster.CreateSource("adaptive-det-input", SkewedParts(cluster.topology()));
+  return data
+      .Map("tag",
+           [](const Record& r) { return Record{r.key, std::int64_t{1}}; })
+      .ReduceByKey(SumInt64(), 8)
+      .Run(ActionKind::kCollect);
+}
+
+std::string RunReportJson(Scheme scheme, int threads) {
+  // Flap at a fixed early time so the replanner runs mid-map-phase and
+  // moves receivers — the determinism claim must cover the moving parts,
+  // not an idle replanner.
+  return RunSkewedJob(AdaptiveConfigFor(scheme, threads, 0.2)).report.ToJson();
+}
+
+class AdaptiveDeterminismTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AdaptiveDeterminismTest, ReportIdenticalAcrossThreadsAndReruns) {
+  const Scheme scheme = GetParam();
+  const std::string one = RunReportJson(scheme, 1);
+  const std::string eight = RunReportJson(scheme, 8);
+  const std::string eight_again = RunReportJson(scheme, 8);
+  EXPECT_EQ(one, eight) << "report depends on compute_threads";
+  EXPECT_EQ(eight, eight_again) << "report differs across reruns";
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AdaptiveDeterminismTest,
+                         ::testing::Values(Scheme::kSpark, Scheme::kCentralized,
+                                           Scheme::kAggShuffle),
+                         [](const auto& info) {
+                           return std::string(SchemeName(info.param));
+                         });
+
+std::vector<Record> Sorted(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.key < b.key; });
+  return records;
+}
+
+TEST(AdaptiveReplanTest, FlapMidShuffleMovesReceiversAndKeepsResults) {
+  RunResult healthy =
+      RunSkewedJob(AdaptiveConfigFor(Scheme::kAggShuffle, 4, -1));
+  ASSERT_GT(healthy.records.size(), 0u);
+
+  RunResult flapped =
+      RunSkewedJob(AdaptiveConfigFor(Scheme::kAggShuffle, 4, 0.2));
+  EXPECT_GE(flapped.metrics.replans, 1)
+      << "the WAN collapse must trigger a replan pass";
+  EXPECT_GE(flapped.metrics.receivers_moved, 1)
+      << "the replanner must move not-yet-started receiver shards off the "
+         "degraded datacenter";
+  EXPECT_EQ(Sorted(healthy.records), Sorted(flapped.records))
+      << "replanning moves placement, never data";
+}
+
+}  // namespace
+}  // namespace gs

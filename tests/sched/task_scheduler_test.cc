@@ -226,6 +226,47 @@ TEST(TaskSchedulerTest, BadPreferredNodeThrows) {
   EXPECT_THROW(sched.Submit(Req(&a, &sim, {99})), CheckFailure);
 }
 
+// --- UpdatePreferences: re-pointing a queued request (docs/ADAPTIVE.md) ---
+
+TEST(TaskSchedulerTest, UpdatePreferencesRepointsQueuedRequest) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  // Fill node 2 so a kNodeOnly request for it parks in the queue.
+  Assignment fillers[2];
+  sched.Submit(Req(&fillers[0], &sim, {2}));
+  sched.Submit(Req(&fillers[1], &sim, {2}));
+  Assignment stuck;
+  TaskRequest r = Req(&stuck, &sim, {2}, PlacementPolicy::kNodeOnly);
+  r.id = 42;
+  sched.Submit(std::move(r));
+  sim.RunUntil(5.0);
+  ASSERT_FALSE(stuck.assigned);
+
+  // Drop the pin: the request immediately drains to any free slot.
+  EXPECT_TRUE(
+      sched.UpdatePreferences(42, {}, PlacementPolicy::kAnyAfterWait));
+  sim.Run();
+  EXPECT_TRUE(stuck.assigned);
+  EXPECT_NE(stuck.node, 2) << "node 2 is still full";
+}
+
+TEST(TaskSchedulerTest, UpdatePreferencesUnknownOrGrantedIdIsFalse) {
+  Simulator sim;
+  Topology topo = TestTopo();
+  TaskScheduler sched(sim, topo);
+  Assignment a;
+  TaskRequest r = Req(&a, &sim, {0});
+  r.id = 7;
+  sched.Submit(std::move(r));
+  sim.Run();
+  ASSERT_TRUE(a.assigned);
+  // Granted requests left the queue; unknown ids were never in it.
+  EXPECT_FALSE(sched.UpdatePreferences(7, {}, PlacementPolicy::kAnyAfterWait));
+  EXPECT_FALSE(
+      sched.UpdatePreferences(99, {}, PlacementPolicy::kAnyAfterWait));
+}
+
 // --- weighted fair sharing across tenants (docs/SERVICE.md) ---
 
 // Saturate a 12-slot cluster with two tenants at weights 2:1, each task

@@ -45,6 +45,13 @@ struct Options {
   int crash_node = -1;          // worker index to crash (-1 = none)
   double crash_at = 0.0;        // sim-time of the crash, seconds
   double restart_after = 0.0;   // restart delay; 0 = stays dead
+  // Adaptive aggregator placement & mid-job replanning (docs/ADAPTIVE.md).
+  bool adaptive = false;
+  // WAN degradation schedule: "src:dst:factor:at[:duration],..." — each
+  // event scales the src->dst link (both directions) to `factor` of its
+  // jittered rate at sim-time `at`, restoring after `duration` seconds
+  // (omitted or 0 = stays degraded).
+  std::string jitter_trace;
   // Multi-job service mode (0 = classic single-job mode).
   int jobs = 0;                 // concurrent jobs to submit
   double arrival = 0.5;         // mean arrival rate, jobs per sim-second
@@ -85,6 +92,16 @@ void PrintHelp() {
       "  --crash-node=N    crash worker node N mid-run (fault injection)\n"
       "  --crash-at=T      crash time in sim-seconds (default 0)\n"
       "  --restart-after=T restart the node T seconds later (0 = stays dead)\n"
+      "\n"
+      "adaptive placement (docs/ADAPTIVE.md):\n"
+      "  --adaptive        bandwidth-aware aggregator choice plus mid-job\n"
+      "                    replanning on WAN degradation (default off)\n"
+      "  --jitter-trace=SPEC  WAN degradation schedule, comma-separated\n"
+      "                    src:dst:factor:at[:duration] events: scale the\n"
+      "                    src->dst link (both directions) to factor of its\n"
+      "                    rate at sim-time `at`, restore after `duration`\n"
+      "                    seconds (omitted/0 = stays degraded), e.g.\n"
+      "                    --jitter-trace=1:0:0.05:2,3:0:0.1:2:30\n"
       "\n"
       "shuffle transport (docs/TRANSPORTS.md):\n"
       "  --transport=NAME  direct | objstore | fabric   (default direct)\n"
@@ -170,6 +187,61 @@ bool ParseDoubleMin(const std::string& s, const char* flag, double min_value,
   return true;
 }
 
+// Parses a --jitter-trace spec ("src:dst:factor:at[:duration],...") into
+// fault-plan link degradations. Same strictness as the numeric flags:
+// malformed fields reject the whole spec with a message.
+bool ParseJitterTrace(const std::string& spec,
+                      std::vector<gs::LinkDegradationEvent>* out) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) {
+      std::cerr << "invalid --jitter-trace: empty event\n";
+      return false;
+    }
+    std::vector<std::string> fields;
+    std::size_t fs = 0;
+    while (fs <= item.size()) {
+      std::size_t colon = item.find(':', fs);
+      if (colon == std::string::npos) colon = item.size();
+      fields.push_back(item.substr(fs, colon - fs));
+      fs = colon + 1;
+    }
+    if (fields.size() < 4 || fields.size() > 5) {
+      std::cerr << "invalid --jitter-trace event '" << item
+                << "' (want src:dst:factor:at[:duration])\n";
+      return false;
+    }
+    gs::LinkDegradationEvent e;
+    int src = -1, dst = -1;
+    double factor = -1, at = -1, duration = 0;
+    if (!ParseIntIn(fields[0], "jitter-trace src", 0, 1000, &src) ||
+        !ParseIntIn(fields[1], "jitter-trace dst", 0, 1000, &dst) ||
+        !ParseDoubleMin(fields[2], "jitter-trace factor", 0.0, &factor) ||
+        !ParseDoubleMin(fields[3], "jitter-trace at", 0.0, &at) ||
+        (fields.size() == 5 &&
+         !ParseDoubleMin(fields[4], "jitter-trace duration", 0.0,
+                         &duration))) {
+      return false;
+    }
+    if (src == dst) {
+      std::cerr << "invalid --jitter-trace event '" << item
+                << "': src and dst must differ\n";
+      return false;
+    }
+    e.src = src;
+    e.dst = dst;
+    e.factor = factor;
+    e.at = at;
+    e.duration = duration;
+    out->push_back(e);
+  }
+  return true;
+}
+
 bool ParseOptions(int argc, char** argv, Options* opts) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -179,6 +251,10 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       opts->gantt = true;
     } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
       opts->no_metrics = true;
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      opts->adaptive = true;
+    } else if (ParseFlag(argv[i], "jitter-trace", &opts->jitter_trace)) {
+      // validated against the cluster in main (needs the topology)
     } else if (ParseFlag(argv[i], "workload", &opts->workload) ||
                ParseFlag(argv[i], "scheme", &opts->scheme) ||
                ParseFlag(argv[i], "trace", &opts->trace_path) ||
@@ -330,6 +406,15 @@ void ApplyTransport(const Options& opts, gs::RunConfig* cfg) {
   }
 }
 
+// Installs --adaptive and the --jitter-trace degradation schedule. The
+// spec was validated in main; re-parsing here cannot fail.
+void ApplyAdaptive(const Options& opts, gs::RunConfig* cfg) {
+  cfg->adaptive.enabled = opts.adaptive;
+  if (!opts.jitter_trace.empty()) {
+    ParseJitterTrace(opts.jitter_trace, &cfg->fault.plan.link_degradations);
+  }
+}
+
 // Multi-job service mode: one shared cluster, N workload jobs submitted on
 // an open-loop arrival process across weighted tenants.
 int RunMultiJob(const Options& opts) {
@@ -345,6 +430,7 @@ int RunMultiJob(const Options& opts) {
   cfg.observe.egress_usd_per_gib = WanPricing::Ec2SixRegionTariff().rates();
   cfg.service.max_concurrent_jobs = opts.max_concurrent;
   ApplyTransport(opts, &cfg);
+  ApplyAdaptive(opts, &cfg);
   if (opts.crash_node >= 0) {
     NodeCrashEvent crash;
     crash.at = opts.crash_at;
@@ -455,6 +541,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!opts.jitter_trace.empty()) {
+    // Validate the spec (and its datacenter indices) once up front; the
+    // fault injector would GS_CHECK-abort on a bad pair mid-run.
+    std::vector<LinkDegradationEvent> events;
+    if (!ParseJitterTrace(opts.jitter_trace, &events)) {
+      PrintHelp();
+      return 2;
+    }
+    const Topology probe = Ec2SixRegionTopology(opts.scale);
+    for (const LinkDegradationEvent& e : events) {
+      if (e.src >= probe.num_datacenters() ||
+          e.dst >= probe.num_datacenters()) {
+        std::cerr << "--jitter-trace names dc" << std::max(e.src, e.dst)
+                  << ", but the six-region cluster has datacenters 0.."
+                  << probe.num_datacenters() - 1 << "\n";
+        PrintHelp();
+        return 2;
+      }
+    }
+  }
+
   if (opts.jobs > 0) return RunMultiJob(opts);
 
   WorkloadParams params;
@@ -476,6 +583,7 @@ int main(int argc, char** argv) {
     // Dollar view of the cross-region traffic uses the 2016 EC2 tariff.
     cfg.observe.egress_usd_per_gib = WanPricing::Ec2SixRegionTariff().rates();
     ApplyTransport(opts, &cfg);
+    ApplyAdaptive(opts, &cfg);
     if (opts.crash_node >= 0) {
       NodeCrashEvent crash;
       crash.at = opts.crash_at;
