@@ -28,6 +28,7 @@ for b in build/bench/*; do
   json=
   case "$b" in
     */bench_adaptive) json=BENCH_adaptive.json ;;
+    */bench_coded) json=BENCH_coded.json ;;
     */bench_micro_datapath) json=BENCH_datapath.json ;;
     */bench_micro_netsim) json=BENCH_netsim.json ;;
     */bench_multitenant) json=BENCH_multitenant.json ;;

@@ -75,6 +75,23 @@ void ValidateConfig(const RunConfig& cfg, const Topology& topo) {
   GS_CHECK_MSG(a.pin_dc == kNoDc ||
                    (a.pin_dc >= 0 && a.pin_dc < topo.num_datacenters()),
                "adaptive.pin_dc out of range");
+
+  // Coded-shuffle knobs (docs/CODED.md). Checked only with coding on: the
+  // default redundancy_r = 2 must not reject single-datacenter topologies
+  // that never code.
+  const CodedConfig& c = cfg.coded;
+  if (c.enabled) {
+    GS_CHECK_MSG(c.redundancy_r >= 1,
+                 "coded.redundancy_r must be >= 1, got " << c.redundancy_r);
+    GS_CHECK_MSG(c.redundancy_r <= topo.num_datacenters(),
+                 "coded.redundancy_r (" << c.redundancy_r
+                                        << ") exceeds the datacenter count ("
+                                        << topo.num_datacenters() << ")");
+    GS_CHECK_MSG(cfg.scheme == Scheme::kSpark,
+                 "coded shuffle replaces the baseline fetch path; it cannot "
+                 "combine with "
+                     << SchemeName(cfg.scheme));
+  }
 }
 
 }  // namespace
@@ -588,6 +605,8 @@ RunReport GeoCluster::BuildReport(const JobMetrics& job,
     report.transport = TransportKindName(config_.transport.kind);
   }
   report.adaptive = config_.adaptive.enabled;
+  report.coded = config_.coded.enabled;
+  report.coded_redundancy_r = config_.coded.redundancy_r;
 
   if (trace != nullptr) {
     report.trace.enabled = true;

@@ -147,6 +147,11 @@ class JobRunner {
     std::vector<bool> partition_done;
     std::vector<double> completed_durations;
     bool spec_check_scheduled = false;
+    // Coded-shuffle exchange (docs/CODED.md): a shuffle-write stage under
+    // CodedConfig::enabled defers its completion until the exchange —
+    // multicast groups, residual unicasts, in-DC consolidations — drains.
+    int coded_pending = 0;
+    bool coded_exchange_done = false;
   };
 
   // --- stage orchestration ---
@@ -215,6 +220,42 @@ class JobRunner {
   void ReceiverGotData(TaskRun& receiver);  // data landed: request a slot
   void ExecuteReceiver(TaskRun& receiver);  // slot acquired: run the chain
 
+  // --- coded shuffle (docs/CODED.md) ---
+  // Effective replication degree: redundancy_r clamped to the DC count.
+  int CodedR() const;
+  // Deterministic worker pick inside `dc` (salted round-robin, preferring
+  // live nodes); kNoNode for a workerless datacenter. Chooses both the
+  // mirror node holding map partition m's replica (salt = m) and the
+  // landing node consolidating shard k (salt = k).
+  NodeIndex CodedNodeInDc(DcIndex dc, int salt) const;
+  // Mirrors a finished map partition's shuffle blocks onto one node in
+  // each of the r-1 datacenters after the primary's on the ring (the
+  // replicated map executions' outputs; their compute is charged in
+  // OnGatherDone).
+  void PutReplicaOutputs(ShuffleId sid, int map_partition, NodeIndex primary,
+                         const std::vector<RecordsPtr>& shard_records,
+                         const std::vector<Bytes>& shard_bytes);
+  // The shuffle exchange, run when a shuffle-write stage's last task
+  // finishes and before the stage is marked done: picks each shard's home
+  // datacenter, serves segments replicated there locally, XOR-multicasts
+  // decodable groups of the rest and unicasts the residue, re-pointing the
+  // tracker at the landing nodes so reducer gathers read locally.
+  void StartCodedExchange(StageId id);
+  // Copies segment (m, k) from `holder` onto `dst` and re-points the
+  // tracker; a vanished source copy is left for fetch-failure recovery.
+  void DeliverCodedSegment(ShuffleId sid, int m, int k, NodeIndex holder,
+                           NodeIndex dst);
+  // One exchange transfer landed; completes the deferred stage when the
+  // last one drains.
+  void CodedTransferDone(StageId id);
+  // Extends a reduce shard's preference list with the exchange's r-way
+  // alternates (landing node first, then the largest replica holders).
+  void AppendCodedAlternates(ShuffleId sid, int shard,
+                             std::vector<NodeIndex>* prefs) const;
+  // Satellite fix: a cached partition whose every replica is dead or
+  // evicted at planning time is counted, not just logged.
+  void CountPlacementMiss();
+
   // --- adaptive replanning (docs/ADAPTIVE.md) ---
   // Re-runs the placement policy for every in-flight transfer stage: moves
   // not-yet-started receiver shards off datacenters the policy now ranks
@@ -263,6 +304,12 @@ class JobRunner {
   // Reduce tasks parked by a fetch failure, keyed by the parent stage they
   // wait on; resubmitted when that stage re-completes.
   std::unordered_map<StageId, std::vector<TaskRun*>> waiting_on_stage_;
+
+  // Per-shard r-way reducer preference lists built by the coded exchange:
+  // the landing node first, then the nodes holding the largest replica
+  // share of the shard (fallbacks if the landing node is lost or busy).
+  std::unordered_map<ShuffleId, std::vector<std::vector<NodeIndex>>>
+      coded_prefs_;
 
   // Compute jobs awaiting the per-instant batched submission (see
   // SubmitCompute / FlushComputeBatch).

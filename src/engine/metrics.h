@@ -55,6 +55,22 @@ struct JobMetrics {
   int receivers_moved = 0;     // receiver shards re-placed mid-job
   int adaptive_fallbacks = 0;  // shards degraded push->fetch by bandwidth
 
+  // Cached-input placement misses (engine/job_runner.cc StageInputPerDc):
+  // partitions whose every replica is dead or evicted at planning time, so
+  // their bytes drop out of the aggregator-choice input weights. Nonzero
+  // values mean Eq. 2 planned against an undercount.
+  int placement_misses = 0;
+
+  // Coded-shuffle accounting (docs/CODED.md); all stay 0 — and out of the
+  // report JSON — unless CodedConfig::enabled.
+  int coded_groups = 0;             // XOR groups multicast
+  Bytes coded_multicast_bytes = 0;  // WAN bytes moved as coded packets
+  Bytes coded_residual_bytes = 0;   // uncoded remainder, unicast fallback
+  Bytes coded_local_bytes = 0;      // segments served by an in-DC replica
+  // Extra map compute bought by the r-fold replication: (r-1) x the
+  // replicated partitions' map seconds, the cost side of the crossover.
+  double coded_replica_compute_seconds = 0;
+
   SimTime jct() const { return completed - started; }
   SimTime queue_delay() const { return started - submitted; }
 };

@@ -170,6 +170,35 @@ struct AdaptiveConfig {
   DcIndex pin_dc = kNoDc;
 };
 
+// Coded shuffle (docs/CODED.md): trade map compute for WAN bytes, after
+// Coded MapReduce. Off by default — with `enabled` false nothing in the
+// engine's behaviour changes and RunReports stay byte-identical to
+// non-coded builds. When enabled (baseline fetch scheme only), every map
+// partition executes in `redundancy_r` datacenters instead of one. The
+// replication overlap then lets the shuffle serve most shard segments from
+// a replica inside the consuming datacenter (zero WAN bytes) and deliver
+// XOR-coded groups of the rest as single multicast packets
+// (netsim::StartMulticastFlow, FlowKind::kCodedMulticast), with residual
+// uncoded segments falling back to plain unicast fetches. The WAN volume
+// drops from ~(K-1)/K of the shuffle to ~(K-r)/K on K datacenters; the
+// price is (r-1)x the map compute, accounted per job
+// (JobMetrics::coded_replica_compute_seconds).
+struct CodedConfig {
+  bool enabled = false;
+
+  // Datacenters each map partition executes in: its home DC plus the next
+  // r-1 in a deterministic ring. Validated at Submit: 1 <= redundancy_r <=
+  // number of datacenters (r = 1 degenerates to no replication and no
+  // coding gain, but stays a valid configuration).
+  int redundancy_r = 2;
+
+  // Maximum shard segments XOR-ed into one coded packet; the effective
+  // group size is additionally capped by the decodability condition
+  // (every receiver must already hold the other r-1 segments). <= 0 means
+  // redundancy_r.
+  int max_group = 0;
+};
+
 // Speculative execution (spark.speculation, off by default as in Spark):
 // once `quantile` of a stage's tasks finished, a running task slower than
 // `multiplier` x the median duration gets a backup copy; the first attempt
@@ -238,6 +267,7 @@ struct RunConfig {
 
   TransportConfig transport;
   AdaptiveConfig adaptive;
+  CodedConfig coded;
   FaultConfig fault;
   SpeculationConfig speculation;
   ServiceConfig service;

@@ -27,7 +27,7 @@ void WriteStage(JsonWriter& w, const StageMetrics& s) {
   w.EndObject();
 }
 
-void WriteJob(JsonWriter& w, const JobMetrics& j, bool adaptive) {
+void WriteJob(JsonWriter& w, const JobMetrics& j, bool adaptive, bool coded) {
   w.BeginObject();
   w.Key("job_id").Value(static_cast<std::int64_t>(j.job_id));
   w.Key("tenant").Value(j.tenant);
@@ -50,6 +50,19 @@ void WriteJob(JsonWriter& w, const JobMetrics& j, bool adaptive) {
     w.Key("replans").Value(j.replans);
     w.Key("receivers_moved").Value(j.receivers_moved);
     w.Key("adaptive_fallbacks").Value(j.adaptive_fallbacks);
+  }
+  // Gated on a nonzero count, not a config flag: a miss can strike any
+  // run, and healthy reports must stay byte-identical to older ones.
+  if (j.placement_misses != 0) {
+    w.Key("placement_misses").Value(j.placement_misses);
+  }
+  if (coded) {
+    w.Key("coded_groups").Value(j.coded_groups);
+    w.Key("coded_multicast_bytes").Value(j.coded_multicast_bytes);
+    w.Key("coded_residual_bytes").Value(j.coded_residual_bytes);
+    w.Key("coded_local_bytes").Value(j.coded_local_bytes);
+    w.Key("coded_replica_compute_seconds")
+        .Value(j.coded_replica_compute_seconds);
   }
   w.Key("stages").BeginArray();
   for (const StageMetrics& s : j.stages) WriteStage(w, s);
@@ -125,6 +138,12 @@ std::string RunReport::ToJson() const {
   w.Key("scheme").Value(scheme);
   if (nondirect_transport) w.Key("transport").Value(transport);
   if (adaptive) w.Key("adaptive").Value(true);
+  if (coded) {
+    w.Key("coded").BeginObject();
+    w.Key("enabled").Value(true);
+    w.Key("redundancy_r").Value(coded_redundancy_r);
+    w.EndObject();
+  }
   w.Key("seed").Value(static_cast<std::uint64_t>(seed));
   w.Key("scale").Value(scale);
   w.Key("label").Value(label);
@@ -133,7 +152,7 @@ std::string RunReport::ToJson() const {
   w.Key("num_nodes").Value(num_nodes);
   w.EndObject();
   w.Key("job");
-  WriteJob(w, job, adaptive);
+  WriteJob(w, job, adaptive, coded);
   w.Key("jobs").BeginArray();
   for (const JobRow& r : jobs) WriteJobRow(w, r);
   w.EndArray();

@@ -40,6 +40,11 @@ struct RunReport {
   //     top-level `adaptive` key and replans/receivers_moved/
   //     adaptive_fallbacks counters in the job section (absent with
   //     adaptivity off, keeping non-adaptive reports byte-identical).
+  //     Additive, still v2: coded runs (CodedConfig::enabled) gain a
+  //     top-level `coded` object and coded_* counters in the job section;
+  //     jobs that hit a cached-input placement miss gain a
+  //     placement_misses key (absent when zero — healthy reports stay
+  //     byte-identical).
   static constexpr int kSchemaVersion = 2;
 
   // Run identity.
@@ -51,6 +56,10 @@ struct RunReport {
   // gates the adaptive keys in ToJson() the same way `transport` gates
   // the transport ones.
   bool adaptive = false;
+  // True when the run used coded shuffle (CodedConfig::enabled); gates the
+  // coded keys in ToJson() like `adaptive` above.
+  bool coded = false;
+  int coded_redundancy_r = 0;
   std::uint64_t seed = 0;
   double scale = 1.0;      // data-size scale factor of the run
   std::string label;       // free-form (workload or bench name); may be ""

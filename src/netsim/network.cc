@@ -56,6 +56,7 @@ const char* FlowKindName(FlowKind kind) {
     case FlowKind::kStorePut: return "store-put";
     case FlowKind::kStoreGet: return "store-get";
     case FlowKind::kFabric: return "fabric";
+    case FlowKind::kCodedMulticast: return "coded-multicast";
     case FlowKind::kOther: return "other";
   }
   return "unknown";
@@ -120,7 +121,8 @@ Network::Network(Simulator& sim, const Topology& topo, NetworkConfig config,
       topo_(topo),
       config_(config),
       jitter_rng_(std::move(jitter_rng)),
-      meter_(topo.num_datacenters()) {
+      meter_(topo.num_datacenters()),
+      metrics_(metrics) {
   if (metrics != nullptr) {
     m_flows_started_ = &metrics->counter("netsim.flows_started");
     m_flows_completed_ = &metrics->counter("netsim.flows_completed");
@@ -435,6 +437,75 @@ void Network::CancelFlow(FlowId id) {
   Reconfigure();
 }
 
+MulticastId Network::StartMulticastFlow(NodeIndex src,
+                                        const std::vector<NodeIndex>& dsts,
+                                        Bytes bytes, FlowKind kind,
+                                        CompletionFn on_complete) {
+  GS_CHECK(on_complete != nullptr);
+  GS_CHECK_MSG(!dsts.empty(), "multicast needs at least one destination");
+  // One leg per distinct receiving datacenter, received by the first node
+  // listed for that DC; same-DC peers read the packet locally. Legs are
+  // ordinary flows — max-min sharing, metering, utilization attribution
+  // and RNG draws (TCP efficiency, stalls) all follow the unicast path in
+  // the deterministic `dsts` order.
+  std::vector<NodeIndex> receivers;
+  for (NodeIndex dst : dsts) {
+    GS_CHECK(dst >= 0 && dst < topo_.num_nodes());
+    const DcIndex dc = topo_.dc_of(dst);
+    bool seen = false;
+    for (NodeIndex r : receivers) seen = seen || topo_.dc_of(r) == dc;
+    if (!seen) receivers.push_back(dst);
+  }
+  EnsureMulticastMetrics();
+  const MulticastId id = next_multicast_id_++;
+  MulticastGroup& group = multicasts_[id];
+  group.outstanding = static_cast<int>(receivers.size());
+  group.on_complete = std::move(on_complete);
+  group.legs.reserve(receivers.size());
+  for (NodeIndex dst : receivers) {
+    group.legs.push_back(StartFlow(src, dst, bytes, kind,
+                                   [this, id] { OnMulticastLegDone(id); }));
+  }
+  if (m_multicasts_started_ != nullptr) {
+    m_multicasts_started_->Add(1);
+    m_multicast_legs_->Add(static_cast<std::int64_t>(receivers.size()));
+  }
+  return id;
+}
+
+void Network::OnMulticastLegDone(MulticastId id) {
+  auto it = multicasts_.find(id);
+  if (it == multicasts_.end()) return;  // group cancelled meanwhile
+  if (--it->second.outstanding > 0) return;
+  CompletionFn done = std::move(it->second.on_complete);
+  multicasts_.erase(it);
+  if (m_multicasts_completed_ != nullptr) m_multicasts_completed_->Add(1);
+  done();
+}
+
+void Network::CancelMulticastFlow(MulticastId id) {
+  auto it = multicasts_.find(id);
+  if (it == multicasts_.end()) return;
+  // Erase before cancelling the legs so the group callback can never fire
+  // for a half-cancelled group. Legs that already completed are inert ids
+  // and CancelFlow ignores them.
+  std::vector<FlowId> legs = std::move(it->second.legs);
+  multicasts_.erase(it);
+  for (FlowId leg : legs) CancelFlow(leg);
+  if (m_multicasts_cancelled_ != nullptr) m_multicasts_cancelled_->Add(1);
+}
+
+void Network::EnsureMulticastMetrics() {
+  if (metrics_ == nullptr || m_multicasts_started_ != nullptr) return;
+  // Registered on first use: a registry snapshot lands verbatim in the
+  // RunReport, so unconditional registration would perturb every golden
+  // report of runs that never multicast.
+  m_multicasts_started_ = &metrics_->counter("netsim.multicasts_started");
+  m_multicasts_completed_ = &metrics_->counter("netsim.multicasts_completed");
+  m_multicasts_cancelled_ = &metrics_->counter("netsim.multicasts_cancelled");
+  m_multicast_legs_ = &metrics_->counter("netsim.multicast_legs");
+}
+
 Rate Network::flow_rate(FlowId id) const {
   const std::int32_t slot = SlotOf(id);
   return slot < 0 ? 0 : slab_[static_cast<std::size_t>(slot)].rate;
@@ -452,10 +523,19 @@ Rate Network::EstimateWanBandwidth(DcIndex src, DcIndex dst, SimTime window) {
   const int link = topo_.wan_link_index(src, dst);
   GS_CHECK(link >= 0);
   const Rate current = wan_current_[link] * degrade_[link];
-  if (util_ == nullptr || window <= 0) return current;
+  // Every return path goes through the same clamp: at least the 5%
+  // headroom floor, and never 0 or non-finite — a full outage (degrade
+  // factor 0) collapses the floor itself to 0, and placement policies
+  // divide by this estimate, so an absolute 1 B/s backstop keeps their
+  // scores finite and comparable.
+  const auto clamp = [current](Rate r) {
+    const Rate floor = std::max(0.05 * current, Rate{1});
+    return std::isfinite(r) ? std::max(r, floor) : floor;
+  };
+  if (util_ == nullptr || window <= 0) return clamp(current);
   const SimTime width = util_->bucket_width();
   const std::vector<Bytes>& buckets = util_->buckets(link);
-  if (width <= 0 || buckets.empty()) return current;
+  if (width <= 0 || buckets.empty()) return clamp(current);
 
   // Exponentially decayed average of the delivered throughput over the
   // trailing window: a bucket `span` buckets old weighs half as much as
@@ -476,12 +556,12 @@ Rate Network::EstimateWanBandwidth(DcIndex src, DcIndex dst, SimTime window) {
              width);
     weight += w;
   }
-  if (weight <= 0) return current;
+  if (weight <= 0) return clamp(current);
   const Rate delivered = weighted_rate / weight;
   // Headroom estimate: what remains once the measured load keeps flowing.
   // The 5% floor keeps a fully saturated (but healthy) link distinguishable
-  // from a degraded one and avoids divide-by-zero in policy scores.
-  return std::max(current - delivered, 0.05 * current);
+  // from a degraded one.
+  return clamp(current - delivered);
 }
 
 void Network::SetWanDegradation(DcIndex src, DcIndex dst, double factor) {

@@ -56,6 +56,7 @@ enum class FlowKind {
   kStorePut,       // shard staged into an object-store tier (PUT leg)
   kStoreGet,       // staged shard read back by a consumer (GET leg)
   kFabric,         // RDMA-class intra-DC fabric transfer
+  kCodedMulticast, // coded-shuffle multicast leg (docs/CODED.md)
   kOther,
 };
 
@@ -205,6 +206,28 @@ class Network {
   // completion callback never fires. A no-op for ids that already
   // completed, were already cancelled, or were never issued.
   void CancelFlow(FlowId id);
+
+  // Starts a multicast transfer of `bytes` from `src` to every node in
+  // `dsts`: one ordinary leg per *distinct receiving datacenter* (the
+  // first-listed node of each DC receives it), sharing max-min bandwidth
+  // with unicast flows and metered per leg like any other flow — so byte
+  // conservation (meter vs utilization buckets) holds with no special
+  // cases. A destination in the source's own datacenter rides the
+  // intra-DC/loopback path. `on_complete` fires once, after the last leg's
+  // final byte arrives. Duplicate destination DCs collapse into one leg.
+  MulticastId StartMulticastFlow(NodeIndex src,
+                                 const std::vector<NodeIndex>& dsts,
+                                 Bytes bytes, FlowKind kind,
+                                 CompletionFn on_complete);
+
+  // Cancels every still-outstanding leg of a multicast group; the group
+  // callback never fires. Like CancelFlow, bytes stay metered and the call
+  // is a no-op for completed/cancelled/unknown ids.
+  void CancelMulticastFlow(MulticastId id);
+
+  bool has_multicast(MulticastId id) const {
+    return multicasts_.count(id) > 0;
+  }
 
   bool has_flow(FlowId id) const { return SlotOf(id) >= 0; }
   int active_flows() const { return tracked_flows_; }
@@ -415,11 +438,24 @@ class Network {
     return config_.jitter_interval > 0 && topo_.num_wan_links() > 0;
   }
 
+  // A multicast group is bookkeeping over ordinary legs: it owns no
+  // resources and adds no solver state.
+  struct MulticastGroup {
+    int outstanding = 0;
+    std::vector<FlowId> legs;
+    CompletionFn on_complete;
+  };
+  void OnMulticastLegDone(MulticastId id);
+  // Registers the multicast counters on first use. Lazy so runs that never
+  // multicast keep their metric snapshots (and golden reports) unchanged.
+  void EnsureMulticastMetrics();
+
   Simulator& sim_;
   const Topology& topo_;
   NetworkConfig config_;
   Rng jitter_rng_;
   TrafficMeter meter_;
+  MetricsRegistry* metrics_ = nullptr;
   ThreadPool* pool_ = nullptr;
 
   std::vector<Rate> capacity_;      // per resource, current (incl. degrade)
@@ -478,6 +514,14 @@ class Network {
   Gauge* m_active_flows_ = nullptr;
   Histogram* m_fetch_bytes_ = nullptr;
   Histogram* m_push_bytes_ = nullptr;
+
+  // Multicast state. Counters registered lazily (EnsureMulticastMetrics).
+  std::unordered_map<MulticastId, MulticastGroup> multicasts_;
+  MulticastId next_multicast_id_ = 1;
+  Counter* m_multicasts_started_ = nullptr;
+  Counter* m_multicasts_completed_ = nullptr;
+  Counter* m_multicasts_cancelled_ = nullptr;
+  Counter* m_multicast_legs_ = nullptr;
 };
 
 }  // namespace gs

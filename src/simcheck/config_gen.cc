@@ -62,6 +62,11 @@ SimcheckConfig GenerateConfig(std::uint64_t seed) {
                       : static_cast<int>(rng.UniformInt(1, 2));
   // Adaptive placement, appended after transport for the same reason.
   cfg.adaptive = rng.Bernoulli(0.35) ? 1 : 0;
+  // Coded shuffle, appended after adaptive for the same reason. Only
+  // meaningful with at least two datacenters; r ranges over [2, num_dcs].
+  const bool coded_on = cfg.num_dcs >= 2 && rng.Bernoulli(0.3);
+  cfg.coded =
+      coded_on ? static_cast<int>(rng.UniformInt(2, cfg.num_dcs)) : 0;
   return cfg;
 }
 
@@ -97,6 +102,7 @@ std::string ToJson(const SimcheckConfig& c) {
   w.Key("block_loss_frac").Value(c.block_loss_frac);
   w.Key("transport").Value(c.transport);
   w.Key("adaptive").Value(c.adaptive);
+  w.Key("coded").Value(c.coded);
   w.EndObject();
   return w.str();
 }
@@ -216,6 +222,7 @@ bool AssignField(SimcheckConfig* c, const std::string& key,
   if (key == "block_loss_frac") return TokenToDouble(tok, &c->block_loss_frac);
   if (key == "transport") return TokenToInt(tok, &c->transport);
   if (key == "adaptive") return TokenToInt(tok, &c->adaptive);
+  if (key == "coded") return TokenToInt(tok, &c->coded);
   return false;  // unknown key
 }
 

@@ -38,11 +38,14 @@ struct SchemeRun {
   std::size_t pending_events = 0;
   int active_flows = 0;
   bool faulty = false;  // the run executed under a non-empty fault plan
-  // Spark-mode Eq. 2 observations (tracker reflects mapper placement).
+  // Spark-mode Eq. 2 observations (tracker reflects mapper placement; under
+  // coded shuffle the matrix is rebuilt from the retained primary nodes,
+  // since the final tracker state reflects the coded exchange).
   Bytes S = 0;
   Bytes s1 = 0;
   Bytes exact_bound = 0;  // S - sum_k max_j b_jk over the b matrix
-  Bytes cross = 0;        // cross-DC fetch + push bytes
+  Bytes coded_bound = 0;  // replica-aware refinement (docs/CODED.md)
+  Bytes cross = 0;        // cross-DC fetch + push + coded-multicast bytes
 };
 
 Dataset ApplyDag(const SimcheckConfig& cfg, Dataset src) {
@@ -216,6 +219,13 @@ SchemeRun RunOne(const SimcheckConfig& cfg, Scheme scheme, int threads,
     rc.disable_map_side_combine = !cfg.map_side_combine;
     rc.transport.kind = static_cast<TransportKind>(cfg.transport);
     rc.adaptive.enabled = cfg.adaptive != 0;
+    // Coded shuffle replaces the baseline fetch path, so the engine only
+    // accepts it under kSpark; the other schemes run uncoded and the
+    // cross-scheme equivalence check still applies unmodified.
+    if (scheme == Scheme::kSpark && cfg.coded != 0) {
+      rc.coded.enabled = true;
+      rc.coded.redundancy_r = cfg.coded;
+    }
     rc.fault.plan = plan;
     if (!cfg.noisy_network) {
       rc.net.jitter_interval = 0;
@@ -266,8 +276,9 @@ SchemeRun RunOne(const SimcheckConfig& cfg, Scheme scheme, int threads,
     for (const MetricSnapshot& m : run.report.metrics) {
       out.counters[m.name] = m.value;
     }
-    out.cross =
-        run.metrics.cross_dc_fetch_bytes + run.metrics.cross_dc_push_bytes;
+    out.cross = run.metrics.cross_dc_fetch_bytes +
+                run.metrics.cross_dc_push_bytes +
+                run.metrics.coded_multicast_bytes;
 
     // Conservation: per directed WAN link, utilization bucket sums must
     // equal the meter's pair bytes bit for bit.
@@ -293,32 +304,75 @@ SchemeRun RunOne(const SimcheckConfig& cfg, Scheme scheme, int threads,
     if (scheme == Scheme::kSpark && cluster.tracker().HasShuffle(0)) {
       const MapOutputTracker& tracker = cluster.tracker();
       out.S = tracker.TotalBytes(0);
-      std::vector<Bytes> per_dc = tracker.BytesPerDc(0, t);
-      out.s1 = *std::max_element(per_dc.begin(), per_dc.end());
-      // Exact refinement of Eq. 2: each shard k must move everything not
-      // already in the datacenter holding most of it, so
-      // D >= sum_k (s_k - max_j b_jk) regardless of shard imbalance.
       const int maps = tracker.num_map_partitions(0);
       const int shards = tracker.num_shards(0);
-      std::vector<Bytes> b(static_cast<std::size_t>(t.num_datacenters()) *
-                               shards,
-                           0);
-      for (int m = 0; m < maps; ++m) {
+      const int dcs = t.num_datacenters();
+      const bool coded = rc.coded.enabled;
+      if (!coded) {
+        std::vector<Bytes> per_dc = tracker.BytesPerDc(0, t);
+        out.s1 = *std::max_element(per_dc.begin(), per_dc.end());
+        // Exact refinement of Eq. 2: each shard k must move everything not
+        // already in the datacenter holding most of it, so
+        // D >= sum_k (s_k - max_j b_jk) regardless of shard imbalance.
+        std::vector<Bytes> b(static_cast<std::size_t>(dcs) * shards, 0);
+        for (int m = 0; m < maps; ++m) {
+          for (int k = 0; k < shards; ++k) {
+            const MapOutputLocation& loc = tracker.Output(0, m, k);
+            if (loc.node == kNoNode) continue;
+            b[static_cast<std::size_t>(t.dc_of(loc.node)) * shards + k] +=
+                loc.bytes;
+          }
+        }
         for (int k = 0; k < shards; ++k) {
-          const MapOutputLocation& loc = tracker.Output(0, m, k);
-          if (loc.node == kNoNode) continue;
-          b[static_cast<std::size_t>(t.dc_of(loc.node)) * shards + k] +=
-              loc.bytes;
+          Bytes col = 0, best = 0;
+          for (DcIndex j = 0; j < dcs; ++j) {
+            const Bytes v = b[static_cast<std::size_t>(j) * shards + k];
+            col += v;
+            best = std::max(best, v);
+          }
+          out.exact_bound += col - best;
         }
-      }
-      for (int k = 0; k < shards; ++k) {
-        Bytes col = 0, best = 0;
-        for (DcIndex j = 0; j < t.num_datacenters(); ++j) {
-          const Bytes v = b[static_cast<std::size_t>(j) * shards + k];
-          col += v;
-          best = std::max(best, v);
+      } else {
+        // The coded exchange relocates shards, so the tracker's final
+        // locations describe the consolidated layout, not the mapper
+        // placement. Rebuild the matrix from the retained primary nodes
+        // and compute the replica-aware bound: with ring replication of
+        // redundancy r a segment is free for shard k in every datacenter
+        // of its ring, so D >= sum_k (s_k - max_j b~_jk) over the
+        // replica-inclusive matrix b~ (docs/CODED.md).
+        const int r = std::min(cfg.coded, dcs);
+        std::vector<Bytes> prim(static_cast<std::size_t>(dcs) * shards, 0);
+        std::vector<Bytes> rep(static_cast<std::size_t>(dcs) * shards, 0);
+        for (int m = 0; m < maps; ++m) {
+          const NodeIndex p = tracker.primary_node(0, m);
+          if (p == kNoNode) continue;
+          const DcIndex pdc = t.dc_of(p);
+          for (int k = 0; k < shards; ++k) {
+            const Bytes bytes = tracker.Output(0, m, k).bytes;
+            prim[static_cast<std::size_t>(pdc) * shards + k] += bytes;
+            for (int j = 0; j < r; ++j) {
+              const DcIndex d = (pdc + j) % dcs;
+              rep[static_cast<std::size_t>(d) * shards + k] += bytes;
+            }
+          }
         }
-        out.exact_bound += col - best;
+        std::vector<Bytes> per_dc(static_cast<std::size_t>(dcs), 0);
+        for (DcIndex j = 0; j < dcs; ++j) {
+          for (int k = 0; k < shards; ++k) {
+            per_dc[static_cast<std::size_t>(j)] +=
+                prim[static_cast<std::size_t>(j) * shards + k];
+          }
+        }
+        out.s1 = *std::max_element(per_dc.begin(), per_dc.end());
+        for (int k = 0; k < shards; ++k) {
+          Bytes col = 0, best = 0;
+          for (DcIndex j = 0; j < dcs; ++j) {
+            col += prim[static_cast<std::size_t>(j) * shards + k];
+            best = std::max(
+                best, rep[static_cast<std::size_t>(j) * shards + k]);
+          }
+          out.coded_bound += std::max(Bytes{0}, col - best);
+        }
       }
     }
 
@@ -354,6 +408,8 @@ bool ValidateConfig(const SimcheckConfig& cfg, CheckResult* r) {
     os << "transport " << cfg.transport << " out of range";
   } else if (cfg.adaptive < 0 || cfg.adaptive > 1) {
     os << "adaptive " << cfg.adaptive << " out of range";
+  } else if (cfg.coded != 0 && (cfg.coded < 1 || cfg.coded > cfg.num_dcs)) {
+    os << "coded " << cfg.coded << " out of range";
   } else {
     return true;
   }
@@ -546,14 +602,29 @@ CheckResult RunEngineCheck(const SimcheckConfig& cfg) {
   // re-register map outputs after traffic was measured, so faulty runs get
   // a wide margin — the bound still flags sign-level violations.
   if (low_ok[0] && low[0].S > 0) {
-    const Bytes spark_slack =
-        low[0].faulty ? low[0].exact_bound / 4 : Bytes{0};
-    if (low[0].cross + spark_slack < low[0].exact_bound) {
-      std::ostringstream os;
-      os << "Spark cross-DC shuffle bytes " << low[0].cross
-         << " below the exact bound " << low[0].exact_bound << " (S="
-         << low[0].S << ", s1=" << low[0].s1 << ")";
-      Add(&result, kInvEq2, os.str());
+    if (cfg.coded == 0) {
+      const Bytes spark_slack =
+          low[0].faulty ? low[0].exact_bound / 4 : Bytes{0};
+      if (low[0].cross + spark_slack < low[0].exact_bound) {
+        std::ostringstream os;
+        os << "Spark cross-DC shuffle bytes " << low[0].cross
+           << " below the exact bound " << low[0].exact_bound << " (S="
+           << low[0].S << ", s1=" << low[0].s1 << ")";
+        Add(&result, kInvEq2, os.str());
+      }
+    } else {
+      // With coding on, segments replicated into a shard's home datacenter
+      // never cross the WAN, so the Spark run is held to the replica-aware
+      // refinement instead of the exact per-shard bound (docs/CODED.md).
+      const Bytes coded_slack =
+          low[0].faulty ? low[0].coded_bound / 4 : Bytes{0};
+      if (low[0].cross + coded_slack < low[0].coded_bound) {
+        std::ostringstream os;
+        os << "coded Spark cross-DC shuffle bytes " << low[0].cross
+           << " below the replica-aware bound " << low[0].coded_bound
+           << " (S=" << low[0].S << ", r=" << cfg.coded << ")";
+        Add(&result, kInvEq2, os.str());
+      }
     }
     if (low_ok[2]) {
       const Bytes eq2 = low[0].S - low[0].s1;

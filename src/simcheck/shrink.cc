@@ -36,6 +36,9 @@ std::vector<SimcheckConfig> Candidates(const SimcheckConfig& c) {
   if (c.adaptive != 0) {
     propose([](SimcheckConfig& x) { x.adaptive = 0; });
   }
+  if (c.coded != 0) {
+    propose([](SimcheckConfig& x) { x.coded = 0; });
+  }
   if (c.transport != 0) {
     propose([](SimcheckConfig& x) { x.transport = 0; });
   }
@@ -68,7 +71,12 @@ std::vector<SimcheckConfig> Candidates(const SimcheckConfig& c) {
     propose([](SimcheckConfig& x) { x.nodes_per_dc -= 1; });
   }
   if (c.num_dcs > 1) {
-    propose([](SimcheckConfig& x) { x.num_dcs -= 1; });
+    propose([](SimcheckConfig& x) {
+      x.num_dcs -= 1;
+      // Keep the candidate valid: the redundancy cannot exceed the
+      // datacenter count.
+      x.coded = std::min(x.coded, x.num_dcs);
+    });
   }
   if (c.dedicated_driver) {
     propose([](SimcheckConfig& x) { x.dedicated_driver = false; });

@@ -94,6 +94,12 @@ struct SimcheckConfig {
   // shards, never records, so every invariant holds unmodified — including
   // thread- and rerun-determinism, which is exactly what this samples.
   int adaptive = 0;
+  // Coded shuffle (docs/CODED.md): 0 = off, r >= 1 = enabled with that
+  // redundancy. Applied to the Spark run only (the engine rejects the
+  // combination with other schemes); the Eq. 2 check switches to the
+  // replica-aware bound derived from the tracker's retained primary
+  // placement. Drawn last so older fuzz seeds replay unchanged.
+  int coded = 0;
 
   // Fault plan (times are fractions of the fault-free Spark JCT, resolved
   // by a probe run so the plan lands mid-job at any scale).

@@ -24,6 +24,7 @@ void MapOutputTracker::RegisterShuffle(ShuffleId shuffle,
   status.outputs.resize(static_cast<std::size_t>(num_map_partitions) *
                         num_shards);
   status.map_done.resize(num_map_partitions, false);
+  status.primary.resize(num_map_partitions, kNoNode);
   shuffles_.emplace(shuffle, std::move(status));
 }
 
@@ -42,10 +43,33 @@ void MapOutputTracker::RegisterMapOutput(
     out.node = node;
     out.bytes = shard_bytes[k];
   }
+  s.primary[map_partition] = node;
   if (!s.map_done[map_partition]) {
     s.map_done[map_partition] = true;
     ++s.registered;
   }
+}
+
+void MapOutputTracker::RelocateShard(ShuffleId shuffle, int map_partition,
+                                     int shard, NodeIndex node) {
+  auto it = shuffles_.find(shuffle);
+  GS_CHECK_MSG(it != shuffles_.end(), "unknown shuffle " << shuffle);
+  ShuffleStatus& s = it->second;
+  GS_CHECK(map_partition >= 0 && map_partition < s.num_map_partitions);
+  GS_CHECK(shard >= 0 && shard < s.num_shards);
+  GS_CHECK(node != kNoNode);
+  GS_CHECK_MSG(s.map_done[map_partition],
+               "relocating a shard of unregistered map partition "
+                   << map_partition);
+  s.outputs[static_cast<std::size_t>(map_partition) * s.num_shards + shard]
+      .node = node;
+}
+
+NodeIndex MapOutputTracker::primary_node(ShuffleId shuffle,
+                                         int map_partition) const {
+  const ShuffleStatus& s = StatusOf(shuffle);
+  GS_CHECK(map_partition >= 0 && map_partition < s.num_map_partitions);
+  return s.primary[map_partition];
 }
 
 void MapOutputTracker::InvalidateMapOutput(ShuffleId shuffle,
@@ -62,6 +86,7 @@ void MapOutputTracker::InvalidateMapOutput(ShuffleId shuffle,
     out.bytes = 0;
   }
   s.map_done[map_partition] = false;
+  s.primary[map_partition] = kNoNode;
   --s.registered;
   ++epoch_;
 }

@@ -35,6 +35,19 @@ class MapOutputTracker {
   // Re-registration after the output moved (e.g. pushed by transferTo).
   // Same signature as RegisterMapOutput; simply overwrites the location.
 
+  // Moves a single shard of one map partition to `node` (bytes unchanged):
+  // the coded-shuffle exchange lands each segment next to its consumer and
+  // re-points the tracker so reducer gathers read it locally
+  // (docs/CODED.md). The map partition must be registered.
+  void RelocateShard(ShuffleId shuffle, int map_partition, int shard,
+                     NodeIndex node);
+
+  // Node that executed the map partition (recorded at RegisterMapOutput,
+  // surviving RelocateShard); kNoNode while unregistered/invalidated.
+  // Simcheck derives the pre-exchange shard distribution from it when
+  // verifying the coding-aware Eq. 2 bound.
+  NodeIndex primary_node(ShuffleId shuffle, int map_partition) const;
+
   // Forgets one map partition's output (its blocks were lost: node crash or
   // shuffle-file corruption, discovered via a reducer's fetch failure). The
   // shuffle drops back to incomplete so the parent stage resubmits exactly
@@ -87,6 +100,7 @@ class MapOutputTracker {
     // outputs[map_partition * num_shards + shard]
     std::vector<MapOutputLocation> outputs;
     std::vector<bool> map_done;
+    std::vector<NodeIndex> primary;  // per map partition; see primary_node
   };
 
   const ShuffleStatus& StatusOf(ShuffleId shuffle) const;

@@ -1,0 +1,57 @@
+// Determinism of the coded shuffle (docs/CODED.md).
+//
+// The coded exchange adds its own simulation-time machinery — replicated
+// map placement, the deferred stage-completion barrier, XOR group
+// formation over the global shard list, multicast legs racing unicast
+// residuals — and none of it may leak wall-clock or thread-pool state into
+// results: with coding enabled (r=2 and r=3), a run's full RunReport JSON
+// must be byte-identical across compute-pool widths {1, 8} and across
+// in-process reruns, with the stochastic network knobs left ON.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/cluster.h"
+#include "engine/dataset.h"
+#include "workloads/hibench.h"
+
+namespace gs {
+namespace {
+
+std::string RunReportJson(int r, int threads) {
+  RunConfig cfg;
+  cfg.scheme = Scheme::kSpark;
+  cfg.seed = 1;
+  cfg.scale = 100;
+  cfg.cost = CostModel{}.Scaled(100);
+  cfg.compute_threads = threads;
+  cfg.coded.enabled = true;
+  cfg.coded.redundancy_r = r;
+  GeoCluster cluster(Ec2SixRegionTopology(100), cfg);
+  WorkloadParams params;
+  params.scale = 100;
+  params.collect_results = true;
+  return MakeWorkload("wordcount", params)
+      ->Run(cluster, 7932)
+      .report.ToJson();
+}
+
+class CodedDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodedDeterminismTest, ReportIdenticalAcrossThreadsAndReruns) {
+  const int r = GetParam();
+  const std::string one = RunReportJson(r, 1);
+  const std::string eight = RunReportJson(r, 8);
+  const std::string eight_again = RunReportJson(r, 8);
+  EXPECT_EQ(one, eight) << "coded report depends on compute_threads";
+  EXPECT_EQ(eight, eight_again) << "coded report differs across reruns";
+}
+
+INSTANTIATE_TEST_SUITE_P(Redundancy, CodedDeterminismTest,
+                         ::testing::Values(2, 3),
+                         [](const auto& info) {
+                           return "r" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gs

@@ -47,6 +47,10 @@ struct Options {
   double restart_after = 0.0;   // restart delay; 0 = stays dead
   // Adaptive aggregator placement & mid-job replanning (docs/ADAPTIVE.md).
   bool adaptive = false;
+  // Coded shuffle redundancy (docs/CODED.md); -1 = off. Any explicit value
+  // is handed to the engine verbatim so out-of-range redundancies (r < 1,
+  // r > #datacenters) fail Submit-time validation, not flag parsing.
+  int coded_r = -1;
   // WAN degradation schedule: "src:dst:factor:at[:duration],..." — each
   // event scales the src->dst link (both directions) to `factor` of its
   // jittered rate at sim-time `at`, restoring after `duration` seconds
@@ -102,6 +106,12 @@ void PrintHelp() {
       "                    rate at sim-time `at`, restore after `duration`\n"
       "                    seconds (omitted/0 = stays degraded), e.g.\n"
       "                    --jitter-trace=1:0:0.05:2,3:0:0.1:2:30\n"
+      "\n"
+      "coded shuffle (docs/CODED.md):\n"
+      "  --coded-r=R       replicate map outputs across R datacenters and\n"
+      "                    exchange XOR-coded shard groups by multicast\n"
+      "                    (spark scheme only; R in [1, #datacenters],\n"
+      "                    validated at submit time; default off)\n"
       "\n"
       "shuffle transport (docs/TRANSPORTS.md):\n"
       "  --transport=NAME  direct | objstore | fabric   (default direct)\n"
@@ -283,6 +293,10 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       if (!ParseIntIn(value, "threads", 0, 4096, &opts->threads)) {
         return false;
       }
+    } else if (ParseFlag(argv[i], "coded-r", &value)) {
+      if (!ParseIntIn(value, "coded-r", 0, 1'000'000, &opts->coded_r)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "crash-node", &value)) {
       if (!ParseIntIn(value, "crash-node", 0, 1'000'000, &opts->crash_node)) {
         return false;
@@ -412,6 +426,12 @@ void ApplyAdaptive(const Options& opts, gs::RunConfig* cfg) {
   cfg->adaptive.enabled = opts.adaptive;
   if (!opts.jitter_trace.empty()) {
     ParseJitterTrace(opts.jitter_trace, &cfg->fault.plan.link_degradations);
+  }
+  // Coded shuffle: the redundancy is passed through verbatim — Submit-time
+  // validation rejects r < 1, r > #datacenters, and non-spark schemes.
+  if (opts.coded_r >= 0) {
+    cfg->coded.enabled = true;
+    cfg->coded.redundancy_r = opts.coded_r;
   }
 }
 
